@@ -1,0 +1,67 @@
+"""Ablation bench: sender flow control (send credits).
+
+§3.1.1 distinguishes subsystems by their flow-control acknowledgements.
+This bench measures a full assembly epoch — a burst of puts to every peer
+followed by the combined ARMCI_Barrier — under different per-(process,
+server) credit limits.  Tight credits serialize the burst on completion
+acknowledgements, stretching the epoch; the synchronization operation
+itself stays cheap (its counters ride on completions, not on send
+ordering).
+"""
+
+import pytest
+
+from repro.net.params import myrinet2000
+from repro.runtime.cluster import ClusterRuntime
+from repro.runtime.memory import GlobalAddress
+
+from conftest import print_report
+
+NPROCS = 8
+PUTS_PER_PEER = 6
+CELLS = 128  # 1 KiB per put
+EPOCHS = 10
+
+
+def epoch_workload(ctx):
+    base = ctx.region.alloc_named("credit_epoch", CELLS, initial=0)
+    sw = ctx.stopwatch("epoch")
+    payload = [1.0] * CELLS
+    for _epoch in range(EPOCHS):
+        sw.start()
+        for peer in range(ctx.nprocs):
+            if peer == ctx.rank:
+                continue
+            for _i in range(PUTS_PER_PEER):
+                yield from ctx.armci.put(GlobalAddress(peer, base), payload)
+        yield from ctx.armci.barrier()
+        sw.stop()
+    return sw.mean()
+
+
+def run_sweep():
+    rows = {}
+    for credits in (0, 8, 2, 1):
+        runtime = ClusterRuntime(
+            NPROCS, params=myrinet2000(send_credits=credits)
+        )
+        per_rank = runtime.run_spmd(epoch_workload)
+        rows[credits] = sum(per_rank) / len(per_rank)
+    return rows
+
+
+def test_credit_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1)
+    lines = ["credits  epoch (us)   (0 = unlimited, GM's own link-level flow control)"]
+    for credits in sorted(rows):
+        lines.append(f"{credits:>7}  {rows[credits]:10.1f}")
+    print_report(
+        "Ablation: assembly epoch (puts burst + ARMCI_Barrier) vs send credits",
+        "\n".join(lines),
+    )
+    for credits, epoch_us in rows.items():
+        benchmark.extra_info[f"epoch_us_credits_{credits}"] = round(epoch_us, 1)
+    # Tighter credit limits stretch the epoch monotonically.
+    assert rows[1] > rows[2] > rows[8] >= rows[0]
+    # With one credit, every put waits a completion round trip.
+    assert rows[1] > 2.5 * rows[0]

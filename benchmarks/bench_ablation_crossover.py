@@ -1,0 +1,29 @@
+"""Ablation bench: the §3.1.2 fence/barrier crossover.
+
+Paper: "in certain situations, such as when processes perform put
+operations on memory locations at less than log2(N)/2 other processes, the
+original implementation may provide better performance."  This bench sweeps
+the number of put targets at 16 processes and locates the crossover, and
+verifies the suggested programmer-selectable policy ("auto") tracks the
+winner.
+"""
+
+from repro.experiments.ablations import run_crossover
+
+from conftest import print_report
+
+
+def test_crossover_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_crossover,
+        kwargs=dict(nprocs=16, targets_list=(0, 1, 2, 3, 4, 8, 15), iterations=12),
+        rounds=1,
+    )
+    print_report("Ablation: fence/barrier crossover (paper 3.1.2)",
+                 result.render())
+    crossover_at = result.crossover_targets()
+    benchmark.extra_info["crossover_targets"] = crossover_at
+    # The paper's heuristic says ~log2(16)/2 = 2.
+    assert crossover_at is not None and 1 <= crossover_at <= 4
+    for targets, row in result.by_targets.items():
+        assert row["auto"] <= min(row["linear"], row["exchange"]) * 1.10

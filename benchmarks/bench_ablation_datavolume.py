@@ -1,0 +1,48 @@
+"""Ablation bench: GA_Sync advantage vs per-iteration data volume.
+
+Figure 7's workload writes strips into every remote block; the paper does
+not state the strip size.  This bench sweeps it: with little data the sync
+cost is pure protocol (where the 2·log2(N)-vs-linear gap is maximal); with
+heavy data both implementations increasingly wait on the same put
+completions, diluting the factor.  The paper's ~9x implies a
+protocol-dominated configuration, which is how DESIGN.md calibrates.
+"""
+
+import pytest
+
+from repro.experiments.fig7_sync import Fig7Config, run_fig7
+
+from conftest import print_report
+
+
+def run_sweep():
+    rows = {}
+    for strip_rows, shape in ((1, (128, 128)), (4, (256, 256)), (16, (512, 512))):
+        cfg = Fig7Config(
+            nprocs_list=(16,), iterations=10, shape=shape, strip_rows=strip_rows
+        )
+        comparison = run_fig7(cfg)
+        cells = strip_rows * (shape[1] // 4)  # per-target cells at 16 procs
+        rows[cells * 8] = (
+            comparison.get("current", 16),
+            comparison.get("new", 16),
+            comparison.factor(16),
+        )
+    return rows
+
+
+def test_data_volume_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1)
+    lines = ["bytes/target  current(us)  new(us)  factor   (16 procs)"]
+    for nbytes in sorted(rows):
+        cur, new, factor = rows[nbytes]
+        lines.append(f"{nbytes:>12}  {cur:11.1f}  {new:7.1f}  {factor:6.2f}")
+    print_report("Ablation: GA_Sync factor vs per-iteration data volume",
+                 "\n".join(lines))
+    volumes = sorted(rows)
+    for nbytes in volumes:
+        benchmark.extra_info[f"factor_{nbytes}B"] = round(rows[nbytes][2], 2)
+        # The optimization wins at every data volume...
+        assert rows[nbytes][2] > 2.0
+    # ...but heavy data dilutes the factor (shared put-completion time).
+    assert rows[volumes[-1]][2] < rows[volumes[0]][2] * 1.05

@@ -1,0 +1,37 @@
+"""Ablation bench: lock acquisition fairness across algorithms.
+
+Per-rank mean acquire time under saturation.  The finding: the original
+hybrid gives the *home* rank a measurable advantage (its requests take a
+shared-memory shortcut to the ticket while everyone else queues at the
+server), whereas the MCS lock's queue discipline is perfectly uniform —
+requesters enter one global FIFO regardless of where they sit.  The token
+algorithms also rotate regularly once saturated (their unfairness only
+shows at partial load).
+"""
+
+from repro.experiments.ablations import (
+    fairness_spread,
+    render_lock_fairness,
+    run_lock_fairness,
+)
+
+from conftest import print_report
+
+
+def test_lock_fairness(benchmark):
+    data = benchmark.pedantic(
+        run_lock_fairness, kwargs=dict(nprocs=8, iterations=150), rounds=1
+    )
+    print_report("Ablation: lock fairness (per-rank mean acquire time)",
+                 render_lock_fairness(data))
+    for kind, per_rank in data.items():
+        benchmark.extra_info[f"spread_{kind}"] = round(fairness_spread(per_rank), 2)
+    # MCS is essentially perfectly fair...
+    assert fairness_spread(data["mcs"]) < 1.02
+    # ...while the hybrid favors the rank co-located with the lock home.
+    assert fairness_spread(data["hybrid"]) > 1.05
+    hybrid = data["hybrid"]
+    assert hybrid[0] == min(hybrid.values())  # the home rank wins
+    # Saturated token rotations are regular too.
+    assert fairness_spread(data["raymond"]) < 1.05
+    assert fairness_spread(data["naimi"]) < 1.05

@@ -1,0 +1,25 @@
+"""Ablation bench: AllFence under confirm-mode (GM) vs ack-mode (LAPI/VIA).
+
+Paper §3.1.1: on subsystems that acknowledge each put, a fence merely
+drains outstanding acks — no extra messages — which is why the linear
+AllFence is only a problem on GM-style subsystems.  This bench quantifies
+the difference the paper takes as given.
+"""
+
+from repro.experiments.ablations import run_fence_modes
+
+from conftest import print_report
+
+
+def test_fence_modes(benchmark):
+    comparison = benchmark.pedantic(
+        run_fence_modes, kwargs=dict(nprocs_list=(2, 4, 8, 16), iterations=12),
+        rounds=1,
+    )
+    print_report("Ablation: AllFence cost by subsystem style (paper 3.1.1)",
+                 comparison.render())
+    benchmark.extra_info["confirm_16_us"] = round(comparison.get("confirm", 16), 1)
+    benchmark.extra_info["ack_16_us"] = round(comparison.get("ack", 16), 1)
+    # Ack-mode fences are near-free; confirm-mode grows linearly.
+    assert comparison.get("ack", 16) < comparison.get("confirm", 16) / 10
+    assert comparison.get("confirm", 16) > 2.5 * comparison.get("confirm", 4)

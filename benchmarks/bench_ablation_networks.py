@@ -1,0 +1,53 @@
+"""Ablation bench: does the optimization survive other interconnects?
+
+The paper evaluates on Myrinet-2000/GM only.  This bench reruns Figure 7's
+16-process point on era-appropriate alternatives: TCP/gigabit-Ethernet
+(much higher latency and host overhead) and a Quadrics-like low-latency
+fabric.  The combined barrier's advantage is structural (log vs linear), so
+the factor should persist — growing on slower networks, where each saved
+round trip is worth more.
+"""
+
+import pytest
+
+from repro.experiments.fig7_sync import Fig7Config, run_fig7
+from repro.net.params import gige, myrinet2000, quadrics_like
+
+from conftest import print_report
+
+NETWORKS = {
+    "myrinet2000": myrinet2000(),
+    "gige": gige(),
+    "quadrics": quadrics_like(),
+}
+
+
+def run_sweep():
+    rows = {}
+    for name, params in NETWORKS.items():
+        cfg = Fig7Config(nprocs_list=(16,), iterations=15, params=params)
+        comparison = run_fig7(cfg)
+        rows[name] = (
+            comparison.get("current", 16),
+            comparison.get("new", 16),
+            comparison.factor(16),
+        )
+    return rows
+
+
+def test_network_sensitivity(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1)
+    lines = [f"{'network':>12}  {'current(us)':>12}  {'new(us)':>9}  factor"]
+    for name, (cur, new, factor) in rows.items():
+        lines.append(f"{name:>12}  {cur:12.1f}  {new:9.1f}  {factor:6.2f}")
+    print_report("Ablation: GA_Sync @16 procs across interconnects",
+                 "\n".join(lines))
+    for name, (_cur, _new, factor) in rows.items():
+        benchmark.extra_info[f"factor_{name}"] = round(factor, 2)
+        # Structural claim: the combined barrier wins on every fabric.
+        assert factor > 2.0, name
+    # Absolute saving per GA_Sync call grows with wire cost (even though
+    # the *ratio* can shrink — on TCP/GigE the heavy per-call MPI stack
+    # inflates the new implementation's log-phases too).
+    savings = {name: cur - new for name, (cur, new, _f) in rows.items()}
+    assert savings["gige"] > savings["myrinet2000"] > savings["quadrics"]

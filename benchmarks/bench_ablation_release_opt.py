@@ -1,0 +1,34 @@
+"""Ablation bench: the §5 future-work optimistic MCS release.
+
+The paper closes: "we are working on optimizing the lock operation to
+eliminate the need for the compare&swap operation when releasing a lock.
+Such an optimization would improve the performance of unlocking a lock when
+there is no other process waiting."  This bench measures our implementation
+of that idea (non-blocking CAS with background completion).
+"""
+
+from repro.experiments.ablations import render_release_opt, run_release_opt
+from repro.experiments.lockbench import LockBenchConfig
+
+from conftest import LOCK_ITERATIONS, print_report
+
+
+def test_release_optimization(benchmark):
+    series = benchmark.pedantic(
+        run_release_opt,
+        kwargs=dict(
+            nprocs_list=(1, 2, 4, 8),
+            cfg=LockBenchConfig(iterations=LOCK_ITERATIONS),
+        ),
+        rounds=1,
+    )
+    print_report("Ablation: optimistic MCS release (paper section-5 future work)",
+                 render_release_opt(series))
+    base_rel = series["mcs"][1].release_us
+    opt_rel = series["mcs-opt"][1].release_us
+    benchmark.extra_info["release_us_before"] = round(base_rel, 1)
+    benchmark.extra_info["release_us_after"] = round(opt_rel, 1)
+    # Exactly the effect the paper predicts: uncontended release collapses.
+    assert opt_rel < base_rel / 2
+    # And it must not cost correctness or throughput under contention.
+    assert series["mcs-opt"][8].roundtrip_us <= series["mcs"][8].roundtrip_us * 1.3

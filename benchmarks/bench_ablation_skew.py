@@ -1,0 +1,30 @@
+"""Ablation bench: process skew and the paper's §4.1 timing methodology.
+
+"We called MPI_Barrier() before calling GA_Sync() in order to ensure that
+the times we were reporting were not due to process skew."  This bench
+injects uniform arrival skew and shows how much the *reported* GA_Sync time
+inflates without that protective barrier — especially for the new
+implementation, whose genuine cost is small compared to the skew.
+"""
+
+from repro.experiments.ablations import run_skew
+
+from conftest import print_report
+
+
+def test_skew_methodology(benchmark):
+    result = benchmark.pedantic(
+        run_skew, kwargs=dict(nprocs=16, skew_us=200.0, iterations=15), rounds=1
+    )
+    print_report("Ablation: why the paper pre-barriers before timing GA_Sync",
+                 result.render())
+    benchmark.extra_info["inflation_new"] = round(result.inflation("new"), 2)
+    benchmark.extra_info["inflation_current"] = round(
+        result.inflation("current"), 2
+    )
+    # Without the pre-barrier the reported times absorb the skew...
+    assert result.inflation("new") > 1.5
+    # ...and the faster implementation suffers relatively more.
+    assert result.inflation("new") > result.inflation("current")
+    # The pre-barrier numbers stay near the unskewed Figure-7 values.
+    assert result.data[("new", True)] < 200.0

@@ -1,0 +1,35 @@
+"""Ablation bench: SMP co-location and zero-message lock handoffs.
+
+Paper §3.2.2: with software queuing locks "locks can be passed using only
+one message, or even zero messages, if the next waiting process is on the
+same node as the process holding the lock."  This bench fixes 8 processes
+and varies how many share a node.
+"""
+
+from repro.experiments.ablations import run_smp_handoff
+from repro.experiments.lockbench import LockBenchConfig
+
+from conftest import LOCK_ITERATIONS, print_report
+
+
+def test_smp_handoff(benchmark):
+    comparison = benchmark.pedantic(
+        run_smp_handoff,
+        kwargs=dict(
+            nprocs=8,
+            ppn_list=(1, 2, 4, 8),
+            cfg=LockBenchConfig(iterations=LOCK_ITERATIONS),
+        ),
+        rounds=1,
+    )
+    print_report("Ablation: lock round-trip vs processes-per-node (paper 3.2.2)",
+                 comparison.render())
+    mcs_by_ppn = comparison.values["new"]
+    benchmark.extra_info["mcs_ppn1_us"] = round(mcs_by_ppn[1], 1)
+    benchmark.extra_info["mcs_ppn8_us"] = round(mcs_by_ppn[8], 1)
+    # MCS collapses toward pure shared memory as co-location grows...
+    assert mcs_by_ppn[8] < mcs_by_ppn[1] / 4
+    # ...and monotonically improves.
+    assert mcs_by_ppn[8] < mcs_by_ppn[4] < mcs_by_ppn[2] <= mcs_by_ppn[1]
+    # The hybrid keeps visiting the server even fully co-located.
+    assert comparison.values["current"][8] > mcs_by_ppn[8]

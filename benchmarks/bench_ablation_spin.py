@@ -1,0 +1,49 @@
+"""Ablation bench: spin-then-block servers vs the Figure 7 convoy.
+
+Production ARMCI servers busy-poll before blocking; the paper's analysis
+(and our default) assumes immediate blocking.  Sweeping the spin window
+shows how much of the original implementation's cost is wake-ups — and
+that even a spin-forever server leaves the linear-vs-log gap standing.
+"""
+
+import pytest
+
+from repro.experiments.fig7_sync import Fig7Config, run_fig7
+from repro.net.params import myrinet2000
+
+from conftest import print_report
+
+
+def run_sweep():
+    rows = {}
+    for spin in (0.0, 50.0, 1000.0):
+        cfg = Fig7Config(
+            nprocs_list=(16,),
+            iterations=10,
+            params=myrinet2000(server_spin_us=spin),
+        )
+        comparison = run_fig7(cfg)
+        rows[spin] = (
+            comparison.get("current", 16),
+            comparison.get("new", 16),
+            comparison.factor(16),
+        )
+    return rows
+
+
+def test_spin_sweep(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1)
+    lines = ["spin (us)  current(us)  new(us)  factor   (16 procs)"]
+    for spin in sorted(rows):
+        cur, new, factor = rows[spin]
+        lines.append(f"{spin:>9.0f}  {cur:11.1f}  {new:7.1f}  {factor:6.2f}")
+    print_report("Ablation: GA_Sync vs server spin-before-block window",
+                 "\n".join(lines))
+    for spin, (_cur, _new, factor) in rows.items():
+        benchmark.extra_info[f"factor_spin{spin:.0f}"] = round(factor, 2)
+    # Spinning removes wake-ups from the convoy: current improves...
+    assert rows[1000.0][0] < rows[0.0][0]
+    # ...but the structural linear-vs-log gap survives a spin-forever server.
+    assert rows[1000.0][2] > 3.0
+    # The new barrier barely touches servers; it is spin-insensitive.
+    assert abs(rows[1000.0][1] - rows[0.0][1]) < 0.15 * rows[0.0][1]

@@ -1,0 +1,31 @@
+"""Ablation bench: sensitivity to the server wake-up cost.
+
+The paper attributes part of the hybrid lock's handoff cost to "the time to
+wake the sleeping server thread".  This bench sweeps that cost: the hybrid
+(which must visit the server on every unlock) degrades faster than the MCS
+lock (whose contended handoffs bypass the server).
+"""
+
+from repro.experiments.ablations import run_wake_cost
+from repro.experiments.lockbench import LockBenchConfig
+
+from conftest import LOCK_ITERATIONS, print_report
+
+
+def test_wake_cost_sensitivity(benchmark):
+    comparison = benchmark.pedantic(
+        run_wake_cost,
+        kwargs=dict(
+            nprocs=8,
+            wake_list=(0.0, 9.0, 18.0, 36.0),
+            cfg=LockBenchConfig(iterations=LOCK_ITERATIONS),
+        ),
+        rounds=1,
+    )
+    print_report("Ablation: lock round-trip vs server wake cost",
+                 comparison.render())
+    hybrid_slope = comparison.values["current"][36] - comparison.values["current"][0]
+    mcs_slope = comparison.values["new"][36] - comparison.values["new"][0]
+    benchmark.extra_info["hybrid_delta_us"] = round(hybrid_slope, 1)
+    benchmark.extra_info["mcs_delta_us"] = round(mcs_slope, 1)
+    assert hybrid_slope > mcs_slope

@@ -1,0 +1,26 @@
+"""Application-impact bench: the intro's scalability claim, quantified.
+
+Not a figure in the paper, but its stated motivation: "These operations
+also impact the scalability of the overall system."  A Global-Arrays
+mini-app (compute + remote assembly + GA_Sync + global dot per iteration)
+is run under both GA_Sync implementations across system sizes.
+"""
+
+from repro.experiments.app_scaling import AppScalingConfig, run_app_scaling
+
+from conftest import print_report
+
+
+def test_app_scaling(benchmark):
+    cfg = AppScalingConfig(iterations=8)
+    result = benchmark.pedantic(run_app_scaling, args=(cfg,), rounds=1)
+    print_report("Application impact of the optimized GA_Sync", result.render())
+    for n in cfg.nprocs_list:
+        benchmark.extra_info[f"speedup_{n}"] = round(result.speedup(n), 2)
+    # The optimization matters more the larger the system...
+    assert result.speedup(16) > result.speedup(2)
+    # ...and yields a real application-level win at 16 processes.
+    assert result.speedup(16) > 1.15
+    # Sync share under the new implementation must be lower everywhere.
+    for n in cfg.nprocs_list:
+        assert result.data["new"][n][1] < result.data["current"][n][1]

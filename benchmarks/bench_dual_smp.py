@@ -1,0 +1,86 @@
+"""Dual-SMP evaluation: the figures with 2 processes per node.
+
+The paper's testbed is a cluster of *dual*-SMP nodes but its runs place one
+process per node.  This bench reruns the two headline experiments with
+both processes per node occupied (16 processes on 8 nodes), where the
+intra-node fast paths matter: local puts bypass servers, lock handoffs to a
+same-node waiter cost zero messages, and half of each process's fence
+targets sit one shared-memory hop away.
+"""
+
+import pytest
+
+from repro.experiments.fig7_sync import Fig7Config, run_fig7
+from repro.experiments.lockbench import LockBenchConfig, run_lock_point
+
+from conftest import FIG7_ITERATIONS, LOCK_ITERATIONS, print_report
+
+
+def run_fig7_smp():
+    rows = {}
+    for ppn in (1, 2):
+        cfg = Fig7Config(
+            nprocs_list=(16,), iterations=FIG7_ITERATIONS, procs_per_node=ppn
+        )
+        comparison = run_fig7(cfg)
+        rows[ppn] = (
+            comparison.get("current", 16),
+            comparison.get("new", 16),
+            comparison.factor(16),
+        )
+    return rows
+
+
+def test_fig7_dual_smp(benchmark):
+    rows = benchmark.pedantic(run_fig7_smp, rounds=1)
+    lines = ["ppn  current(us)  new(us)  factor   (16 processes)"]
+    for ppn, (cur, new, factor) in sorted(rows.items()):
+        lines.append(f"{ppn:>3}  {cur:11.1f}  {new:7.1f}  {factor:6.2f}")
+    print_report("Dual-SMP: GA_Sync at 16 procs, 1 vs 2 procs/node",
+                 "\n".join(lines))
+    for ppn, (_c, _n, factor) in rows.items():
+        benchmark.extra_info[f"factor_ppn{ppn}"] = round(factor, 2)
+        # The optimization holds with SMP co-location too.
+        assert factor > 4.0
+    # Co-location helps the *linear* fence a lot (half the servers to
+    # confirm with, and same-node puts bypass servers entirely)...
+    assert rows[2][0] < 0.7 * rows[1][0]
+    # ...while the log-phase exchange barrier is placement-insensitive.
+    assert abs(rows[2][1] - rows[1][1]) < 0.15 * rows[1][1]
+    # Consequently the *factor* shrinks at 2 ppn — co-location is itself a
+    # partial remedy for the convoy the paper's operation eliminates.
+    assert rows[2][2] < rows[1][2]
+
+
+def run_locks_smp():
+    rows = {}
+    for ppn in (1, 2):
+        cfg = LockBenchConfig(
+            iterations=LOCK_ITERATIONS, procs_per_node=ppn
+        )
+        hybrid = run_lock_point("hybrid", 16, cfg)
+        mcs = run_lock_point("mcs", 16, cfg)
+        rows[ppn] = (
+            hybrid.roundtrip_us,
+            mcs.roundtrip_us,
+            hybrid.roundtrip_us / mcs.roundtrip_us,
+        )
+    return rows
+
+
+def test_locks_dual_smp(benchmark):
+    rows = benchmark.pedantic(run_locks_smp, rounds=1)
+    lines = ["ppn  hybrid(us)  mcs(us)  factor   (16 processes)"]
+    for ppn, (hyb, mcs, factor) in sorted(rows.items()):
+        lines.append(f"{ppn:>3}  {hyb:10.1f}  {mcs:7.1f}  {factor:6.2f}")
+    print_report("Dual-SMP: lock round-trip at 16 procs, 1 vs 2 procs/node",
+                 "\n".join(lines))
+    for ppn, (_h, _m, factor) in rows.items():
+        benchmark.extra_info[f"factor_ppn{ppn}"] = round(factor, 2)
+        # MCS keeps winning at 16 processes under both placements, in the
+        # paper's factor range.
+        assert 1.1 < factor < 1.5
+    # With a single lock and a 16-deep rotation, only 1/15 of handoffs
+    # become same-node: both algorithms move by at most a few percent.
+    for column in (0, 1):
+        assert abs(rows[2][column] - rows[1][column]) < 0.07 * rows[1][column]

@@ -1,0 +1,54 @@
+"""Figure 10 bench: time to release a lock.
+
+Paper reference: the new implementation's release is *more* expensive (the
+uncontended release performs a blocking compare&swap round trip, where the
+original fires one unlock message and returns), but the average falls as
+contention rises because the queue is then rarely empty.
+"""
+
+import pytest
+
+from repro.experiments.lockbench import (
+    LockBenchConfig,
+    comparison_from_series,
+    run_lock_point,
+    run_lock_series,
+)
+
+from conftest import LOCK_ITERATIONS, print_report
+
+CFG = LockBenchConfig(iterations=LOCK_ITERATIONS)
+
+
+@pytest.mark.parametrize("nprocs", [1, 4, 16])
+@pytest.mark.parametrize("kind", ["hybrid", "mcs"])
+def test_lock_release_point(benchmark, kind, nprocs):
+    point = benchmark.pedantic(run_lock_point, args=(kind, nprocs, CFG), rounds=1)
+    benchmark.extra_info["simulated_us"] = round(point.release_us, 2)
+    benchmark.extra_info["figure"] = "10"
+    assert point.release_us > 0
+
+
+def test_fig10_full_table(benchmark):
+    series = benchmark.pedantic(run_lock_series, args=(CFG,), rounds=1)
+    comparison = comparison_from_series(
+        series, "release",
+        "Figure 10: time to release a lock (current vs new)",
+    )
+    print_report(
+        "Figure 10 reproduction (paper: new is slower here, gap shrinks "
+        "with contention)",
+        comparison.render(),
+    )
+    benchmark.extra_info["factors"] = {
+        str(n): round(f, 2) for n, f in comparison.factors().items()
+    }
+    # Shape: current's fire-and-forget release wins everywhere...
+    for n in comparison.nprocs_list():
+        assert comparison.factor(n) < 1.0
+    # ...and the new release cost *decreases* with contention.
+    new = comparison.values["new"]
+    assert new[16] < new[4] < new[1]
+    # current stays flat and cheap.
+    current = comparison.values["current"]
+    assert max(current.values()) < 5.0

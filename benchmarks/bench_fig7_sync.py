@@ -1,0 +1,50 @@
+"""Figure 7 bench: GA_Sync() time, current vs new implementation.
+
+Regenerates both panels of the paper's Figure 7: panel (a) the two GA_Sync
+time series over 2..16 processes, panel (b) the factor of improvement.
+Paper reference points: 1724.3 µs (current) vs 190.3 µs (new) at 16
+processes — a factor of up to 9.
+"""
+
+import pytest
+
+from repro.experiments.fig7_sync import Fig7Config, run_fig7, sync_workload
+from repro.net.params import myrinet2000
+from repro.runtime.cluster import ClusterRuntime
+
+from conftest import FIG7_ITERATIONS, print_report
+
+
+def run_point(variant: str, nprocs: int) -> float:
+    """One (implementation, nprocs) cell of Figure 7; returns simulated µs."""
+    cfg = Fig7Config(nprocs_list=(nprocs,), iterations=FIG7_ITERATIONS)
+    runtime = ClusterRuntime(nprocs, params=myrinet2000())
+    per_rank = runtime.run_spmd(sync_workload, variant, cfg)
+    pooled = [s for samples in per_rank for s in samples]
+    return sum(pooled) / len(pooled)
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 8, 16])
+@pytest.mark.parametrize("variant", ["current", "new"])
+def test_ga_sync_point(benchmark, variant, nprocs):
+    result = benchmark.pedantic(run_point, args=(variant, nprocs), rounds=1)
+    benchmark.extra_info["simulated_us"] = round(result, 1)
+    benchmark.extra_info["figure"] = "7a"
+    assert result > 0
+
+
+def test_fig7_full_table(benchmark):
+    """Panel (a) + (b): regenerate the whole figure and check the shape."""
+    cfg = Fig7Config(iterations=FIG7_ITERATIONS)
+    comparison = benchmark.pedantic(run_fig7, args=(cfg,), rounds=1)
+    print_report("Figure 7 reproduction (paper: up to 9x at 16 procs)",
+                 comparison.render())
+    benchmark.extra_info["factors"] = {
+        str(n): round(f, 2) for n, f in comparison.factors().items()
+    }
+    # Shape assertions: new always wins, factor grows, ~9x at 16.
+    for n in comparison.nprocs_list():
+        assert comparison.factor(n) > 1.0
+    factors = comparison.factors()
+    assert factors[16] > factors[8] > factors[2]
+    assert 6.0 <= factors[16] <= 12.0

@@ -1,0 +1,46 @@
+"""Figure 8 bench: time to request and release a lock (+ factor).
+
+Paper reference: the new (MCS) lock wins once two or more processes
+compete — up to a 1.25x factor at 8 nodes — while at one process the
+blocking compare&swap makes it lose to the original hybrid.
+"""
+
+import pytest
+
+from repro.experiments.lockbench import (
+    LockBenchConfig,
+    comparison_from_series,
+    run_lock_point,
+    run_lock_series,
+)
+
+from conftest import LOCK_ITERATIONS, print_report
+
+CFG = LockBenchConfig(iterations=LOCK_ITERATIONS)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 8, 16])
+@pytest.mark.parametrize("kind", ["hybrid", "mcs"])
+def test_lock_roundtrip_point(benchmark, kind, nprocs):
+    point = benchmark.pedantic(run_lock_point, args=(kind, nprocs, CFG), rounds=1)
+    benchmark.extra_info["simulated_us"] = round(point.roundtrip_us, 1)
+    benchmark.extra_info["figure"] = "8a"
+    assert point.roundtrip_us > 0
+
+
+def test_fig8_full_table(benchmark):
+    series = benchmark.pedantic(run_lock_series, args=(CFG,), rounds=1)
+    comparison = comparison_from_series(
+        series, "roundtrip",
+        "Figure 8: time to request and release a lock (current vs new)",
+    )
+    print_report("Figure 8 reproduction (paper: up to 1.25x at 8 nodes)",
+                 comparison.render())
+    benchmark.extra_info["factors"] = {
+        str(n): round(f, 2) for n, f in comparison.factors().items()
+    }
+    # Shape: current wins at 1 process; new wins for >= 4; ~1.25x near 8.
+    assert comparison.factor(1) < 1.0
+    for n in (4, 8, 16):
+        assert comparison.factor(n) > 1.0
+    assert 1.05 <= max(comparison.factor(8), comparison.factor(16)) <= 1.6

@@ -1,0 +1,39 @@
+"""Substrate-validation bench: the calibration table behind every figure.
+
+Not a paper figure — the microbenchmark table a 2003 cluster paper would
+print to validate its platform.  Asserts the invariants the cost model is
+calibrated around: short-message latencies in the Myrinet range, linear
+bandwidth scaling, logarithmic collectives, and a server that saturates in
+the hundreds-of-requests-per-millisecond regime.
+"""
+
+from repro.experiments.microbench import run_microbench
+
+from conftest import print_report
+
+
+def test_microbench(benchmark):
+    result = benchmark.pedantic(run_microbench, rounds=1)
+    print_report("Substrate microbenchmarks (cost-model validation)",
+                 result.render())
+    benchmark.extra_info["put8_us"] = round(result.transfer[8][0], 2)
+    benchmark.extra_info["fence_rt_us"] = round(result.fence_rt_us, 2)
+
+    # Short-message one-way put injection ~ o_send + api overhead regime.
+    assert result.transfer[8][0] < 10.0
+    # Get round trip: 2 wire latencies + server + overheads (Myrinet range).
+    assert 15.0 < result.transfer[8][1] < 60.0
+    # Bandwidth term: 32 KiB get dominated by serialization (~0.004 us/B
+    # each way).
+    assert result.transfer[32768][1] > 100.0
+    # Local ops orders of magnitude cheaper than remote.
+    assert result.local_get_us < result.transfer[8][1] / 5
+    assert result.rmw_local_us < result.rmw_remote_us / 5
+    # Collectives grow logarithmically: 16 procs has 4 rounds vs 1 at 2.
+    barrier2 = result.collective[2][0]
+    barrier16 = result.collective[16][0]
+    assert 2.0 < barrier16 / barrier2 < 6.0
+    # Allreduce carries a vector but stays in the same regime as barrier.
+    assert result.collective[16][1] < 3 * result.collective[16][0]
+    # A single server absorbs hundreds of small requests per millisecond.
+    assert 50.0 < result.server_req_per_ms < 2000.0

@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one of the paper's figures: the *simulated* results
+(microseconds of virtual time, the numbers comparable to the paper) are
+attached to ``benchmark.extra_info`` and printed as paper-style tables;
+pytest-benchmark's own timings measure the simulator's wall-clock cost.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+# Shared, intentionally small-but-stable workload sizes so the whole suite
+# regenerates every figure in a few minutes of wall clock.
+FIG7_ITERATIONS = 30
+LOCK_ITERATIONS = 250
+
+
+def print_report(title: str, body: str) -> None:
+    """Emit a paper-style table through pytest's capture (-s to see live)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Global Arrays workload: distributed matrix assembly with GA_Sync.
+
+This is the shape of the paper's motivating applications (Global Arrays on
+ARMCI): every process computes contributions to rows it does *not* own,
+ships them with one-sided puts/accumulates, and the whole computation is
+punctuated by ``GA_Sync()`` — which is exactly the operation the paper's
+Figure 7 makes 9x faster.
+
+The example assembles A[i, j] = i + j/1000 collaboratively (each process
+computes a horizontal slab, which is scattered over all owners), syncs, and
+verifies the result with one-sided gets.  It reports the time spent inside
+GA_Sync for both implementations.
+
+Run:  python examples/ga_matrix_update.py
+"""
+
+import numpy as np
+
+from repro import ClusterRuntime
+from repro.ga import GlobalArray
+
+SHAPE = (96, 96)
+ROUNDS = 5
+
+
+def assembly(ctx, mode):
+    ga = GlobalArray(ctx, "A", SHAPE)
+    rows, cols = SHAPE
+    slab = rows // ctx.nprocs
+    sync_time = 0.0
+    for _round in range(ROUNDS):
+        # Each process computes a slab of rows (mostly owned by others).
+        r0 = ctx.rank * slab
+        r1 = rows if ctx.rank == ctx.nprocs - 1 else r0 + slab
+        data = np.add.outer(np.arange(r0, r1, dtype=float),
+                            np.arange(cols, dtype=float) / 1000.0)
+        yield from ga.put((r0, r1, 0, cols), data)
+        t0 = ctx.now
+        yield from ga.sync(mode)
+        sync_time += ctx.now - t0
+    # Verify a random-ish section with a one-sided get.
+    got = yield from ga.get((10, 20, 30, 40))
+    expected = np.add.outer(np.arange(10, 20, dtype=float),
+                            np.arange(30, 40, dtype=float) / 1000.0)
+    assert np.allclose(got, expected), "assembled array is wrong"
+    return sync_time
+
+
+if __name__ == "__main__":
+    for mode in ("current", "new"):
+        runtime = ClusterRuntime(nprocs=8)
+        sync_times = runtime.run_spmd(assembly, mode)
+        mean_sync = sum(sync_times) / len(sync_times)
+        print(
+            f"GA_Sync mode={mode:8s}: {mean_sync / ROUNDS:7.1f} us per sync "
+            f"(total simulated {runtime.env.now:9.1f} us)"
+        )
+    print("matrix verified on all ranks under both sync implementations")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Mutex algorithm showdown: ARMCI locks vs the related-work alternatives.
+
+The paper's §3.2 surveys distributed mutual-exclusion algorithms (QOLB,
+LH/M, Raymond's tree algorithm, Naimi-Trehel) before adopting the MCS
+software queuing lock.  This example runs the same contended
+critical-section workload under four algorithms — the original ARMCI hybrid,
+the paper's MCS lock, Raymond's tree token, and Naimi-Trehel's
+path-compression token — and prints a comparison of round-trip time and
+protocol message counts per acquisition.
+
+The token algorithms assume a responsive progress engine in every user
+process; the simulation charges it the same wake-up cost as the ARMCI
+server thread, which is what makes the one-sided MCS design come out ahead
+(as the paper's authors anticipated).
+
+Run:  python examples/mutex_showdown.py
+"""
+
+from repro import ClusterRuntime
+from repro.locks import make_lock
+from repro.mp import collectives
+
+NPROCS = 8
+ITERATIONS = 150
+
+
+def contender(ctx, kind):
+    lock = make_lock(kind, ctx, home_rank=0, name="showdown")
+    yield from collectives.barrier(ctx.comm)
+    for _ in range(ITERATIONS):
+        yield from lock.acquire()
+        yield ctx.compute(2.0)  # tiny critical section
+        yield from lock.release()
+    yield from ctx.armci.barrier()
+    return lock.total_stats().mean
+
+
+if __name__ == "__main__":
+    print(f"{NPROCS} processes x {ITERATIONS} lock/unlock iterations, "
+          f"lock homed at rank 0\n")
+    print(f"{'algorithm':>10} {'roundtrip us':>13} {'fabric msgs/acquire':>20}")
+    results = {}
+    for kind in ("hybrid", "mcs", "raymond", "naimi"):
+        runtime = ClusterRuntime(nprocs=NPROCS)
+        per_rank = runtime.run_spmd(contender, kind)
+        mean_roundtrip = sum(per_rank) / NPROCS
+        # All traffic is lock traffic apart from the two bracketing
+        # barriers (a small constant).  Count responses too.
+        stats = runtime.fabric.stats
+        per_acquire = (stats.messages + stats.replies) / (NPROCS * ITERATIONS)
+        results[kind] = mean_roundtrip
+        print(f"{kind:>10} {mean_roundtrip:13.1f} {per_acquire:20.2f}")
+    assert results["mcs"] < results["hybrid"], "paper's headline claim"
+    print(
+        f"\nMCS vs hybrid factor of improvement: "
+        f"{results['hybrid'] / results['mcs']:.2f} "
+        "(paper: up to 1.25 at 8 nodes)"
+    )
+    print(
+        "note: MCS sends slightly MORE messages than the hybrid, but its "
+        "handoff\npath is one message instead of two and its atomic swap "
+        "overlaps the wait -\nwhat matters is the critical path, not the "
+        "message count."
+    )

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Software pipeline over pure one-sided operations (notify/wait).
+
+ARMCI's progress rules make fully one-sided producer/consumer pipelines
+possible: a stage writes its output directly into the next stage's memory
+with a put and then *notifies*; the next stage waits on the notification
+counter in its own memory — no receives, no server-side rendezvous.  This
+example builds a 4-stage pipeline (each stage sharpens a vector) and also
+demonstrates the explicit non-blocking handles (ARMCI_NbGet-style) by
+overlapping each stage's fetch of auxiliary coefficients with its compute.
+
+Run:  python examples/pipeline_notify.py
+"""
+
+from repro import ClusterRuntime
+
+STAGES = 4
+ITEMS = 12
+WIDTH = 16
+
+
+def stage(ctx):
+    # Collective allocation: every stage's input buffer + coefficient table.
+    inputs = yield from ctx.armci.malloc(WIDTH, key="pipeline_in")
+    coeffs = yield from ctx.armci.malloc(WIDTH, key="coeffs")
+    # Stage 0 owns the coefficient table.
+    if ctx.rank == 0:
+        ctx.region.write_many(coeffs[0].addr, [1.0 + i / WIDTH for i in range(WIDTH)])
+    yield from ctx.armci.barrier()
+
+    produced = []
+    for item in range(ITEMS):
+        if ctx.rank == 0:
+            # Source stage: synthesize the work item.
+            data = [float(item + i) for i in range(WIDTH)]
+        else:
+            # Wait until the previous stage delivered item #item+1 total.
+            yield from ctx.armci.notify_wait(ctx.rank - 1, count=item + 1)
+            data = ctx.region.read_many(inputs[ctx.rank].addr, WIDTH)
+            # Credit back upstream: the buffer may be overwritten now.
+            yield from ctx.armci.notify(ctx.rank - 1)
+
+        # Overlap: fetch coefficients (non-blocking) while "computing".
+        handle = yield from ctx.armci.nb_get(coeffs[0], WIDTH)
+        yield ctx.compute(20.0)
+        k = yield from handle.wait()
+        data = [d * k[i] for i, d in enumerate(data)]
+
+        if ctx.rank < ctx.nprocs - 1:
+            # Flow control: don't overwrite the downstream buffer until the
+            # consumer credited the previous item back.
+            if item > 0:
+                yield from ctx.armci.notify_wait(ctx.rank + 1, count=item)
+            # Push to the next stage and notify (data-then-flag contract).
+            yield from ctx.armci.put(inputs[ctx.rank + 1], data)
+            yield from ctx.armci.notify(ctx.rank + 1)
+        else:
+            produced.append(sum(data))
+    yield from ctx.armci.barrier()
+    return produced
+
+
+if __name__ == "__main__":
+    runtime = ClusterRuntime(nprocs=STAGES)
+    results = runtime.run_spmd(stage)
+    sink = results[-1]
+    assert len(sink) == ITEMS
+
+    # Verify against a sequential execution of the same pipeline.
+    coeff = [1.0 + i / WIDTH for i in range(WIDTH)]
+    expected = []
+    for item in range(ITEMS):
+        data = [float(item + i) for i in range(WIDTH)]
+        for _stage in range(STAGES):
+            data = [d * coeff[i] for i, d in enumerate(data)]
+        expected.append(sum(data))
+    for got, want in zip(sink, expected):
+        assert abs(got - want) < 1e-9, (got, want)
+
+    print(f"{STAGES}-stage one-sided pipeline processed {ITEMS} items "
+          f"in {runtime.env.now:.1f} simulated us")
+    print(f"first outputs: {[round(v, 2) for v in sink[:4]]} (verified)")
+    print("pattern: put -> notify -> notify_wait; zero receives posted")

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: one-sided puts, fences, and the combined barrier.
+
+Runs a 4-process simulated cluster.  Every process writes a vector into its
+right neighbor's memory with a non-blocking ARMCI put, synchronizes with the
+paper's combined ``ARMCI_Barrier()``, and then reads back what its left
+neighbor wrote.  The example also contrasts the cost of the original
+AllFence+barrier sequence with the new combined operation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClusterRuntime
+
+
+def main(ctx):
+    # Allocate 8 cells in this process's region.  All ranks allocate in the
+    # same order, so the address is the same everywhere (SPMD style).
+    addr = ctx.region.alloc(8, initial=0)
+    right = (ctx.rank + 1) % ctx.nprocs
+
+    # One-sided, non-blocking put into the neighbor's memory.
+    yield from ctx.armci.put(ctx.ga(right, addr), [ctx.rank * 10 + i for i in range(8)])
+
+    # New combined global fence + barrier (2 log2 N message latencies).
+    t0 = ctx.now
+    yield from ctx.armci.barrier()
+    t_new = ctx.now - t0
+
+    received = ctx.region.read_many(addr, 8)
+
+    # Do it again the "current" way (linear AllFence + MPI barrier) to see
+    # the difference the paper measures.
+    yield from ctx.armci.put(ctx.ga(right, addr), [0] * 8)
+    t0 = ctx.now
+    yield from ctx.armci.barrier(algorithm="linear")
+    t_old = ctx.now - t0
+
+    return received, t_new, t_old
+
+
+if __name__ == "__main__":
+    runtime = ClusterRuntime(nprocs=4)
+    results = runtime.run_spmd(main)
+    for rank, (received, t_new, t_old) in enumerate(results):
+        left = (rank - 1) % 4
+        assert received == [left * 10 + i for i in range(8)], received
+        print(
+            f"rank {rank}: got {received} from rank {left}; "
+            f"ARMCI_Barrier={t_new:.1f}us vs AllFence+MPI_Barrier={t_old:.1f}us"
+        )
+    print(f"total simulated time: {runtime.env.now:.1f}us")

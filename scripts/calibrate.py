@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Re-run the calibration grid search from docs/model.md.
+
+Fits the three host-cost knobs (`server_wake_us`, `server_fence_check_us`,
+`server_lock_op_us`) against the paper's headline targets:
+
+* Figure 7 factor at 16 processes ~ 9;
+* Figure 8 factor at 8 processes ~ 1.25;
+* Figure 8 factor at 1 process ~ 0.8 (current wins).
+
+Prints the full grid and the chosen point; the shipped defaults should be
+at (or adjacent to) the winner.  Takes a few minutes.
+
+Run:  python scripts/calibrate.py [--fast]
+"""
+
+import sys
+
+from repro.experiments.fig7_sync import Fig7Config, run_fig7
+from repro.experiments.lockbench import LockBenchConfig, run_lock_series
+from repro.experiments.sweep import best, calibration_loss, sweep
+from repro.net.params import myrinet2000
+
+FAST = "--fast" in sys.argv
+
+GRID = {
+    "server_wake_us": [14.0, 18.0, 22.0],
+    "server_fence_check_us": [5.0, 9.0, 13.0],
+    "server_lock_op_us": [2.0, 3.5, 5.0],
+}
+
+TARGETS = {
+    "fig7_factor_16": 9.0,
+    "fig8_factor_8": 1.25,
+    "fig8_factor_1": 0.8,
+}
+
+
+def evaluate(params):
+    fig7 = run_fig7(
+        Fig7Config(nprocs_list=(16,), iterations=6 if FAST else 15, params=params)
+    )
+    series = run_lock_series(
+        LockBenchConfig(
+            nprocs_list=(1, 8), iterations=80 if FAST else 200, params=params
+        )
+    )
+    return {
+        "fig7_factor_16": fig7.factor(16),
+        "fig8_factor_8": series["hybrid"][8].roundtrip_us
+        / series["mcs"][8].roundtrip_us,
+        "fig8_factor_1": series["hybrid"][1].roundtrip_us
+        / series["mcs"][1].roundtrip_us,
+    }
+
+
+def main() -> int:
+    print(f"grid: {GRID}")
+    print(f"targets: {TARGETS}\n")
+    result = sweep(GRID, evaluate)
+    print(result.render())
+    overrides, outputs, loss_value = best(result, calibration_loss(TARGETS))
+    print(f"\nbest point (loss {loss_value:.4f}): {overrides}")
+    print(f"metrics there: { {k: round(v, 3) for k, v in outputs.items()} }")
+    shipped = myrinet2000()
+    print(
+        "\nshipped defaults: "
+        f"wake={shipped.server_wake_us}, "
+        f"fence_check={shipped.server_fence_check_us}, "
+        f"lock_op={shipped.server_lock_op_us}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

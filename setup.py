@@ -1,0 +1,13 @@
+"""Legacy shim so ``pip install -e .`` works with older setuptools offline."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["armci-repro = repro.cli:main"]},
+)

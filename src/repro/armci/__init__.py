@@ -1,0 +1,32 @@
+"""ARMCI core: client API, request protocol, fence and barrier algorithms."""
+
+from .api import FENCE_MODES, Armci
+from .barrier import ALGORITHMS as BARRIER_ALGORITHMS
+from .nonblocking import NbHandle
+from .strided import stride_runs
+from .requests import (
+    AccRequest,
+    FenceRequest,
+    GetRequest,
+    LockRequest,
+    PutRequest,
+    RmwRequest,
+    UnlockRequest,
+    RMW_OPS,
+)
+
+__all__ = [
+    "Armci",
+    "AccRequest",
+    "BARRIER_ALGORITHMS",
+    "FENCE_MODES",
+    "FenceRequest",
+    "GetRequest",
+    "LockRequest",
+    "NbHandle",
+    "stride_runs",
+    "PutRequest",
+    "RMW_OPS",
+    "RmwRequest",
+    "UnlockRequest",
+]

@@ -1,0 +1,107 @@
+"""The paper's new ``ARMCI_Barrier()`` — combined global fence + barrier.
+
+Semantically equivalent to ``ARMCI_AllFence()`` followed by
+``MPI_Barrier()``, but executed in three stages (paper §3.1.2):
+
+1. **Distribute the issue counts.**  Every process keeps ``op_init[i]`` =
+   number of memory operations it shipped to process *i*'s server.  A
+   binary-exchange elementwise-sum (Figure 2; recursive-doubling allreduce)
+   leaves each process *i* holding the system-wide total of operations
+   destined for it — ``log2(N)`` overlapped exchange phases.
+
+2. **Wait for local completion.**  Each process polls its server thread's
+   shared-memory ``op_done`` counter until it reaches the stage-1 total for
+   its own slot.  The server increments the counter as it completes
+   incoming requests; no messages are exchanged.
+
+3. **Barrier synchronization.**  A binary-exchange barrier (another
+   ``log2(N)`` phases) ensures no process continues until every process
+   passed stage 2 — i.e. until *all* puts completed at *all* servers.
+
+Total communication: ``2 * log2(N)`` one-way latencies, versus the original
+``2(N-1) + log2(N)``.
+
+Both counters are *cumulative* over the process lifetime, so repeated
+barriers need no reset protocol and the comparison in stage 2 is monotone
+(``op_done >= target``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ..mp import collectives
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Armci
+
+__all__ = ["armci_barrier", "ALGORITHMS"]
+
+ALGORITHMS = ("exchange", "linear", "auto")
+
+
+def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
+    """Run the combined fence+barrier using the selected algorithm.
+
+    ``"exchange"`` is the paper's new operation; ``"linear"`` is the
+    original AllFence + message-passing barrier; ``"auto"`` implements the
+    paper's closing suggestion — let the caller (or the library) pick the
+    linear algorithm when puts touched fewer than ``log2(N)/2`` servers,
+    where contacting them directly is cheaper than the full exchange.
+
+    .. warning::
+       ``"auto"`` decides from the *local* count of servers touched since
+       the last fence, with no extra communication (any agreement round
+       would cost the log2(N) latencies the linear path is trying to
+       save).  It therefore carries the same contract as the paper's
+       "allow the programmer to choose": the communication pattern must be
+       symmetric enough that every rank reaches the same decision.  With
+       asymmetric patterns — including hidden asymmetry from MCS-lock
+       protocol traffic — ranks may pick different algorithms and deadlock
+       in the collective; pick ``"exchange"`` or ``"linear"`` explicitly
+       there.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"algorithm must be one of {ALGORITHMS}, got {algorithm!r}")
+    comm = armci.comm
+    if comm is None:
+        raise RuntimeError(
+            "ARMCI_Barrier requires a message-passing communicator "
+            "(construct Armci with comm=...)"
+        )
+    if algorithm == "auto":
+        threshold = math.log2(max(armci.nprocs, 2)) / 2.0
+        algorithm = "linear" if len(armci.dirty_nodes) < threshold else "exchange"
+
+    if algorithm == "linear":
+        yield from _linear(armci)
+    else:
+        yield from _exchange(armci)
+    # After stage 3 every operation in the system has completed; all fence
+    # state is clean.
+    armci.dirty_nodes.clear()
+
+
+def _linear(armci: "Armci"):
+    """Original semantics: AllFence, then the message-passing barrier."""
+    from . import fence as fence_mod  # local import to avoid cycle at import time
+
+    yield from fence_mod.allfence_linear(armci)
+    yield from collectives.barrier(armci.comm)
+
+
+def _exchange(armci: "Armci"):
+    """The new three-stage operation."""
+    # Stage 1: binary-exchange sum of op_init[] (Figure 2).
+    totals = yield from collectives.allreduce_sum(armci.comm, armci.op_init)
+
+    # Stage 2: poll the server's op_done counter for our own slot.
+    region, addr = armci.server.op_done_cell(armci.rank)
+    target = totals[armci.rank]
+    yield from region.wait_until(
+        addr, lambda v: v >= target, poll_detect_us=armci.params.poll_detect_us
+    )
+
+    # Stage 3: binary-exchange barrier synchronization.
+    yield from collectives.barrier(armci.comm)

@@ -1,0 +1,77 @@
+"""Collective ARMCI memory management and pairwise notify/wait.
+
+* :func:`armci_malloc` — the moral ``ARMCI_Malloc``: a collective that
+  allocates ``count`` cells in *every* process's region and returns the
+  full table of global addresses (every rank gets the same table), so
+  processes can address each other's slabs.
+* :func:`notify` / :func:`notify_wait` — ARMCI's pairwise point-to-point
+  synchronization: ``notify(p)`` bumps a counter in *p*'s memory with an
+  ordinary (fence-covered) put; ``notify_wait(p, n)`` polls until *p* has
+  notified at least ``n`` times.  Built entirely from one-sided puts and
+  local polling — no two-sided messages — which is how ARMCI layers
+  producer/consumer patterns over pure RMA.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from ..mp import collectives
+from ..runtime.memory import GlobalAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Armci
+
+__all__ = ["armci_malloc", "notify", "notify_wait"]
+
+
+def armci_malloc(armci: "Armci", count: int, key: str) -> List[GlobalAddress]:
+    """Sub-generator: collective allocation of ``count`` cells per process.
+
+    ``key`` names the allocation (SPMD-stable); returns
+    ``[GlobalAddress(rank, base_rank) for rank in range(nprocs)]`` on every
+    caller.  Must be called by all ranks (it allgathers the bases).
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if armci.comm is None:
+        raise RuntimeError("armci_malloc requires a communicator")
+    yield from armci._api()
+    my_base = armci.region.alloc_named(f"malloc:{key}", count, initial=0)
+    bases = yield from collectives.allgather(armci.comm, my_base)
+    return [GlobalAddress(rank, base) for rank, base in enumerate(bases)]
+
+
+def _notify_cell(armci: "Armci", owner_rank: int, peer_rank: int) -> int:
+    """Address (in owner's region) of the peer->owner notification counter."""
+    region = armci.regions[owner_rank]
+    base = region.alloc_named(f"notify:{peer_rank}", 1, initial=0)
+    return base
+
+
+def notify(armci: "Armci", peer: int):
+    """Sub-generator: bump this rank's notification counter at ``peer``.
+
+    Completion of all *data* puts issued before the notify is guaranteed to
+    the waiter because GM-style delivery and FIFO server processing apply
+    the data before the counter bump (the standard ARMCI notify contract);
+    on ack-mode subsystems we fence first to get the same guarantee.
+    """
+    if armci.fence_mode == "ack":
+        yield from armci.fence(peer)
+    cell = _notify_cell(armci, peer, armci.rank)
+    current = armci._notify_sent.get(peer, 0) + 1
+    armci._notify_sent[peer] = current
+    yield from armci.put(GlobalAddress(peer, cell), [current])
+
+
+def notify_wait(armci: "Armci", peer: int, count: int = 1):
+    """Sub-generator: block until ``peer`` has notified ``count`` times
+    (cumulative over the process lifetime)."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    cell = _notify_cell(armci, armci.rank, peer)
+    region = armci.region
+    yield from region.wait_until(
+        cell, lambda v: v >= count, poll_detect_us=armci.params.poll_detect_us
+    )

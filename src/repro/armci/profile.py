@@ -1,0 +1,127 @@
+"""Per-operation latency profiling for the ARMCI client.
+
+ARMCI ships with a profiling build (``ARMCI_PROFILE``) that histograms
+every operation's latency; this module is the equivalent for the
+simulation.  Enable per-process with :func:`install`; every public
+operation then records its virtual duration, and :class:`OpProfile`
+renders the summary table (count / mean / p50 / p95 / max per op type).
+
+The profiler wraps the public sub-generator methods, so it composes with
+everything else (locks, GA, experiments) without touching their code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["OpProfile", "install", "PROFILED_OPS"]
+
+#: Public Armci sub-generator methods wrapped by the profiler.
+PROFILED_OPS = (
+    "put",
+    "put_segments",
+    "get",
+    "get_segments",
+    "acc",
+    "rmw",
+    "fence",
+    "allfence",
+    "barrier",
+    "load",
+    "store",
+    "load_pair",
+    "store_pair",
+    "notify",
+    "notify_wait",
+)
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    idx = min(int(q * (len(ordered) - 1) + 0.5), len(ordered) - 1)
+    return ordered[idx]
+
+
+@dataclass
+class OpProfile:
+    """Collected latency samples per operation type (one process)."""
+
+    rank: int
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, op: str, duration_us: float) -> None:
+        self.samples.setdefault(op, []).append(duration_us)
+
+    def count(self, op: str) -> int:
+        return len(self.samples.get(op, []))
+
+    def mean(self, op: str) -> float:
+        values = self.samples.get(op, [])
+        return sum(values) / len(values) if values else float("nan")
+
+    def p50(self, op: str) -> float:
+        return _percentile(self.samples.get(op, []), 0.50)
+
+    def p95(self, op: str) -> float:
+        return _percentile(self.samples.get(op, []), 0.95)
+
+    def max(self, op: str) -> float:
+        values = self.samples.get(op, [])
+        return max(values) if values else float("nan")
+
+    def merge(self, other: "OpProfile") -> "OpProfile":
+        """Pool another process's samples into this profile (for reports)."""
+        for op, values in other.samples.items():
+            self.samples.setdefault(op, []).extend(values)
+        return self
+
+    def render(self) -> str:
+        from ..experiments.common import format_table
+
+        rows = [["op", "count", "mean (us)", "p50", "p95", "max"]]
+        for op in sorted(self.samples):
+            rows.append(
+                [
+                    op,
+                    str(self.count(op)),
+                    f"{self.mean(op):.2f}",
+                    f"{self.p50(op):.2f}",
+                    f"{self.p95(op):.2f}",
+                    f"{self.max(op):.2f}",
+                ]
+            )
+        return f"== ARMCI op profile (rank {self.rank}) ==\n" + format_table(rows)
+
+
+def install(armci: Any) -> OpProfile:
+    """Wrap ``armci``'s public operations with latency recording.
+
+    Returns the :class:`OpProfile` receiving the samples.  Idempotent per
+    client: installing twice returns the existing profile.
+    """
+    existing = getattr(armci, "_op_profile", None)
+    if existing is not None:
+        return existing
+    profile = OpProfile(rank=armci.rank)
+    armci._op_profile = profile
+    env = armci.env
+
+    def wrap(name: str):
+        original = getattr(armci, name)
+
+        def profiled(*args: Any, **kwargs: Any):
+            start = env.now
+            result = yield from original(*args, **kwargs)
+            profile.record(name, env.now - start)
+            return result
+
+        profiled.__name__ = f"profiled_{name}"
+        profiled.__doc__ = original.__doc__
+        setattr(armci, name, profiled)
+
+    for name in PROFILED_OPS:
+        wrap(name)
+    return profile

@@ -1,0 +1,100 @@
+"""Strided (multi-dimensional) ARMCI transfers.
+
+The paper's §2 motivation: "In scientific computing, applications require
+transfer of non-contiguous data.  With remote copy APIs which support only
+contiguous data transfer, it is necessary to transfer non-contiguous data
+using multiple communication operations.  ARMCI, however, is optimized for
+non-contiguous data transfer."
+
+These helpers implement ``ARMCI_PutS``/``ARMCI_GetS``-style strided
+operations: a hyper-rectangular patch described by a base address, a
+per-level stride, and per-level counts, moved with a *single* message (one
+server visit) regardless of how many contiguous runs it decomposes into.
+The Global Arrays layer's section transfers are the 2-D special case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TYPE_CHECKING
+
+from ..runtime.memory import GlobalAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Armci
+
+__all__ = ["stride_runs", "put_strided", "get_strided"]
+
+
+def stride_runs(
+    base_addr: int,
+    strides: Sequence[int],
+    counts: Sequence[int],
+) -> List[Tuple[int, int]]:
+    """Decompose a strided patch into contiguous ``(addr, run_length)`` runs.
+
+    ``counts[0]`` is the length of the innermost contiguous run (in cells);
+    ``counts[k]`` (k >= 1) is the number of blocks at level k, and
+    ``strides[k-1]`` is the cell distance between consecutive level-k
+    blocks.  This mirrors ARMCI's stride_levels convention:
+    ``len(strides) == len(counts) - 1``.
+    """
+    if not counts:
+        raise ValueError("counts must be non-empty")
+    if len(strides) != len(counts) - 1:
+        raise ValueError(
+            f"need len(strides) == len(counts) - 1, got {len(strides)} and "
+            f"{len(counts)}"
+        )
+    if any(c < 1 for c in counts):
+        raise ValueError(f"counts must be positive, got {counts}")
+    if any(s < 1 for s in strides):
+        raise ValueError(f"strides must be positive, got {strides}")
+    runs = [(base_addr, counts[0])]
+    for level in range(1, len(counts)):
+        stride = strides[level - 1]
+        runs = [
+            (addr + block * stride, length)
+            for block in range(counts[level])
+            for addr, length in runs
+        ]
+    runs.sort()
+    return runs
+
+
+def put_strided(
+    armci: "Armci",
+    dst_rank: int,
+    base_addr: int,
+    strides: Sequence[int],
+    counts: Sequence[int],
+    values: Sequence,
+):
+    """Sub-generator: strided put (``ARMCI_PutS``); one message per call.
+
+    ``values`` supplies the cells in run order (innermost dimension
+    fastest), exactly ``prod(counts)`` of them.
+    """
+    runs = stride_runs(base_addr, strides, counts)
+    total = sum(length for _addr, length in runs)
+    values = list(values)
+    if len(values) != total:
+        raise ValueError(f"need {total} values, got {len(values)}")
+    segments = []
+    pos = 0
+    for addr, length in runs:
+        segments.append((addr, values[pos : pos + length]))
+        pos += length
+    yield from armci.put_segments(dst_rank, segments)
+
+
+def get_strided(
+    armci: "Armci",
+    src_rank: int,
+    base_addr: int,
+    strides: Sequence[int],
+    counts: Sequence[int],
+):
+    """Sub-generator: strided get (``ARMCI_GetS``); returns cells in run order."""
+    runs = stride_runs(base_addr, strides, counts)
+    values = yield from armci.get_segments(src_rank, runs)
+    return values

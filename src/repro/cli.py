@@ -1,0 +1,211 @@
+"""Command-line entry point: regenerate any of the paper's figures.
+
+Usage (installed as ``armci-repro``, or ``python -m repro``)::
+
+    armci-repro fig7                # GA_Sync time + factor (Figure 7)
+    armci-repro fig8                # lock request+release (Figure 8)
+    armci-repro fig9                # lock acquire (Figure 9)
+    armci-repro fig10               # lock release (Figure 10)
+    armci-repro locks               # Figures 8-10 from one run
+    armci-repro ablations           # all five ablation studies
+    armci-repro all                 # everything above
+    armci-repro fig7 --iterations 100 --network gige
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    Fig7Config,
+    LockBenchConfig,
+    run_fig7,
+    run_lock_series,
+)
+from .experiments.ablations import (
+    render_release_opt,
+    run_crossover,
+    run_fence_modes,
+    run_release_opt,
+    run_smp_handoff,
+    run_wake_cost,
+)
+from .experiments.lockbench import comparison_from_series
+from .net.params import _preset
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="armci-repro",
+        description=(
+            "Reproduce the figures of 'Optimizing Synchronization Operations "
+            "for Remote Memory Communication Systems' (IPPS 2003) on a "
+            "simulated Myrinet cluster."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["fig7", "fig8", "fig9", "fig10", "locks", "ablations", "app",
+                 "microbench", "fairness", "validate", "all"],
+        help="which experiment to regenerate",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="timed iterations per configuration (default: fig7 100, locks 400)",
+    )
+    parser.add_argument(
+        "--network",
+        default="myrinet2000",
+        help="network preset: myrinet2000 (default), gige, quadrics",
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        nargs="+",
+        default=None,
+        help="process counts to sweep (default: paper's)",
+    )
+    parser.add_argument(
+        "--ppn",
+        type=int,
+        default=1,
+        help="processes per SMP node (default 1, as in the paper's runs)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write tidy CSV series for plotting into DIR",
+    )
+    return parser
+
+
+def _fig7(args) -> None:
+    from .experiments.report import comparison_to_csv, write_csv
+
+    cfg = Fig7Config(
+        nprocs_list=tuple(args.procs) if args.procs else Fig7Config.nprocs_list,
+        iterations=args.iterations or 100,
+        procs_per_node=args.ppn,
+        params=_preset(args.network),
+    )
+    comparison = run_fig7(cfg)
+    print(comparison.render())
+    if args.csv:
+        path = write_csv(comparison_to_csv(comparison), args.csv, "fig7_ga_sync")
+        print(f"csv written: {path}")
+
+
+def _lock_cfg(args) -> LockBenchConfig:
+    return LockBenchConfig(
+        nprocs_list=tuple(args.procs) if args.procs else LockBenchConfig.nprocs_list,
+        iterations=args.iterations or 400,
+        procs_per_node=args.ppn,
+        params=_preset(args.network),
+    )
+
+
+def _locks(args, which: Optional[str] = None) -> None:
+    from .experiments.report import lock_series_to_csv, write_csv
+
+    series = run_lock_series(_lock_cfg(args))
+    figs = {
+        "fig8": ("roundtrip", "Figure 8: time to request and release a lock"),
+        "fig9": ("acquire", "Figure 9: time to request and acquire a lock"),
+        "fig10": ("release", "Figure 10: time to release a lock"),
+    }
+    selected = [which] if which else list(figs)
+    for key in selected:
+        metric, title = figs[key]
+        print(comparison_from_series(series, metric, title).render())
+        print()
+    if args.csv:
+        path = write_csv(lock_series_to_csv(series), args.csv, "figs8_9_10_locks")
+        print(f"csv written: {path}")
+
+
+def _ablations(args) -> None:
+    from .experiments.ablations import render_lock_algorithms, run_lock_algorithms
+
+    print(run_crossover(params=_preset(args.network)).render())
+    print()
+    print(run_fence_modes(params=_preset(args.network)).render())
+    print()
+    print(run_smp_handoff(params=_preset(args.network)).render())
+    print()
+    print(run_wake_cost().render())
+    print()
+    print(render_release_opt(run_release_opt()))
+    print()
+    print(render_lock_algorithms(run_lock_algorithms()))
+
+
+def _microbench(args) -> None:
+    from .experiments.microbench import run_microbench
+
+    print(run_microbench(params=_preset(args.network)).render())
+
+
+def _fairness(args) -> None:
+    from .experiments.ablations import render_lock_fairness, run_lock_fairness
+
+    data = run_lock_fairness(
+        nprocs=(args.procs[0] if args.procs else 8),
+        iterations=args.iterations or 200,
+        params=_preset(args.network),
+    )
+    print(render_lock_fairness(data))
+
+
+def _app(args) -> None:
+    from .experiments.app_scaling import AppScalingConfig, run_app_scaling
+
+    cfg = AppScalingConfig(
+        nprocs_list=tuple(args.procs) if args.procs else AppScalingConfig.nprocs_list,
+        iterations=args.iterations or 10,
+        procs_per_node=args.ppn,
+        params=_preset(args.network),
+    )
+    print(run_app_scaling(cfg).render())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "fig7":
+        _fig7(args)
+    elif args.experiment in ("fig8", "fig9", "fig10"):
+        _locks(args, args.experiment)
+    elif args.experiment == "locks":
+        _locks(args)
+    elif args.experiment == "ablations":
+        _ablations(args)
+    elif args.experiment == "app":
+        _app(args)
+    elif args.experiment == "microbench":
+        _microbench(args)
+    elif args.experiment == "fairness":
+        _fairness(args)
+    elif args.experiment == "validate":
+        from .experiments.validate import run_validation
+
+        checks, report = run_validation(quick=True)
+        print(report)
+        return 0 if all(c.passed for c in checks) else 1
+    elif args.experiment == "all":
+        _fig7(args)
+        print()
+        _locks(args)
+        _ablations(args)
+        print()
+        _app(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

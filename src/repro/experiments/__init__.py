@@ -1,0 +1,22 @@
+"""Experiment harness: one module per paper figure, plus ablations."""
+
+from .common import Comparison, format_table
+from .fig7_sync import Fig7Config, run_fig7
+from .fig8_lock_total import run_fig8
+from .fig9_lock_acquire import run_fig9
+from .fig10_lock_release import run_fig10
+from .lockbench import LockBenchConfig, LockPoint, run_lock_point, run_lock_series
+
+__all__ = [
+    "Comparison",
+    "Fig7Config",
+    "LockBenchConfig",
+    "LockPoint",
+    "format_table",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_lock_point",
+    "run_lock_series",
+]

@@ -1,0 +1,30 @@
+"""Figure 10: time to release the lock.
+
+Paper's observation: the new implementation's release is *slower* — an
+uncontended release performs a blocking compare&swap (a round trip to the
+lock's home server) where the original merely initiates an unlock message.
+As contention grows, the chance of an empty queue shrinks, so the new
+implementation's average release time falls toward the cheap handoff path,
+while the original stays flat (it always just sends one message).
+"""
+
+from __future__ import annotations
+
+from .common import Comparison
+from .lockbench import LockBenchConfig, comparison_from_series, run_lock_series
+
+__all__ = ["run_fig10"]
+
+
+def run_fig10(cfg: LockBenchConfig = LockBenchConfig()) -> Comparison:
+    series = run_lock_series(cfg)
+    comparison = comparison_from_series(
+        series,
+        metric="release",
+        title="Figure 10: time to release a lock (current vs new)",
+    )
+    comparison.notes.append(
+        "here the *current* implementation is expected to be cheaper "
+        "(factor < 1): the paper reports the same regression"
+    )
+    return comparison

@@ -1,0 +1,30 @@
+"""Figure 8: average time to request and release the lock (+ factor).
+
+Paper's observation: for two or more competing processes the new (MCS)
+implementation wins because passing the lock costs one message instead of
+two; for a single process the new implementation is *worse*, because every
+release performs a blocking compare&swap round trip where the original just
+fires an unlock message.  Peak factor ~1.25 at 8 nodes, dipping slightly at
+16 while the absolute gap keeps growing.
+"""
+
+from __future__ import annotations
+
+from .common import Comparison
+from .lockbench import LockBenchConfig, comparison_from_series, run_lock_series
+
+__all__ = ["run_fig8"]
+
+
+def run_fig8(cfg: LockBenchConfig = LockBenchConfig()) -> Comparison:
+    series = run_lock_series(cfg)
+    comparison = comparison_from_series(
+        series,
+        metric="roundtrip",
+        title="Figure 8: time to request and release a lock (current vs new)",
+    )
+    comparison.notes.append(
+        f"{cfg.iterations} iterations/process; nprocs=1 averages the "
+        "local-lock and remote-lock cases (as in the paper)"
+    )
+    return comparison

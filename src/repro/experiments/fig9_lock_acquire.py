@@ -1,0 +1,22 @@
+"""Figure 9: time to request and acquire the lock.
+
+Paper's observation: the new implementation always outperforms the current
+one here, because the lock is passed to the next waiter with one message
+(or zero intra-node) instead of two server-mediated messages.
+"""
+
+from __future__ import annotations
+
+from .common import Comparison
+from .lockbench import LockBenchConfig, comparison_from_series, run_lock_series
+
+__all__ = ["run_fig9"]
+
+
+def run_fig9(cfg: LockBenchConfig = LockBenchConfig()) -> Comparison:
+    series = run_lock_series(cfg)
+    return comparison_from_series(
+        series,
+        metric="acquire",
+        title="Figure 9: time to request and acquire a lock (current vs new)",
+    )

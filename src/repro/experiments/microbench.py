@@ -1,0 +1,180 @@
+"""Substrate microbenchmarks: the calibration table behind the figures.
+
+Papers of this era validate their platform with microbenchmarks before the
+headline experiments; this module provides the same for the simulator so
+the cost model backing Figures 7-10 is inspectable:
+
+* one-sided **put/get latency** vs message size (local vs remote);
+* **atomic rmw** round-trip time (the ops the locks are built from);
+* **fence** round trip and **barrier/allreduce** latency vs process count;
+* **server occupancy**: requests a single server can absorb per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..mp import collectives
+from ..net.params import NetworkParams
+from ..runtime.cluster import ClusterRuntime
+from ..runtime.memory import GlobalAddress
+from .common import default_params, format_table
+
+__all__ = ["MicrobenchResult", "run_microbench"]
+
+
+@dataclass
+class MicrobenchResult:
+    params: NetworkParams
+    #: size_bytes -> (put_us, get_us) for remote transfers.
+    transfer: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    local_put_us: float = 0.0
+    local_get_us: float = 0.0
+    rmw_remote_us: float = 0.0
+    rmw_local_us: float = 0.0
+    fence_rt_us: float = 0.0
+    #: nprocs -> (barrier_us, allreduce_us)
+    collective: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    server_req_per_ms: float = 0.0
+
+    def render(self) -> str:
+        parts = ["== Substrate microbenchmarks (simulated) =="]
+        rows = [["size (B)", "remote put (us)", "remote get RT (us)"]]
+        for size in sorted(self.transfer):
+            put_us, get_us = self.transfer[size]
+            rows.append([str(size), f"{put_us:.2f}", f"{get_us:.2f}"])
+        parts.append(format_table(rows))
+        parts.append(
+            f"local put {self.local_put_us:.2f} us | local get "
+            f"{self.local_get_us:.2f} us | rmw local {self.rmw_local_us:.2f} us "
+            f"| rmw remote RT {self.rmw_remote_us:.2f} us | fence RT "
+            f"{self.fence_rt_us:.2f} us"
+        )
+        rows = [["procs", "barrier (us)", "allreduce[N] (us)"]]
+        for n in sorted(self.collective):
+            barrier_us, allreduce_us = self.collective[n]
+            rows.append([str(n), f"{barrier_us:.2f}", f"{allreduce_us:.2f}"])
+        parts.append(format_table(rows))
+        parts.append(
+            f"single-server throughput: {self.server_req_per_ms:.1f} "
+            "small requests / ms"
+        )
+        return "\n".join(parts)
+
+
+def _transfer_trial(ctx, cells: int, repeats: int):
+    base = ctx.region.alloc_named("micro", max(cells, 1), initial=0)
+    if ctx.rank != 0:
+        return None
+    put_sw = ctx.stopwatch("put")
+    get_sw = ctx.stopwatch("get")
+    payload = [1.0] * cells
+    for _ in range(repeats):
+        put_sw.start()
+        yield from ctx.armci.put(GlobalAddress(1, base), payload)
+        put_sw.stop()
+        yield from ctx.armci.fence(1)  # drain so puts don't queue up
+        get_sw.start()
+        yield from ctx.armci.get(GlobalAddress(1, base), cells)
+        get_sw.stop()
+    return put_sw.mean(), get_sw.mean()
+
+
+def _local_trial(ctx, cells: int, repeats: int):
+    base = ctx.region.alloc_named("micro_local", cells, initial=0)
+    put_sw = ctx.stopwatch("lput")
+    get_sw = ctx.stopwatch("lget")
+    rmw_sw = ctx.stopwatch("lrmw")
+    payload = [1.0] * cells
+    ga = GlobalAddress(ctx.rank, base)
+    for _ in range(repeats):
+        put_sw.start()
+        yield from ctx.armci.put(ga, payload)
+        put_sw.stop()
+        get_sw.start()
+        yield from ctx.armci.get(ga, cells)
+        get_sw.stop()
+        rmw_sw.start()
+        yield from ctx.armci.rmw("fetch_add", ga, 1)
+        rmw_sw.stop()
+    return put_sw.mean(), get_sw.mean(), rmw_sw.mean()
+
+
+def _rmw_fence_trial(ctx, repeats: int):
+    base = ctx.region.alloc_named("micro_rmw", 2, initial=0)
+    if ctx.rank != 0:
+        return None
+    rmw_sw = ctx.stopwatch("rmw")
+    fence_sw = ctx.stopwatch("fence")
+    for _ in range(repeats):
+        rmw_sw.start()
+        yield from ctx.armci.rmw("fetch_add", GlobalAddress(1, base), 1)
+        rmw_sw.stop()
+        yield from ctx.armci.put(GlobalAddress(1, base), [0.0])
+        fence_sw.start()
+        yield from ctx.armci.fence(1)
+        fence_sw.stop()
+    return rmw_sw.mean(), fence_sw.mean()
+
+
+def _collective_trial(ctx, repeats: int):
+    barrier_sw = ctx.stopwatch("barrier")
+    allreduce_sw = ctx.stopwatch("allreduce")
+    vec = [float(ctx.rank)] * ctx.nprocs
+    for _ in range(repeats):
+        barrier_sw.start()
+        yield from collectives.barrier(ctx.comm)
+        barrier_sw.stop()
+        allreduce_sw.start()
+        yield from collectives.allreduce_sum(ctx.comm, vec)
+        allreduce_sw.stop()
+    return barrier_sw.mean(), allreduce_sw.mean()
+
+
+def _server_throughput_trial(ctx, repeats: int):
+    """Saturate rank 1's server with back-to-back tiny puts from rank 0."""
+    base = ctx.region.alloc_named("micro_tput", 1, initial=0)
+    if ctx.rank != 0:
+        return None
+    t0 = ctx.now
+    for _ in range(repeats):
+        yield from ctx.armci.put(GlobalAddress(1, base), [1.0])
+    yield from ctx.armci.fence(1)
+    elapsed_ms = (ctx.now - t0) / 1000.0
+    return repeats / elapsed_ms
+
+
+def run_microbench(
+    sizes_bytes: Sequence[int] = (8, 64, 512, 4096, 32768),
+    nprocs_list: Sequence[int] = (2, 4, 8, 16),
+    repeats: int = 50,
+    params: Optional[NetworkParams] = None,
+) -> MicrobenchResult:
+    params = default_params(params)
+    result = MicrobenchResult(params=params)
+
+    for size in sizes_bytes:
+        cells = max(size // 8, 1)
+        runtime = ClusterRuntime(2, params=params)
+        out = runtime.run_spmd(_transfer_trial, cells, repeats)
+        result.transfer[size] = out[0]
+
+    runtime = ClusterRuntime(1, params=params)
+    local = runtime.run_spmd(_local_trial, 1, repeats)[0]
+    result.local_put_us, result.local_get_us, result.rmw_local_us = local
+
+    runtime = ClusterRuntime(2, params=params)
+    rmw_fence = runtime.run_spmd(_rmw_fence_trial, repeats)[0]
+    result.rmw_remote_us, result.fence_rt_us = rmw_fence
+
+    for nprocs in nprocs_list:
+        runtime = ClusterRuntime(nprocs, params=params)
+        per_rank = runtime.run_spmd(_collective_trial, repeats)
+        barrier_us = max(r[0] for r in per_rank)
+        allreduce_us = max(r[1] for r in per_rank)
+        result.collective[nprocs] = (barrier_us, allreduce_us)
+
+    runtime = ClusterRuntime(2, params=params)
+    result.server_req_per_ms = runtime.run_spmd(_server_throughput_trial, 400)[0]
+    return result

@@ -1,0 +1,64 @@
+"""Result export: CSV series for plotting the paper's figures.
+
+Each figure's data can be dumped as tidy CSV (one row per
+(implementation, nprocs) point) so the curves of Figures 7-10 can be
+plotted with any tool.  The CLI exposes this via ``--csv DIR``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Dict, Optional, Union
+
+from .common import Comparison
+from .lockbench import LockPoint
+
+__all__ = ["comparison_to_csv", "lock_series_to_csv", "write_csv"]
+
+
+def comparison_to_csv(comparison: Comparison) -> str:
+    """Tidy CSV for a two-series comparison: variant,nprocs,us + factor rows."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["variant", "nprocs", "microseconds"])
+    for variant, series in comparison.values.items():
+        for nprocs in sorted(series):
+            writer.writerow([variant, nprocs, f"{series[nprocs]:.3f}"])
+    for nprocs in comparison.nprocs_list():
+        writer.writerow(["factor", nprocs, f"{comparison.factor(nprocs):.4f}"])
+    return buffer.getvalue()
+
+
+def lock_series_to_csv(series: Dict[str, Dict[int, LockPoint]]) -> str:
+    """Tidy CSV for a lock benchmark: kind,nprocs,acquire,release,roundtrip."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["kind", "nprocs", "acquire_us", "release_us", "roundtrip_us"]
+    )
+    for kind, points in series.items():
+        for nprocs in sorted(points):
+            point = points[nprocs]
+            writer.writerow(
+                [
+                    kind,
+                    nprocs,
+                    f"{point.acquire_us:.3f}",
+                    f"{point.release_us:.3f}",
+                    f"{point.roundtrip_us:.3f}",
+                ]
+            )
+    return buffer.getvalue()
+
+
+def write_csv(
+    content: str, directory: Union[str, pathlib.Path], name: str
+) -> pathlib.Path:
+    """Write CSV ``content`` to ``directory/name.csv``; returns the path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.csv"
+    path.write_text(content)
+    return path

@@ -1,0 +1,105 @@
+"""Generic parameter sweeps over the cost model.
+
+The calibration procedure in docs/model.md is a grid search over a few
+host-cost parameters; this module makes that search a reusable artifact:
+
+* :func:`sweep` — evaluate a metric function over a parameter grid;
+* :func:`best` — pick the grid point minimizing a loss;
+* :func:`calibration_loss` — the loss used to fit the Figure 7/8 targets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..net.params import NetworkParams, myrinet2000
+from .common import format_table
+
+__all__ = ["SweepResult", "sweep", "best", "calibration_loss"]
+
+Grid = Dict[str, Sequence[float]]
+Point = Dict[str, float]
+
+
+@dataclass
+class SweepResult:
+    """All evaluated grid points with their metric outputs."""
+
+    grid: Grid
+    #: One entry per grid point: (params-overrides, metrics dict).
+    points: List[Tuple[Point, Dict[str, float]]] = field(default_factory=list)
+
+    def render(self, metrics: Sequence[str] | None = None) -> str:
+        if not self.points:
+            return "(empty sweep)"
+        if metrics is None:
+            metrics = sorted(self.points[0][1])
+        param_names = sorted(self.grid)
+        rows = [list(param_names) + list(metrics)]
+        for overrides, outputs in self.points:
+            rows.append(
+                [f"{overrides[p]:g}" for p in param_names]
+                + [f"{outputs.get(m, float('nan')):.3f}" for m in metrics]
+            )
+        return format_table(rows)
+
+
+def sweep(
+    grid: Grid,
+    evaluate: Callable[[NetworkParams], Dict[str, float]],
+    base: NetworkParams | None = None,
+) -> SweepResult:
+    """Evaluate ``evaluate(params)`` at every point of the grid.
+
+    ``grid`` maps :class:`NetworkParams` field names to candidate values;
+    the cartesian product is explored in deterministic order.
+    """
+    if base is None:
+        base = myrinet2000()
+    result = SweepResult(grid=grid)
+    names = sorted(grid)
+    for combo in itertools.product(*(grid[name] for name in names)):
+        overrides: Point = dict(zip(names, combo))
+        params = base.with_(**overrides)
+        result.points.append((overrides, evaluate(params)))
+    return result
+
+
+def best(
+    result: SweepResult, loss: Callable[[Dict[str, float]], float]
+) -> Tuple[Point, Dict[str, float], float]:
+    """The grid point minimizing ``loss(metrics)``."""
+    if not result.points:
+        raise ValueError("cannot pick from an empty sweep")
+    scored = [
+        (loss(outputs), overrides, outputs)
+        for overrides, outputs in result.points
+    ]
+    scored.sort(key=lambda item: item[0])
+    loss_value, overrides, outputs = scored[0]
+    return overrides, outputs, loss_value
+
+
+def calibration_loss(
+    targets: Dict[str, float], weights: Dict[str, float] | None = None
+) -> Callable[[Dict[str, float]], float]:
+    """Relative-log loss against target metric values.
+
+    ``loss = sum_m w_m * log(measured_m / target_m)^2`` — symmetric in
+    over/under-shoot and scale-free across metrics.
+    """
+
+    def loss(outputs: Dict[str, float]) -> float:
+        total = 0.0
+        for metric, target in targets.items():
+            measured = outputs.get(metric)
+            if measured is None or measured <= 0 or target <= 0:
+                return float("inf")
+            w = (weights or {}).get(metric, 1.0)
+            total += w * math.log(measured / target) ** 2
+        return total
+
+    return loss

@@ -1,0 +1,167 @@
+"""Global Arrays: block-distributed 2-D arrays over ARMCI.
+
+A minimal Global-Arrays-style layer sufficient for the paper's evaluation
+workload and the examples: collective creation, one-sided section
+``put``/``get``/``acc`` decomposed into per-owner ARMCI vector transfers,
+and :meth:`GlobalArray.sync` — the ``GA_Sync()`` the paper modified, with
+selectable ``current`` (AllFence + message-passing barrier) and ``new``
+(combined ``ARMCI_Barrier``) implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..runtime.memory import GlobalAddress
+from .distribution import BlockDistribution, Section, default_pgrid
+
+__all__ = ["GlobalArray", "SYNC_MODES"]
+
+#: ``current``: original GA_Sync (linear AllFence, then MP barrier).
+#: ``new``: the paper's combined operation.  ``auto``: §3.1.2's suggestion.
+SYNC_MODES = ("current", "new", "auto")
+
+
+class GlobalArray:
+    """One rank's handle on a block-distributed 2-D array of doubles."""
+
+    def __init__(
+        self,
+        ctx,
+        name: str,
+        shape: Tuple[int, int],
+        pgrid: Optional[Tuple[int, int]] = None,
+    ):
+        if pgrid is None:
+            pgrid = default_pgrid(ctx.nprocs)
+        if pgrid[0] * pgrid[1] != ctx.nprocs:
+            raise ValueError(
+                f"process grid {pgrid} does not cover {ctx.nprocs} processes"
+            )
+        self.ctx = ctx
+        self.name = name
+        self.dist = BlockDistribution(shape, pgrid)
+        self.shape = self.dist.shape
+        # Collective-style creation: every rank allocates its own block in
+        # its region under a stable name (the moral ARMCI_Malloc).
+        my_block = self.dist.block(ctx.rank)
+        self.base_addr = ctx.region.alloc_named(
+            f"ga:{name}", max(my_block.cells, 1), initial=0.0
+        )
+        self._base_by_rank = {ctx.rank: self.base_addr}
+
+    def __repr__(self) -> str:
+        return f"<GlobalArray {self.name!r} {self.shape} pgrid={self.dist.pgrid}>"
+
+    def _base_of(self, rank: int) -> int:
+        """Base address of ``rank``'s block (same named allocation)."""
+        base = self._base_by_rank.get(rank)
+        if base is None:
+            blk = self.dist.block(rank)
+            base = self.ctx.regions[rank].alloc_named(
+                f"ga:{self.name}", max(blk.cells, 1), initial=0.0
+            )
+            self._base_by_rank[rank] = base
+        return base
+
+    # -- one-sided section transfers --------------------------------------------
+
+    def put(self, section: Section, data):
+        """Non-blocking one-sided write of ``data`` into ``section``.
+
+        ``data`` is array-like of shape ``(r1-r0, c1-c0)``.  One ARMCI
+        vector put per owning process.  Completion is observed via
+        :meth:`sync` (or an explicit fence).
+        """
+        r0, r1, c0, c1 = self.dist.check_section(section)
+        data = np.asarray(data, dtype=float)
+        expected = (r1 - r0, c1 - c0)
+        if data.shape != expected:
+            raise ValueError(f"data shape {data.shape} != section shape {expected}")
+        for rank, runs in self.dist.decompose(section).items():
+            base = self._base_of(rank)
+            segments = []
+            for addr, count, (i, _i1, j0, j1) in runs:
+                segments.append(
+                    (base + addr, data[i - r0, j0 - c0 : j1 - c0].tolist())
+                )
+            yield from self.ctx.armci.put_segments(rank, segments)
+
+    def get(self, section: Section):
+        """Blocking one-sided read of ``section``; returns a numpy array."""
+        r0, r1, c0, c1 = self.dist.check_section(section)
+        out = np.zeros((r1 - r0, c1 - c0), dtype=float)
+        for rank, runs in self.dist.decompose(section).items():
+            base = self._base_of(rank)
+            segments = [(base + addr, count) for addr, count, _sec in runs]
+            values = yield from self.ctx.armci.get_segments(rank, segments)
+            pos = 0
+            for _addr, count, (i, _i1, j0, j1) in runs:
+                out[i - r0, j0 - c0 : j1 - c0] = values[pos : pos + count]
+                pos += count
+        return out
+
+    def acc(self, section: Section, data, scale: float = 1.0):
+        """Non-blocking atomic accumulate of ``scale * data`` into ``section``."""
+        r0, r1, c0, c1 = self.dist.check_section(section)
+        data = np.asarray(data, dtype=float)
+        expected = (r1 - r0, c1 - c0)
+        if data.shape != expected:
+            raise ValueError(f"data shape {data.shape} != section shape {expected}")
+        for rank, runs in self.dist.decompose(section).items():
+            base = self._base_of(rank)
+            for addr, count, (i, _i1, j0, j1) in runs:
+                yield from self.ctx.armci.acc(
+                    GlobalAddress(rank, base + addr),
+                    data[i - r0, j0 - c0 : j1 - c0].tolist(),
+                    scale,
+                )
+
+    def read_inc(self, i: int, j: int, inc: int = 1):
+        """Atomic fetch-and-add on element ``(i, j)`` (GA_Read_inc).
+
+        The backbone of Global Arrays' dynamic load balancing (the NXTVAL
+        task counter): workers draw monotonically increasing task ids from
+        a shared element with one atomic op — no locks.  Returns the value
+        *before* the increment.
+        """
+        rank = self.dist.owner(i, j)
+        addr = self._base_of(rank) + self.dist.local_offset(rank, i, j)
+        old = yield from self.ctx.armci.rmw(
+            "fetch_add", GlobalAddress(rank, addr), inc
+        )
+        return old
+
+    # -- synchronization -----------------------------------------------------------
+
+    def sync(self, mode: str = "new"):
+        """GA_Sync(): complete all outstanding operations + barrier.
+
+        ``mode="current"`` is the original implementation (linear
+        ``ARMCI_AllFence`` followed by the message-passing barrier);
+        ``mode="new"`` is the paper's combined ``ARMCI_Barrier``;
+        ``mode="auto"`` picks per the §3.1.2 crossover heuristic.
+        """
+        from .sync import ga_sync  # local import: sync also usable standalone
+
+        yield from ga_sync(self.ctx, mode)
+
+    # -- local views -----------------------------------------------------------------
+
+    def my_block_section(self) -> Section:
+        blk = self.dist.block(self.ctx.rank)
+        return (blk.row0, blk.row1, blk.col0, blk.col1)
+
+    def local_block(self) -> np.ndarray:
+        """Copy of this rank's own block (direct memory read, no messages)."""
+        blk = self.dist.block(self.ctx.rank)
+        values = self.ctx.region.read_many(self.base_addr, blk.cells)
+        return np.asarray(values, dtype=float).reshape(blk.nrows, blk.ncols)
+
+    def to_numpy_via_gets(self):
+        """Gather the whole array with one-sided gets (tests/examples)."""
+        rows, cols = self.shape
+        result = yield from self.get((0, rows, 0, cols))
+        return result

@@ -1,0 +1,32 @@
+"""GA_Sync(): the operation the paper's Figure 7 measures.
+
+``GA_Sync`` guarantees that all outstanding one-sided operations in the
+system have completed and that all processes have reached the same point.
+
+* ``current`` — the original Global Arrays implementation:
+  ``ARMCI_AllFence()`` (every process serially confirms with every server)
+  followed by the message-passing barrier.
+* ``new`` — the paper's combined ``ARMCI_Barrier()`` (3-stage binary
+  exchange).
+* ``auto`` — the paper's §3.1.2 suggestion: choose per communication
+  pattern (linear when few servers were touched).
+"""
+
+from __future__ import annotations
+
+from ..mp import collectives
+
+__all__ = ["ga_sync"]
+
+
+def ga_sync(ctx, mode: str = "new"):
+    """Sub-generator implementing GA_Sync in the selected mode."""
+    if mode == "current":
+        yield from ctx.armci.allfence()
+        yield from collectives.barrier(ctx.comm)
+    elif mode == "new":
+        yield from ctx.armci.barrier(algorithm="exchange")
+    elif mode == "auto":
+        yield from ctx.armci.barrier(algorithm="auto")
+    else:
+        raise ValueError(f"unknown GA_Sync mode {mode!r}; use current/new/auto")

@@ -1,0 +1,130 @@
+"""Common lock interface and timing instrumentation.
+
+Every lock implementation exposes generator methods ``acquire()`` and
+``release()``; the base class wraps them with virtual-time stopwatches so
+the Figure 8/9/10 experiments can report *time to request and acquire* and
+*time to release* separately, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
+
+from ..sim.trace import SampleStats, Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.context import ProcessContext
+
+__all__ = ["BaseLock", "LockStats"]
+
+
+@dataclass
+class LockStats:
+    """Counters + timing for one lock handle (one process's view)."""
+
+    acquires: int = 0
+    releases: int = 0
+    #: Acquisitions satisfied without waiting (lock was free).
+    uncontended_acquires: int = 0
+    #: Releases that found a waiter to hand the lock to.
+    handoffs: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, key: str, by: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + by
+
+
+class BaseLock:
+    """Abstract distributed lock bound to one process's context.
+
+    Subclasses implement ``_acquire()`` / ``_release()`` as sub-generators.
+    The public wrappers charge the per-call library overhead and record
+    timing.  A handle must not be re-acquired before release (no recursive
+    locking, as in ARMCI).
+    """
+
+    #: Short algorithm tag used in reports ("hybrid", "mcs", ...).
+    kind: str = "base"
+
+    def __init__(self, ctx: "ProcessContext", home_rank: int, name: str = "lock"):
+        if not (0 <= home_rank < ctx.nprocs):
+            raise ValueError(f"home_rank {home_rank} out of range")
+        self.ctx = ctx
+        self.env = ctx.env
+        self.armci = ctx.armci
+        self.params = ctx.params
+        self.home_rank = home_rank
+        self.home_node = ctx.topology.node_of(home_rank)
+        self.name = name
+        self.stats = LockStats()
+        self.acquire_sw = Stopwatch(ctx.env, name=f"{name}.acquire")
+        self.release_sw = Stopwatch(ctx.env, name=f"{name}.release")
+        self.total_sw = Stopwatch(ctx.env, name=f"{name}.total")
+        self._held = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} home={self.home_rank} "
+            f"rank={self.ctx.rank} held={self._held}>"
+        )
+
+    @property
+    def held(self) -> bool:
+        """True while this process holds the lock."""
+        return self._held
+
+    @property
+    def is_home_local(self) -> bool:
+        """True if the lock's memory lives on this process's node."""
+        return self.home_node == self.ctx.node
+
+    # -- public API -----------------------------------------------------------
+
+    def acquire(self):
+        """Sub-generator: block until the lock is held."""
+        if self._held:
+            raise RuntimeError(f"{self!r}: recursive acquire")
+        if self.params.api_call_us > 0.0:
+            yield self.env.timeout(self.params.api_call_us)
+        self.acquire_sw.start()
+        self.total_sw.start()
+        yield from self._acquire()
+        self.acquire_sw.stop()
+        self._held = True
+        self.stats.acquires += 1
+
+    def release(self):
+        """Sub-generator: release the lock (must be held)."""
+        if not self._held:
+            raise RuntimeError(f"{self!r}: release without acquire")
+        if self.params.api_call_us > 0.0:
+            yield self.env.timeout(self.params.api_call_us)
+        self.release_sw.start()
+        self._held = False
+        yield from self._release()
+        self.release_sw.stop()
+        self.total_sw.stop()
+        self.stats.releases += 1
+
+    # -- timing accessors --------------------------------------------------------
+
+    def acquire_stats(self) -> SampleStats:
+        return self.acquire_sw.stats()
+
+    def release_stats(self) -> SampleStats:
+        return self.release_sw.stats()
+
+    def total_stats(self) -> SampleStats:
+        """Request+release round statistics (Figure 8's metric)."""
+        return self.total_sw.stats()
+
+    # -- to implement --------------------------------------------------------------
+
+    def _acquire(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+        yield  # make it a generator
+
+    def _release(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+        yield

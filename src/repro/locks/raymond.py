@@ -1,0 +1,116 @@
+"""Raymond's tree-based distributed mutual exclusion (paper reference [18]).
+
+K. Raymond, "A tree-based algorithm for distributed mutual exclusion",
+ACM TOCS 7(1), 1989.  One of the algorithms the paper's related work
+surveys before choosing the MCS software queuing lock.
+
+Processes form a static spanning tree; a single *privilege token* moves
+along tree edges.  Each node keeps:
+
+* ``holder`` — the neighbor in whose direction the token lies (or ``self``);
+* ``request_q`` — FIFO of neighbors (or ``self``) with outstanding requests;
+* ``asked`` — whether a request was already forwarded toward the token.
+
+Messages travel only between tree neighbors, so per-acquire message count
+is O(diameter) = O(log N) on the balanced binary tree used here, and the
+queue keeps it lower under contention (requests piggyback on the token's
+path).  Compared with the ARMCI locks, every hop is a two-sided message
+handled by the remote *user* process's progress engine rather than the
+node's server thread.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Union
+
+from .token_base import TokenLockBase
+
+__all__ = ["RaymondLock", "tree_neighbors", "initial_holder"]
+
+Self = "self"
+
+
+def tree_neighbors(rank: int, nprocs: int) -> List[int]:
+    """Neighbors of ``rank`` in the balanced binary heap tree over ranks."""
+    neighbors = []
+    if rank > 0:
+        neighbors.append((rank - 1) // 2)
+    for child in (2 * rank + 1, 2 * rank + 2):
+        if child < nprocs:
+            neighbors.append(child)
+    return neighbors
+
+
+def initial_holder(rank: int, home_rank: int, nprocs: int) -> Union[int, str]:
+    """First hop from ``rank`` toward ``home_rank`` in the heap tree.
+
+    The token starts at ``home_rank`` ("the lock located at one of the
+    processes"), so every other node's ``holder`` must point one step along
+    the unique tree path toward it.
+    """
+    if rank == home_rank:
+        return Self
+    # Walk home_rank's ancestor chain; if rank is an ancestor, the next hop
+    # is rank's child on that chain.  Otherwise the next hop is rank's
+    # parent.
+    node = home_rank
+    chain = [node]
+    while node > 0:
+        node = (node - 1) // 2
+        chain.append(node)
+    if rank in chain:
+        return chain[chain.index(rank) - 1]
+    return (rank - 1) // 2
+
+
+class RaymondLock(TokenLockBase):
+    """Raymond's algorithm, verbatim from the 1989 paper's four handlers."""
+
+    kind = "raymond"
+
+    def __init__(self, ctx, home_rank: int, name: str = "raymond"):
+        super().__init__(ctx, home_rank, name)
+        self.neighbors = tree_neighbors(ctx.rank, ctx.nprocs)
+        self.holder: Union[int, str] = initial_holder(
+            ctx.rank, home_rank, ctx.nprocs
+        )
+        self.using = False
+        self.asked = False
+        self.request_q: Deque[Union[int, str]] = deque()
+
+    # -- the four state-machine procedures --------------------------------------------
+
+    def _assign_privilege(self):
+        if self.holder == Self and not self.using and self.request_q:
+            self.holder = self.request_q.popleft()
+            self.asked = False
+            if self.holder == Self:
+                self.using = True
+                self._grant_local()
+            else:
+                self.stats.bump("token_passes")
+                yield from self._send(self.holder, "privilege")
+
+    def _make_request(self):
+        if self.holder != Self and self.request_q and not self.asked:
+            self.asked = True
+            yield from self._send(self.holder, "request")
+
+    # -- daemon --------------------------------------------------------------------------
+
+    def _daemon_loop(self):
+        while True:
+            msg = yield from self._recv()
+            if msg.kind == "local_request":
+                self.request_q.append(Self)
+            elif msg.kind == "request":
+                self.request_q.append(msg.src)
+            elif msg.kind == "privilege":
+                self.holder = Self
+            elif msg.kind == "local_release":
+                self.using = False
+            else:  # pragma: no cover - protocol bug
+                raise ValueError(f"raymond: unknown message {msg!r}")
+            yield from self._assign_privilege()
+            yield from self._make_request()

@@ -1,0 +1,61 @@
+"""Ticket lock on shared memory (the *local* half of the original hybrid).
+
+A lock is two variables at the home process, ``ticket`` and ``counter``,
+both initially zero (paper §3.2.1).  A requester atomically
+fetch-and-increments ``ticket`` and spins until ``counter`` equals its
+ticket number; release writes ``ticket_number + 1`` into ``counter``.
+
+Because it spins on a shared variable, this algorithm only works when every
+participant can map the lock's memory — i.e. all on the home node.  The
+constructor enforces that; the :class:`~repro.locks.hybrid.HybridLock`
+composes it with the server-based queue for remote requesters.
+"""
+
+from __future__ import annotations
+
+from .base import BaseLock
+
+__all__ = ["TicketLock"]
+
+
+class TicketLock(BaseLock):
+    """Pure shared-memory ticket lock (all requesters on the home node)."""
+
+    kind = "ticket"
+
+    def __init__(self, ctx, home_rank: int, name: str = "ticket"):
+        super().__init__(ctx, home_rank, name)
+        if not self.is_home_local:
+            raise ValueError(
+                f"ticket lock {name!r} homed on node {self.home_node} is not "
+                f"mappable from rank {ctx.rank} on node {ctx.node}; use "
+                "HybridLock or MCSLock for remote locks"
+            )
+        region = ctx.regions[home_rank]
+        #: [ticket, counter]
+        self.base_addr = region.alloc_named(f"ticket:{name}", 2, initial=0)
+        self._region = region
+        self._my_ticket = -1
+
+    def _acquire(self):
+        p = self.params
+        # Atomic fetch&increment on ticket.
+        yield self.env.timeout(p.shm_atomic_us)
+        ticket = self._region.read(self.base_addr)
+        self._region.write(self.base_addr, ticket + 1)
+        self._my_ticket = ticket
+        # Spin on counter.
+        yield self.env.timeout(p.shm_access_us)
+        counter_addr = self.base_addr + 1
+        if self._region.read(counter_addr) == ticket:
+            self.stats.uncontended_acquires += 1
+            return
+        yield from self._region.wait_until(
+            counter_addr, lambda v: v == ticket, poll_detect_us=p.poll_detect_us
+        )
+
+    def _release(self):
+        # Write ticket+1 into counter, passing the lock to the next waiter.
+        yield self.env.timeout(self.params.shm_access_us)
+        self._region.write(self.base_addr + 1, self._my_ticket + 1)
+        self.stats.handoffs += 1

@@ -1,0 +1,116 @@
+"""Infrastructure for token-based distributed mutex algorithms.
+
+The paper's related work (§3.2) lists several distributed mutual-exclusion
+algorithms it chose *not* to adopt — Raymond's tree algorithm [18] and the
+Naimi-Trehel log(N) algorithm [20] among them.  We implement both as
+baselines (see :mod:`repro.locks.raymond` and :mod:`repro.locks.naimi`) so
+the trade-off the authors made can be measured.
+
+Token algorithms differ structurally from the ARMCI locks: a process must
+*react* to protocol messages (requests, token transfers) even while its
+application code is busy.  Real implementations service these in the
+communication library's progress engine; here each lock handle spawns a
+daemon process that owns a private tag on the message-passing mailbox.
+The application side talks to its local daemon through the same mailbox
+(self-addressed messages over the intra-node path), which models the
+app-thread/progress-thread handoff queue.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Optional, TYPE_CHECKING
+
+from ..sim.core import Event
+from .base import BaseLock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.context import ProcessContext
+
+__all__ = ["TokenLockBase", "LockMessage"]
+
+_TAG_TOKEN_LOCK = 9 << 24
+
+
+@dataclass
+class LockMessage:
+    """Protocol message between lock daemons (or app -> own daemon)."""
+
+    kind: str  # "local_request" | "local_release" | algorithm-specific
+    src: int
+    payload: Any = None
+
+
+class TokenLockBase(BaseLock):
+    """Daemon lifecycle + messaging shared by Raymond and Naimi-Trehel."""
+
+    def __init__(self, ctx: "ProcessContext", home_rank: int, name: str):
+        super().__init__(ctx, home_rank, name)
+        self.comm = ctx.comm
+        # Stable per-lock tag shared across ranks (same name -> same tag).
+        self.tag = _TAG_TOKEN_LOCK + (zlib.crc32(name.encode()) % 65536)
+        #: The application-side event fired by the daemon on grant.
+        self._pending_grant: Optional[Event] = None
+        self._daemon = ctx.env.process(
+            self._daemon_loop(), name=f"{name}.daemon[{ctx.rank}]"
+        )
+
+    # -- messaging ---------------------------------------------------------------
+
+    def _send(self, dst: int, kind: str, payload: Any = None):
+        """Send a protocol message to ``dst``'s daemon for this lock."""
+        self.stats.bump(f"sent_{kind}")
+        yield from self.comm.send(
+            dst, LockMessage(kind, self.ctx.rank, payload), tag=self.tag
+        )
+
+    def _recv(self):
+        """Daemon side: next protocol message for this lock.
+
+        The daemon models a *progress engine* inside the user process.  Like
+        the ARMCI server thread, it sleeps when idle; a message that finds
+        it blocked pays the same wake-up cost a sleeping server pays
+        (otherwise the two-sided token algorithms would get a free,
+        infinitely responsive progress thread the 2003 systems did not
+        have).
+        """
+        # Peek without consuming: is a matching message already queued?
+        was_idle = not any(
+            self._is_mine(envelope) for envelope in self.comm.mailbox.items
+        )
+        msg = yield from self.comm.recv(tag=self.tag)
+        if was_idle and self.params.server_wake_us > 0.0:
+            self.stats.bump("daemon_wakes")
+            yield self.env.timeout(self.params.server_wake_us)
+        return msg.payload
+
+    def _is_mine(self, envelope) -> bool:
+        payload = getattr(envelope, "payload", None)
+        return payload is not None and getattr(payload, "tag", None) == self.tag
+
+    # -- app <-> daemon handshake ---------------------------------------------------
+
+    def _acquire(self):
+        grant = Event(self.env)
+        self._pending_grant = grant
+        yield from self._send(self.ctx.rank, "local_request")
+        yield grant
+
+    def _release(self):
+        # Fire-and-forget, like the hybrid's unlock: the daemon performs the
+        # token passing asynchronously.
+        yield from self._send(self.ctx.rank, "local_release")
+
+    def _grant_local(self) -> None:
+        """Daemon side: wake the blocked application acquire."""
+        if self._pending_grant is None:  # pragma: no cover - protocol bug
+            raise RuntimeError(f"{self!r}: grant with no pending local request")
+        grant, self._pending_grant = self._pending_grant, None
+        grant.succeed()
+
+    # -- to implement ------------------------------------------------------------------
+
+    def _daemon_loop(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+        yield

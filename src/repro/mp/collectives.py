@@ -1,0 +1,292 @@
+"""Collective operations built from point-to-point messages.
+
+The paper's new ``ARMCI_Barrier()`` leans on two collectives:
+
+* a **binary-exchange elementwise sum** of the ``op_init[]`` arrays
+  (Figure 2 of the paper — a recursive-doubling allreduce); and
+* a **binary-exchange barrier** (the ``MPI_Barrier`` pattern of §3.1.2),
+  realized here as a dissemination barrier, which has the identical
+  ``ceil(log2 N)`` one-latency phases and also handles non-powers-of-two.
+
+All collectives are sub-generators over a :class:`~repro.mp.comm.Comm` and
+assume SPMD call order (every rank invokes the same collectives in the same
+order); a per-communicator sequence number keeps concurrent invocations'
+messages from cross-matching.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from .comm import Comm
+
+__all__ = [
+    "barrier",
+    "allreduce_sum",
+    "allreduce_sum_fig2",
+    "bcast",
+    "gather",
+    "allgather",
+    "alltoall",
+]
+
+_TAG_BARRIER = 1 << 24
+_TAG_ALLREDUCE = 2 << 24
+_TAG_BCAST = 3 << 24
+_TAG_GATHER = 4 << 24
+_TAG_ALLGATHER = 5 << 24
+_TAG_ALLTOALL = 6 << 24
+_ROUND_STRIDE = 64
+
+
+def _next_seq(comm: Comm) -> int:
+    seq = getattr(comm, "_coll_seq", 0)
+    comm._coll_seq = seq + 1
+    return seq
+
+
+def _tag(base: int, seq: int, round_no: int) -> int:
+    return base + (seq % 4096) * _ROUND_STRIDE + round_no
+
+
+def barrier(comm: Comm):
+    """Dissemination barrier: ceil(log2 N) overlapped sendrecv phases.
+
+    Equivalent in cost to the paper's binary-exchange ``MPI_Barrier``:
+    each phase is one overlapped exchange, so the communication time is
+    ``log2(N)`` one-way latencies.
+    """
+    n = comm.nprocs
+    if n == 1:
+        return
+    seq = _next_seq(comm)
+    rank = comm.rank
+    distance = 1
+    round_no = 0
+    while distance < n:
+        dst = (rank + distance) % n
+        src = (rank - distance) % n
+        tag = _tag(_TAG_BARRIER, seq, round_no)
+        yield from comm.sendrecv(dst, None, source=src, tag=tag, payload_bytes=0)
+        distance *= 2
+        round_no += 1
+
+
+def allreduce_sum(comm: Comm, values: Sequence[Any]) -> Any:
+    """Elementwise-sum allreduce of a vector (paper Figure 2).
+
+    For powers of two this is exactly the paper's binary exchange: in phase
+    ``x`` every process exchanges its partial vector with ``rank XOR x`` and
+    adds.  Non-powers-of-two use the standard fold: the ``rem = N - 2**k``
+    highest "extra" ranks first fold their vectors into a partner, the
+    power-of-two core runs binary exchange, then results are copied back
+    out to the extras (two extra latencies, preserving O(log N)).
+    Returns the fully reduced vector (a new list).
+    """
+    n = comm.nprocs
+    acc = list(values)
+    if n == 1:
+        return acc
+    seq = _next_seq(comm)
+    rank = comm.rank
+    nbytes = 8 * len(acc)
+
+    pof2 = 1
+    while pof2 * 2 <= n:
+        pof2 *= 2
+    rem = n - pof2
+
+    round_no = 0
+    core_rank: Optional[int] = rank  # rank within the power-of-two core
+    if rem:
+        # Extras are ranks [pof2, n); extra i folds into partner i - pof2.
+        if rank >= pof2:
+            partner = rank - pof2
+            yield from comm.send(
+                partner, acc, tag=_tag(_TAG_ALLREDUCE, seq, round_no), payload_bytes=nbytes
+            )
+            core_rank = None
+        elif rank < rem:
+            msg = yield from comm.recv(
+                source=rank + pof2, tag=_tag(_TAG_ALLREDUCE, seq, round_no)
+            )
+            acc = [a + b for a, b in zip(acc, msg.payload)]
+        round_no += 1
+
+    if core_rank is not None:
+        x = 1
+        while x < pof2:
+            partner = rank ^ x
+            msg = yield from comm.sendrecv(
+                partner,
+                acc,
+                tag=_tag(_TAG_ALLREDUCE, seq, round_no),
+                payload_bytes=nbytes,
+            )
+            acc = [a + b for a, b in zip(acc, msg.payload)]
+            x *= 2
+            round_no += 1
+    else:
+        # Extras skip the core's log2(pof2) rounds.
+        x = 1
+        while x < pof2:
+            x *= 2
+            round_no += 1
+
+    if rem:
+        if rank < rem:
+            yield from comm.send(
+                rank + pof2,
+                acc,
+                tag=_tag(_TAG_ALLREDUCE, seq, round_no),
+                payload_bytes=nbytes,
+            )
+        elif rank >= pof2:
+            msg = yield from comm.recv(
+                source=rank - pof2, tag=_tag(_TAG_ALLREDUCE, seq, round_no)
+            )
+            acc = list(msg.payload)
+    return acc
+
+
+def allreduce_sum_fig2(comm: Comm, values: Sequence[Any]) -> Any:
+    """The paper's Figure 2, line by line (power-of-two process counts).
+
+    ::
+
+        x = N / 2;
+        while (x > 0) {
+            send op_init[0..N-1] to process (my_id XOR x);
+            receive into temp[0..N-1] from process (my_id XOR x);
+            op_init[0..N-1] = op_init[0..N-1] + temp[0..N-1];
+            x = x / 2;
+        }
+
+    Provided for fidelity and property-testing; :func:`allreduce_sum` is
+    the general-N production version (same exchanges in the power-of-two
+    case, just walked in the opposite mask order).
+    """
+    n = comm.nprocs
+    if n & (n - 1):
+        raise ValueError(f"Figure 2 requires a power-of-two process count, got {n}")
+    acc = list(values)
+    if n == 1:
+        return acc
+    seq = _next_seq(comm)
+    nbytes = 8 * len(acc)
+    x = n // 2
+    round_no = 0
+    while x > 0:
+        partner = comm.rank ^ x
+        msg = yield from comm.sendrecv(
+            partner, acc, tag=_tag(_TAG_ALLREDUCE, seq, round_no),
+            payload_bytes=nbytes,
+        )
+        acc = [a + b for a, b in zip(acc, msg.payload)]
+        x //= 2
+        round_no += 1
+    return acc
+
+
+def bcast(comm: Comm, value: Any = None, root: int = 0) -> Any:
+    """Binomial-tree broadcast; returns the broadcast value on every rank.
+
+    Standard MPICH formulation in the space where ``root`` is virtual rank
+    0: each rank receives from the peer that clears its lowest set bit,
+    then relays down its subtree.
+    """
+    n = comm.nprocs
+    if not (0 <= root < n):
+        raise ValueError(f"root {root} out of range")
+    if n == 1:
+        return value
+    seq = _next_seq(comm)
+    tag = _tag(_TAG_BCAST, seq, 0)
+    vrank = (comm.rank - root) % n
+    result = value
+    # Receive phase: walk masks upward until this rank's lowest set bit.
+    mask = 1
+    while mask < n:
+        if vrank & mask:
+            src = ((vrank - mask) + root) % n
+            msg = yield from comm.recv(source=src, tag=tag)
+            result = msg.payload
+            break
+        mask *= 2
+    # Send phase: relay to vrank + m for each m below the receive mask.
+    mask //= 2
+    while mask >= 1:
+        peer = vrank + mask
+        if peer < n:
+            dst = (peer + root) % n
+            yield from comm.send(dst, result, tag=tag)
+        mask //= 2
+    return result
+
+
+def gather(comm: Comm, value: Any, root: int = 0) -> Optional[List[Any]]:
+    """Gather one value per rank to ``root`` (flat, N-1 messages).
+
+    Returns the list ordered by rank on the root, ``None`` elsewhere.
+    """
+    n = comm.nprocs
+    if not (0 <= root < n):
+        raise ValueError(f"root {root} out of range")
+    seq = _next_seq(comm)
+    tag = _tag(_TAG_GATHER, seq, 0)
+    if comm.rank == root:
+        result: List[Any] = [None] * n
+        result[root] = value
+        for _ in range(n - 1):
+            msg = yield from comm.recv(tag=tag)
+            result[msg.src] = msg.payload
+        return result
+    yield from comm.send(root, value, tag=tag)
+    return None
+
+
+def allgather(comm: Comm, value: Any) -> List[Any]:
+    """Gather one value per rank to every rank (ring algorithm)."""
+    n = comm.nprocs
+    result: List[Any] = [None] * n
+    result[comm.rank] = value
+    if n == 1:
+        return result
+    seq = _next_seq(comm)
+    right = (comm.rank + 1) % n
+    left = (comm.rank - 1) % n
+    carried = (comm.rank, value)
+    for step in range(n - 1):
+        tag = _tag(_TAG_ALLGATHER, seq, step)
+        msg = yield from comm.sendrecv(right, carried, source=left, tag=tag)
+        src_rank, src_value = msg.payload
+        result[src_rank] = src_value
+        carried = (src_rank, src_value)
+    return result
+
+
+def alltoall(comm: Comm, values: Sequence[Any]) -> List[Any]:
+    """Personalized all-to-all: ``values[i]`` goes to rank ``i``.
+
+    Pairwise-exchange algorithm (N-1 overlapped phases).  Returns the list
+    of received items indexed by source rank.
+    """
+    n = comm.nprocs
+    if len(values) != n:
+        raise ValueError(f"need {n} items, got {len(values)}")
+    result: List[Any] = [None] * n
+    result[comm.rank] = values[comm.rank]
+    if n == 1:
+        return result
+    seq = _next_seq(comm)
+    for step in range(1, n):
+        if n & (n - 1) == 0:
+            partner = comm.rank ^ step
+        else:
+            partner = (comm.rank + step) % n
+        recv_from = partner if n & (n - 1) == 0 else (comm.rank - step) % n
+        tag = _tag(_TAG_ALLTOALL, seq, step - 1)
+        yield from comm.send(partner, values[partner], tag=tag)
+        msg = yield from comm.recv(source=recv_from, tag=tag)
+        result[msg.src] = msg.payload
+    return result

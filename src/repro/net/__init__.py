@@ -1,0 +1,29 @@
+"""Simulated cluster network: parameters, topology, and message fabric."""
+
+from .fabric import Fabric, FabricStats
+from .message import Endpoint, Envelope, mp_endpoint, server_endpoint
+from .params import (
+    MSG_HEADER_BYTES,
+    SMALL_MSG_BYTES,
+    NetworkParams,
+    gige,
+    myrinet2000,
+    quadrics_like,
+)
+from .topology import Topology
+
+__all__ = [
+    "Endpoint",
+    "Envelope",
+    "Fabric",
+    "FabricStats",
+    "MSG_HEADER_BYTES",
+    "NetworkParams",
+    "SMALL_MSG_BYTES",
+    "Topology",
+    "gige",
+    "mp_endpoint",
+    "myrinet2000",
+    "quadrics_like",
+    "server_endpoint",
+]

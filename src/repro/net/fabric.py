@@ -1,0 +1,206 @@
+"""Message fabric: delivery timing, NIC serialization, intra-node fast path.
+
+The fabric turns "process X sends payload P to endpoint E" into a scheduled
+delivery with a LogGP-style cost model:
+
+* **Inter-node** (different SMP nodes): the message departs when the sending
+  node's NIC is free, occupies it for ``size * per_byte_us`` (DMA
+  serialization), then arrives ``inter_latency_us`` later (plus optional
+  reordering jitter for failure-injection tests).
+* **Intra-node** (user process to the server on its own node): delivered
+  through a shared-memory queue after ``intra_latency_us``; no NIC.
+
+CPU overheads are charged to the party that incurs them: senders pay
+``o_send_us`` (inter) or ``shm_access_us`` (intra) inside the :meth:`send`
+helper; mailbox receivers pay ``o_recv_us`` when they dequeue.  Replies
+delivered to a bare event (:meth:`post_reply`) fold the receiver overhead
+into the delivery delay, since the requester is blocked waiting for exactly
+that event.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, Optional
+
+from ..sim.core import Environment, Event
+from ..sim.primitives import FilterStore, Store
+from .message import Endpoint, Envelope
+from .params import MSG_HEADER_BYTES, SMALL_MSG_BYTES, NetworkParams
+from .topology import Topology
+
+__all__ = ["Fabric", "FabricStats"]
+
+
+@dataclass
+class FabricStats:
+    """Aggregate traffic counters."""
+
+    messages: int = 0
+    bytes: int = 0
+    inter_node: int = 0
+    intra_node: int = 0
+    replies: int = 0
+    by_payload: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, envelope: Envelope) -> None:
+        self.messages += 1
+        self.bytes += envelope.size_bytes
+        if envelope.intra_node:
+            self.intra_node += 1
+        else:
+            self.inter_node += 1
+        key = type(envelope.payload).__name__
+        self.by_payload[key] = self.by_payload.get(key, 0) + 1
+
+
+class Fabric:
+    """Delivers messages between registered endpoints with modeled timing."""
+
+    def __init__(self, env: Environment, topology: Topology, params: NetworkParams):
+        self.env = env
+        self.topology = topology
+        self.params = params
+        self._mailboxes: Dict[Endpoint, Any] = {}
+        self._nic_free = [0.0] * topology.nnodes
+        self._seq = count()
+        self._rng = random.Random(params.seed)
+        self.stats = FabricStats()
+
+    # -- endpoint registry ---------------------------------------------------
+
+    def register(self, endpoint: Endpoint, mailbox: Any) -> None:
+        """Register a Store/FilterStore to receive messages for ``endpoint``."""
+        if endpoint in self._mailboxes:
+            raise ValueError(f"endpoint {endpoint} already registered")
+        if not isinstance(mailbox, (Store, FilterStore)):
+            raise TypeError(f"mailbox must be a Store or FilterStore, got {mailbox!r}")
+        self._mailboxes[endpoint] = mailbox
+
+    def mailbox(self, endpoint: Endpoint) -> Any:
+        try:
+            return self._mailboxes[endpoint]
+        except KeyError:
+            raise KeyError(f"no mailbox registered for endpoint {endpoint}") from None
+
+    def _dst_node(self, endpoint: Endpoint) -> int:
+        kind, index = endpoint
+        if kind == "srv":
+            return index
+        if kind == "mp":
+            return self.topology.node_of(index)
+        raise ValueError(f"unknown endpoint kind {kind!r}")
+
+    # -- path timing ---------------------------------------------------------
+
+    def _path_delay(self, src_node: int, dst_node: int, size_bytes: int) -> float:
+        """Delay from "message handed to transport" to "in dst mailbox".
+
+        Inter-node sends account NIC availability on the source node
+        (serialization queueing) as part of the delay.
+        """
+        p = self.params
+        now = self.env.now
+        if src_node == dst_node:
+            return p.intra_latency_us
+        depart = max(now, self._nic_free[src_node])
+        xfer = p.xfer_time(size_bytes)
+        self._nic_free[src_node] = depart + xfer
+        delay = (depart - now) + xfer + p.inter_latency_us
+        if p.jitter_us > 0.0:
+            delay += self._rng.uniform(0.0, p.jitter_us)
+        return delay
+
+    # -- sending -------------------------------------------------------------
+
+    def post(
+        self,
+        src_rank: int,
+        dst: Endpoint,
+        payload: Any,
+        payload_bytes: int = SMALL_MSG_BYTES,
+        src_node: Optional[int] = None,
+    ) -> Envelope:
+        """Hand a message to the transport *without* charging sender CPU.
+
+        Returns the in-flight :class:`Envelope`.  Use :meth:`send` from
+        process code; ``post`` exists for callers that account their own CPU
+        time (e.g. the server thread batching a grant after its dispatch
+        cost).
+        """
+        if src_node is None:
+            src_node = self.topology.node_of(src_rank)
+        dst_node = self._dst_node(dst)
+        size = payload_bytes + MSG_HEADER_BYTES
+        delay = self._path_delay(src_node, dst_node, size)
+        env = self.env
+        envelope = Envelope(
+            src_rank=src_rank,
+            dst=dst,
+            payload=payload,
+            size_bytes=size,
+            sent_at=env.now,
+            deliver_at=env.now + delay,
+            seq=next(self._seq),
+            intra_node=(src_node == dst_node),
+        )
+        self.stats.record(envelope)
+        mailbox = self.mailbox(dst)
+        deliver = env.timeout(delay)
+        deliver.callbacks.append(lambda _ev: mailbox.put(envelope))
+        return envelope
+
+    def send(
+        self,
+        src_rank: int,
+        dst: Endpoint,
+        payload: Any,
+        payload_bytes: int = SMALL_MSG_BYTES,
+    ):
+        """Sub-generator: charge sender CPU overhead, then post.
+
+        Usage: ``env_msg = yield from fabric.send(rank, dst, payload)``.
+        Returns the :class:`Envelope`.
+        """
+        src_node = self.topology.node_of(src_rank)
+        dst_node = self._dst_node(dst)
+        p = self.params
+        overhead = p.shm_access_us if src_node == dst_node else p.o_send_us
+        if overhead > 0.0:
+            yield self.env.timeout(overhead)
+        return self.post(src_rank, dst, payload, payload_bytes, src_node=src_node)
+
+    def post_reply(
+        self,
+        src_node: int,
+        dst_rank: int,
+        reply_event: Event,
+        value: Any = None,
+        payload_bytes: int = SMALL_MSG_BYTES,
+    ) -> None:
+        """Deliver a response to a blocked requester.
+
+        The requester supplied ``reply_event`` in its request and is blocked
+        on it; delivery succeeds the event after the path delay plus the
+        requester's receive overhead.  The caller (normally the server) must
+        charge its own send CPU before calling.
+        """
+        p = self.params
+        dst_node = self.topology.node_of(dst_rank)
+        size = payload_bytes + MSG_HEADER_BYTES
+        delay = self._path_delay(src_node, dst_node, size)
+        if src_node != dst_node:
+            delay += p.o_recv_us
+        else:
+            delay += p.shm_access_us
+        self.stats.replies += 1
+        deliver = self.env.timeout(delay)
+        deliver.callbacks.append(lambda _ev: reply_event.succeed(value))
+
+    # -- introspection ---------------------------------------------------------
+
+    def nic_busy_until(self, node: int) -> float:
+        """Time at which ``node``'s NIC finishes its current backlog."""
+        return self._nic_free[node]

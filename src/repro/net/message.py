@@ -1,0 +1,59 @@
+"""Fabric message envelope and endpoint addressing.
+
+An *endpoint* is a ``(kind, index)`` pair under which a mailbox is registered
+with the fabric:
+
+* ``("srv", node)`` — the ARMCI server thread's request queue on ``node``;
+* ``("mp", rank)`` — the MPI-like message queue of user process ``rank``.
+
+The fabric is payload-agnostic; request/response dataclasses live with their
+protocols (:mod:`repro.armci.requests`, :mod:`repro.mp.comm`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+__all__ = ["Endpoint", "Envelope", "server_endpoint", "mp_endpoint"]
+
+Endpoint = Tuple[str, int]
+
+
+def server_endpoint(node: int) -> Endpoint:
+    """Endpoint of the server thread on ``node``."""
+    return ("srv", node)
+
+
+def mp_endpoint(rank: int) -> Endpoint:
+    """Endpoint of the message-passing queue of process ``rank``."""
+    return ("mp", rank)
+
+
+@dataclass
+class Envelope:
+    """A message in flight (or delivered) on the fabric."""
+
+    #: Issuing process rank.
+    src_rank: int
+    #: Destination endpoint key.
+    dst: Endpoint
+    #: Protocol payload (request dataclass, MP message, ...).
+    payload: Any
+    #: Wire size, including header.
+    size_bytes: int
+    #: Simulated time the send was initiated.
+    sent_at: float
+    #: Simulated time of delivery into the destination mailbox.
+    deliver_at: float = 0.0
+    #: Fabric-wide sequence number (stable tiebreaker, diagnostics).
+    seq: int = field(default=-1)
+    #: True if the message used the intra-node shared-memory path.
+    intra_node: bool = False
+
+    def __repr__(self) -> str:
+        path = "intra" if self.intra_node else "inter"
+        return (
+            f"<Envelope #{self.seq} {self.src_rank}->{self.dst} {path} "
+            f"{self.size_bytes}B {type(self.payload).__name__}>"
+        )

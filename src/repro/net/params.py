@@ -1,0 +1,214 @@
+"""Network and host cost parameters.
+
+All times are in microseconds of simulated time; all sizes in bytes.  The
+parameter set is LogGP-flavored: a one-way wire latency, a per-byte cost
+(NIC/DMA serialization), CPU send/receive overheads, plus the host-side
+costs that dominate the paper's analysis — server request dispatch and the
+cost of waking a server thread that sleeps in a blocking receive.
+
+``myrinet2000()`` is calibrated to land the reproduction's figures near the
+paper's 16-node Myrinet-2000 cluster (1 GHz dual-Pentium-III, 33 MHz/32-bit
+PCI, GM); see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["NetworkParams", "myrinet2000", "gige", "quadrics_like", "SMALL_MSG_BYTES", "MSG_HEADER_BYTES"]
+
+#: Nominal size charged for small control messages (requests, grants, acks).
+SMALL_MSG_BYTES = 64
+#: Per-message header bytes added to every payload.
+MSG_HEADER_BYTES = 32
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Cost model for a cluster of SMP nodes.
+
+    Attributes
+    ----------
+    inter_latency_us:
+        One-way wire+NIC latency for a message between two nodes, excluding
+        serialization (the per-byte term) and CPU overheads.
+    per_byte_us:
+        Serialization cost per byte on the sending NIC (1 / bandwidth).
+    o_send_us:
+        CPU overhead the sender pays per message (descriptor setup, GM send).
+    o_recv_us:
+        CPU overhead the receiver pays to dequeue a message.
+    intra_latency_us:
+        Delivery latency for messages between a user process and the server
+        thread on the *same* node (shared-memory request queue).
+    shm_access_us:
+        Cost of one uncontended shared-memory read or write by a user
+        process (cache-coherent load/store to the shared region).
+    shm_atomic_us:
+        Cost of one shared-memory atomic operation (fetch&add, swap, CAS)
+        performed directly by a user process, including bus locking.
+    poll_detect_us:
+        Mean delay between a memory word being written and a process that is
+        spin-polling on it observing the new value.
+    server_proc_us:
+        Server-thread CPU time to dispatch and execute one request, excluding
+        data copying.
+    server_wake_us:
+        Extra cost paid when a request arrives while the server thread is
+        asleep in a blocking receive (interrupt + scheduler wakeup).
+    server_spin_us:
+        Spin-then-block: after draining its queue the server busy-polls
+        for this long before blocking; a request arriving within the
+        window is handled without the wake-up cost (ARMCI servers did
+        exactly this to trade CPU for latency).  0 = block immediately
+        (the configuration the paper's analysis assumes).
+    mem_copy_per_byte_us:
+        Server-side memcpy cost per byte when completing a put/get/acc.
+    server_fence_check_us:
+        Extra server CPU to process a fence confirmation request: the
+        server must verify/flush completion of every prior operation from
+        that client before confirming (walks its per-client bookkeeping).
+    server_lock_op_us:
+        Extra server CPU per hybrid-lock request/unlock: ticket bookkeeping
+        plus maintenance of the per-lock queue of waiting remote requesters
+        (the server-side work the MCS lock eliminates).
+    api_call_us:
+        Client-library CPU overhead charged once per public ARMCI/lock API
+        call (argument checking, address translation, descriptor setup in
+        the 1 GHz Pentium-III era library stack).
+    mp_call_us:
+        Message-passing library (MPI) per-call CPU overhead, charged on
+        each send and each receive — MPICH-GM's software stack was a
+        significant part of barrier latency on this hardware.
+    jitter_us:
+        If > 0, each inter-node delivery gets a uniform extra delay in
+        ``[0, jitter_us]``, which can reorder messages between a pair.  GM
+        delivers in order, so this is 0 by default; tests use it for
+        failure injection.
+    send_credits:
+        GM-style sender flow control: each (process, server) pair holds
+        this many send tokens; a request consumes one and the server's
+        completion returns it (paper §3.1.1: "put messages generate
+        acknowledgement messages from the server for flow control").
+        0 disables the limit (default — the paper's GM configuration
+        relies on GM's own link-level flow control instead).
+    seed:
+        RNG seed for jitter.
+    """
+
+    inter_latency_us: float = 6.5
+    per_byte_us: float = 0.004
+    o_send_us: float = 0.9
+    o_recv_us: float = 0.5
+    intra_latency_us: float = 0.4
+    shm_access_us: float = 0.12
+    shm_atomic_us: float = 0.3
+    poll_detect_us: float = 0.2
+    server_proc_us: float = 1.1
+    server_wake_us: float = 18.0
+    server_spin_us: float = 0.0
+    mem_copy_per_byte_us: float = 0.0012
+    server_fence_check_us: float = 9.0
+    server_lock_op_us: float = 3.5
+    api_call_us: float = 1.5
+    mp_call_us: float = 3.5
+    jitter_us: float = 0.0
+    send_credits: int = 0
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "inter_latency_us",
+            "per_byte_us",
+            "o_send_us",
+            "o_recv_us",
+            "intra_latency_us",
+            "shm_access_us",
+            "shm_atomic_us",
+            "poll_detect_us",
+            "server_proc_us",
+            "server_wake_us",
+            "server_spin_us",
+            "mem_copy_per_byte_us",
+            "server_fence_check_us",
+            "server_lock_op_us",
+            "api_call_us",
+            "mp_call_us",
+            "jitter_us",
+        ):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ValueError(f"{field_name} must be non-negative, got {value}")
+        if self.send_credits < 0:
+            raise ValueError(
+                f"send_credits must be non-negative, got {self.send_credits}"
+            )
+
+    def with_(self, **changes) -> "NetworkParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def xfer_time(self, size_bytes: int) -> float:
+        """NIC serialization time for a message of ``size_bytes``."""
+        return size_bytes * self.per_byte_us
+
+    def one_way(self, size_bytes: int = SMALL_MSG_BYTES) -> float:
+        """Approximate end-to-end one-way time for an inter-node message.
+
+        This is the analytic handbook number (o_send + serialization +
+        latency + o_recv); the fabric computes the exact figure including
+        NIC queueing.
+        """
+        return (
+            self.o_send_us
+            + self.xfer_time(size_bytes + MSG_HEADER_BYTES)
+            + self.inter_latency_us
+            + self.o_recv_us
+        )
+
+
+def myrinet2000(**overrides) -> NetworkParams:
+    """Myrinet-2000 / GM on 33 MHz 32-bit PCI, circa 2002 (paper testbed)."""
+    return NetworkParams().with_(**overrides) if overrides else NetworkParams()
+
+
+def gige(**overrides) -> NetworkParams:
+    """TCP over gigabit Ethernet of the same era: higher latency, costly host."""
+    base = NetworkParams(
+        inter_latency_us=45.0,
+        per_byte_us=0.009,
+        o_send_us=8.0,
+        o_recv_us=6.0,
+        server_proc_us=2.5,
+        server_wake_us=25.0,
+    )
+    return base.with_(**overrides) if overrides else base
+
+
+def quadrics_like(**overrides) -> NetworkParams:
+    """A lower-latency interconnect (QsNet-like), for sensitivity studies."""
+    base = NetworkParams(
+        inter_latency_us=2.5,
+        per_byte_us=0.0031,
+        o_send_us=0.5,
+        o_recv_us=0.3,
+        server_proc_us=0.9,
+        server_wake_us=7.0,
+    )
+    return base.with_(**overrides) if overrides else base
+
+
+def _preset(name: str, **overrides) -> NetworkParams:
+    """Look up a preset by name (used by the CLI)."""
+    presets = {
+        "myrinet2000": myrinet2000,
+        "gige": gige,
+        "quadrics": quadrics_like,
+    }
+    try:
+        return presets[name](**overrides)
+    except KeyError:
+        raise ValueError(
+            f"unknown network preset {name!r}; choose from {sorted(presets)}"
+        ) from None

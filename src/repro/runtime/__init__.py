@@ -1,0 +1,11 @@
+"""Cluster runtime substrate: memory regions, atomics, server threads.
+
+Note: import :mod:`repro.runtime.cluster` (or :class:`repro.ClusterRuntime`)
+for the fully wired system; this package root stays lightweight to keep the
+``armci`` <-> ``runtime`` import graph acyclic.
+"""
+
+from . import atomics
+from .memory import NULL_PTR, GlobalAddress, Region
+
+__all__ = ["GlobalAddress", "NULL_PTR", "Region", "atomics"]

@@ -1,0 +1,99 @@
+"""Atomic memory operations on :class:`~repro.runtime.memory.Region` cells.
+
+These are the state-transition halves of ARMCI's read-modify-write
+operations.  In the simulation, an event callback runs without preemption,
+so each function below is naturally atomic; *time* is charged by the caller
+(``shm_atomic_us`` when a user process operates on same-node memory
+directly, or the server's dispatch cost when executed remotely).
+
+The paper adds two things to ARMCI's stock integer/long atomics, both
+implemented here:
+
+* operations on **pairs of longs** (two consecutive cells updated
+  atomically), so that ``(rank, address)`` global pointers can be swapped —
+  needed by the MCS queuing lock's ``Lock`` tail pointer;
+* an atomic **compare&swap**, which stock ARMCI lacked (§3.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from .memory import Region
+
+__all__ = [
+    "fetch_and_add",
+    "swap",
+    "compare_and_swap",
+    "read_pair",
+    "write_pair",
+    "swap_pair",
+    "compare_and_swap_pair",
+    "accumulate",
+]
+
+Pair = Tuple[Any, Any]
+
+
+def fetch_and_add(region: Region, addr: int, increment: int = 1) -> int:
+    """Atomically add ``increment`` to the cell; returns the *old* value."""
+    old = region.read(addr)
+    region.write(addr, old + increment)
+    return old
+
+
+def swap(region: Region, addr: int, new: Any) -> Any:
+    """Atomically replace the cell with ``new``; returns the old value."""
+    old = region.read(addr)
+    region.write(addr, new)
+    return old
+
+
+def compare_and_swap(region: Region, addr: int, expected: Any, new: Any) -> bool:
+    """Atomically set the cell to ``new`` iff it equals ``expected``.
+
+    Returns True on success.  (This is the operation the paper had to add
+    to ARMCI.)
+    """
+    old = region.read(addr)
+    if old == expected:
+        region.write(addr, new)
+        return True
+    return False
+
+
+def read_pair(region: Region, addr: int) -> Pair:
+    """Atomically read two consecutive cells."""
+    return (region.read(addr), region.read(addr + 1))
+
+
+def write_pair(region: Region, addr: int, pair: Pair) -> None:
+    """Atomically write two consecutive cells."""
+    first, second = pair
+    region.write(addr, first)
+    region.write(addr + 1, second)
+
+
+def swap_pair(region: Region, addr: int, new: Pair) -> Pair:
+    """Atomic swap on a pair of longs; returns the old pair."""
+    old = read_pair(region, addr)
+    write_pair(region, addr, new)
+    return old
+
+
+def compare_and_swap_pair(
+    region: Region, addr: int, expected: Pair, new: Pair
+) -> bool:
+    """Atomic compare&swap on a pair of longs; True on success."""
+    old = read_pair(region, addr)
+    if old == tuple(expected):
+        write_pair(region, addr, new)
+        return True
+    return False
+
+
+def accumulate(region: Region, addr: int, values, scale: Any = 1) -> None:
+    """ARMCI accumulate: ``mem[addr+i] += scale * values[i]`` atomically."""
+    for offset, value in enumerate(values):
+        old = region.read(addr + offset)
+        region.write(addr + offset, old + scale * value)

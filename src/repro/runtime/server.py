@@ -1,0 +1,352 @@
+"""The ARMCI server thread (paper Figure 1).
+
+One server thread runs per SMP node.  It owns a request mailbox registered
+on the fabric as ``("srv", node)`` and serves put/get/accumulate/rmw/fence
+requests *in FIFO order* on behalf of remote user processes, operating
+directly on the memory regions of the user processes hosted on its node
+(which it shares with them).
+
+Two behaviours from the paper are modeled explicitly because the evaluation
+depends on them:
+
+* **Blocking receive / wake-up cost.**  "In order to reduce the processor
+  usage by the server thread when the server is idle, the server will use
+  blocking receives and sleep while waiting for incoming requests."  A
+  request arriving at a sleeping server pays ``server_wake_us`` before any
+  processing; back-to-back requests do not.
+
+* **Completion counters.**  The server keeps an ``op_done`` counter per
+  hosted process (the number of completed memory operations targeting that
+  process's region), stored in shared memory so the local user process can
+  poll it — this is stage 2 of the new ``ARMCI_Barrier()``.
+
+The server also implements the server side of the *hybrid* lock algorithm
+(ticket state lives in the home process's region; the queue of waiting
+remote requesters lives here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..armci.requests import (
+    AccRequest,
+    FenceRequest,
+    GetRequest,
+    LockRequest,
+    PutRequest,
+    RmwRequest,
+    UnlockRequest,
+)
+from ..net.fabric import Fabric
+from ..net.message import Envelope, server_endpoint
+from ..net.params import NetworkParams
+from ..net.topology import Topology
+from ..sim.core import Environment
+from ..sim.primitives import Store
+from . import atomics
+from .memory import Region
+
+__all__ = ["ServerThread", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Per-server activity counters."""
+
+    requests: int = 0
+    sleeps: int = 0
+    wakes: int = 0
+    #: Requests caught during the spin window (no wake cost paid).
+    spins: int = 0
+    #: Total µs the server spent processing (wake + dequeue + dispatch +
+    #: copies + replies); divide by elapsed time for utilization.
+    busy_us: float = 0.0
+    puts: int = 0
+    gets: int = 0
+    accs: int = 0
+    rmws: int = 0
+    fences: int = 0
+    locks: int = 0
+    unlocks: int = 0
+    grants: int = 0
+    by_type: Dict[str, int] = field(default_factory=dict)
+
+
+class ServerThread:
+    """Simulated per-node ARMCI server thread."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: int,
+        fabric: Fabric,
+        topology: Topology,
+        params: NetworkParams,
+        regions: Dict[int, Region],
+    ):
+        self.env = env
+        self.node = node
+        self.fabric = fabric
+        self.topology = topology
+        self.params = params
+        #: All process regions in the system (the server touches only those
+        #: hosted on its node, but resolves by rank).
+        self.regions = regions
+        self.mailbox = Store(env, name=f"srv{node}.mailbox")
+        fabric.register(server_endpoint(node), self.mailbox)
+        self.stats = ServerStats()
+        #: True while blocked in the blocking receive with an empty queue.
+        self.sleeping = False
+        #: Shared-memory counters region: one op_done cell per hosted rank.
+        self.counters = Region(env, owner_rank=-1, name=f"srv{node}.counters")
+        self._op_done_addr: Dict[int, int] = {
+            rank: self.counters.alloc(1, initial=0)
+            for rank in topology.ranks_on(node)
+        }
+        #: Hybrid-lock wait queues: (home_rank, base_addr) -> ticket -> waiter.
+        self._lock_waiters: Dict[Tuple[int, int], Dict[int, LockRequest]] = {}
+        self._proc = None
+
+    def __repr__(self) -> str:
+        return f"<ServerThread node={self.node} handled={self.stats.requests}>"
+
+    # -- counters --------------------------------------------------------------
+
+    def op_done_cell(self, rank: int) -> Tuple[Region, int]:
+        """(region, addr) of the op_done counter for hosted process ``rank``."""
+        try:
+            return self.counters, self._op_done_addr[rank]
+        except KeyError:
+            raise ValueError(
+                f"rank {rank} is not hosted on node {self.node}"
+            ) from None
+
+    def op_done(self, rank: int) -> int:
+        region, addr = self.op_done_cell(rank)
+        return region.read(addr)
+
+    def _bump_op_done(self, rank: int) -> None:
+        region, addr = self.op_done_cell(rank)
+        region.write(addr, region.read(addr) + 1)
+
+    def _hosted_region(self, rank: int) -> Region:
+        if self.topology.node_of(rank) != self.node:
+            raise ValueError(
+                f"request targets rank {rank}, which is hosted on node "
+                f"{self.topology.node_of(rank)}, not this server's node {self.node}"
+            )
+        return self.regions[rank]
+
+    # -- main loop ---------------------------------------------------------------
+
+    def start(self):
+        """Spawn the server loop process."""
+        if self._proc is not None:
+            raise RuntimeError(f"server {self.node} already started")
+        self._proc = self.env.process(self._run(), name=f"server{self.node}")
+        return self._proc
+
+    def _run(self):
+        p = self.params
+        env = self.env
+        while True:
+            get_ev = self.mailbox.get()
+            if not get_ev.triggered and p.server_spin_us > 0.0:
+                # Spin-then-block: busy-poll before giving up the CPU.  A
+                # message arriving inside the window is picked up without
+                # the wake-up penalty.
+                spin_deadline = env.timeout(p.server_spin_us)
+                yield get_ev | spin_deadline
+                if not get_ev.triggered:
+                    self.mailbox.cancel_get(get_ev)
+                    get_ev = None
+                else:
+                    self.stats.spins += 1
+            if get_ev is None:
+                # Spun dry: block in the blocking receive.
+                get_ev = self.mailbox.get()
+            if not get_ev.triggered:
+                self.sleeping = True
+                self.stats.sleeps += 1
+                envelope = yield get_ev
+                self.sleeping = False
+                self.stats.wakes += 1
+                if p.server_wake_us > 0.0:
+                    yield env.timeout(p.server_wake_us)
+            else:
+                envelope = yield get_ev
+            busy_from = env.now
+            dequeue_cost = (
+                p.shm_access_us if envelope.intra_node else p.o_recv_us
+            )
+            if dequeue_cost > 0.0:
+                yield env.timeout(dequeue_cost)
+            if p.server_proc_us > 0.0:
+                yield env.timeout(p.server_proc_us)
+            self.stats.requests += 1
+            name = type(envelope.payload).__name__
+            self.stats.by_type[name] = self.stats.by_type.get(name, 0) + 1
+            yield from self._dispatch(envelope)
+            self.stats.busy_us += env.now - busy_from
+
+    # -- request handlers -----------------------------------------------------
+
+    def _dispatch(self, envelope: Envelope):
+        req = envelope.payload
+        if isinstance(req, PutRequest):
+            yield from self._handle_put(req)
+        elif isinstance(req, GetRequest):
+            yield from self._handle_get(req)
+        elif isinstance(req, AccRequest):
+            yield from self._handle_acc(req)
+        elif isinstance(req, RmwRequest):
+            yield from self._handle_rmw(req)
+        elif isinstance(req, FenceRequest):
+            yield from self._handle_fence(req)
+        elif isinstance(req, LockRequest):
+            yield from self._handle_lock(req)
+        elif isinstance(req, UnlockRequest):
+            yield from self._handle_unlock(req)
+        else:
+            raise TypeError(f"server {self.node}: unknown request {req!r}")
+
+    def _copy_cost(self, ncells: int) -> float:
+        return ncells * Region.CELL_BYTES * self.params.mem_copy_per_byte_us
+
+    def _reply(self, req_src_rank: int, reply_event, value=None, payload_cells: int = 0):
+        """Charge send overhead and post a response to the requester."""
+        p = self.params
+        same_node = self.topology.node_of(req_src_rank) == self.node
+        overhead = p.shm_access_us if same_node else p.o_send_us
+        if overhead > 0.0:
+            yield self.env.timeout(overhead)
+        self.fabric.post_reply(
+            self.node,
+            req_src_rank,
+            reply_event,
+            value,
+            payload_bytes=max(payload_cells * Region.CELL_BYTES, 0) or 0,
+        )
+
+    def _handle_put(self, req: PutRequest):
+        region = self._hosted_region(req.dst_rank)
+        ncells = req.total_cells()
+        cost = self._copy_cost(ncells)
+        if cost > 0.0:
+            yield self.env.timeout(cost)
+        if req.segments is not None:
+            for addr, values in req.segments:
+                region.write_many(addr, values)
+        else:
+            region.write_many(req.addr, req.values)
+        self._bump_op_done(req.dst_rank)
+        self.stats.puts += 1
+        if req.ack is not None:
+            yield from self._reply(req.src_rank, req.ack, value=ncells)
+
+    def _handle_get(self, req: GetRequest):
+        region = self._hosted_region(req.dst_rank)
+        ncells = req.total_cells()
+        cost = self._copy_cost(ncells)
+        if cost > 0.0:
+            yield self.env.timeout(cost)
+        if req.segments is not None:
+            values: List[Any] = []
+            for addr, count in req.segments:
+                values.extend(region.read_many(addr, count))
+        else:
+            values = region.read_many(req.addr, req.count)
+        self.stats.gets += 1
+        yield from self._reply(
+            req.src_rank, req.reply, value=values, payload_cells=ncells
+        )
+
+    def _handle_acc(self, req: AccRequest):
+        region = self._hosted_region(req.dst_rank)
+        # Accumulate reads and writes each cell: charge both directions.
+        cost = 2 * self._copy_cost(len(req.values))
+        if cost > 0.0:
+            yield self.env.timeout(cost)
+        atomics.accumulate(region, req.addr, req.values, req.scale)
+        self._bump_op_done(req.dst_rank)
+        self.stats.accs += 1
+        if req.ack is not None:
+            yield from self._reply(req.src_rank, req.ack, value=len(req.values))
+
+    def _handle_rmw(self, req: RmwRequest):
+        region = self._hosted_region(req.dst_rank)
+        self.stats.rmws += 1
+        op, args = req.op, req.args
+        if op == "fetch_add":
+            result = atomics.fetch_and_add(region, req.addr, *args)
+        elif op == "swap":
+            result = atomics.swap(region, req.addr, *args)
+        elif op == "cas":
+            result = atomics.compare_and_swap(region, req.addr, *args)
+        elif op == "swap_pair":
+            result = atomics.swap_pair(region, req.addr, *args)
+        elif op == "cas_pair":
+            result = atomics.compare_and_swap_pair(region, req.addr, *args)
+        elif op == "read_pair":
+            result = atomics.read_pair(region, req.addr)
+        else:  # pragma: no cover - validated at request construction
+            raise ValueError(f"unknown rmw op {op!r}")
+        yield from self._reply(req.src_rank, req.reply, value=result, payload_cells=2)
+
+    def _handle_fence(self, req: FenceRequest):
+        # FIFO processing + in-order delivery mean every memory operation
+        # this requester issued to this node before the fence has already
+        # been completed; the server still pays to verify/flush its
+        # per-client completion state before confirming (paper §3.1.1, GM
+        # case).
+        self.stats.fences += 1
+        if self.params.server_fence_check_us > 0.0:
+            yield self.env.timeout(self.params.server_fence_check_us)
+        yield from self._reply(req.src_rank, req.reply, value=True)
+
+    # -- hybrid lock server side ------------------------------------------------
+
+    def _handle_lock(self, req: LockRequest):
+        """Take a ticket on behalf of a remote requester (paper Figure 3)."""
+        region = self._hosted_region(req.home_rank)
+        self.stats.locks += 1
+        if self.params.server_lock_op_us > 0.0:
+            yield self.env.timeout(self.params.server_lock_op_us)
+        ticket = atomics.fetch_and_add(region, req.base_addr, 1)
+        counter = region.read(req.base_addr + 1)
+        if ticket == counter:
+            self.stats.grants += 1
+            yield from self._reply(req.src_rank, req.reply, value=ticket)
+        else:
+            key = (req.home_rank, req.base_addr)
+            self._lock_waiters.setdefault(key, {})[ticket] = req
+
+    def _handle_unlock(self, req: UnlockRequest):
+        """Increment the counter; grant the queued head if it now holds it."""
+        region = self._hosted_region(req.home_rank)
+        self.stats.unlocks += 1
+        if self.params.server_lock_op_us > 0.0:
+            yield self.env.timeout(self.params.server_lock_op_us)
+        counter_addr = req.base_addr + 1
+        new_counter = region.read(counter_addr) + 1
+        # The write wakes local pollers through the region watcher.
+        region.write(counter_addr, new_counter)
+        key = (req.home_rank, req.base_addr)
+        waiters = self._lock_waiters.get(key)
+        if waiters:
+            pending = waiters.pop(new_counter, None)
+            if pending is not None:
+                if not waiters:
+                    del self._lock_waiters[key]
+                self.stats.grants += 1
+                yield from self._reply(
+                    pending.src_rank, pending.reply, value=new_counter
+                )
+
+    # -- introspection -----------------------------------------------------------
+
+    def queued_lock_waiters(self, home_rank: int, base_addr: int) -> List[int]:
+        """Tickets currently queued for a lock (diagnostics/tests)."""
+        return sorted(self._lock_waiters.get((home_rank, base_addr), {}))

@@ -1,0 +1,53 @@
+"""Deterministic discrete-event simulation kernel (generator coroutines).
+
+See :mod:`repro.sim.core` for the event loop and process model,
+:mod:`repro.sim.primitives` for stores/resources/broadcasts, and
+:mod:`repro.sim.trace` for measurement helpers.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopProcess,
+    Timeout,
+    PRIORITY_LAZY,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+)
+from .primitives import Broadcast, FilterStore, Resource, Store
+from .timeline import Interval, Timeline
+from .trace import SampleStats, Stopwatch, Tracer, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Broadcast",
+    "Condition",
+    "ConditionValue",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "Interval",
+    "Timeline",
+    "Process",
+    "Resource",
+    "SampleStats",
+    "SimulationError",
+    "StopProcess",
+    "Stopwatch",
+    "Store",
+    "Timeout",
+    "Tracer",
+    "TraceRecord",
+    "PRIORITY_LAZY",
+    "PRIORITY_NORMAL",
+    "PRIORITY_URGENT",
+]

@@ -1,0 +1,571 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, deterministic, generator-coroutine based
+discrete-event simulator in the style of SimPy, specialized for the needs of
+the ARMCI reproduction:
+
+* **Deterministic ordering.** Events scheduled for the same simulated time are
+  processed in a stable order: first by an explicit integer *priority*, then
+  by schedule sequence number.  Repeated runs of the same program produce
+  byte-identical traces, which the experiment harness relies on.
+
+* **Virtual time in microseconds.** All delays in this code base are expressed
+  in microseconds of simulated time, matching the units the paper reports.
+
+* **Processes are generators.** A simulated activity is an ordinary Python
+  generator that ``yield``\\ s :class:`Event` objects; composition is done
+  with ``yield from`` sub-generators, which keeps protocol code (fence,
+  barrier, lock algorithms) readable and close to the paper's pseudocode.
+
+The kernel knows nothing about networks, servers, or ARMCI; those live in
+:mod:`repro.net` and :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+    "SimulationError",
+    "StopProcess",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LAZY",
+]
+
+#: Priority for events that must run before ordinary events at the same time
+#: (e.g. interrupts).
+PRIORITY_URGENT = 0
+#: Default event priority.
+PRIORITY_NORMAL = 1
+#: Priority for events that should run after ordinary events at the same time.
+PRIORITY_LAZY = 2
+
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (not for modeled failures)."""
+
+
+class StopProcess(Exception):
+    """Raised inside a process generator to exit early with a value.
+
+    ``raise StopProcess(value)`` is equivalent to ``return value`` but can be
+    used from inside nested helpers.
+    """
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process may catch it and continue; ``cause`` carries the
+    value passed to ``interrupt``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling it on the environment's queue.  When the
+    environment pops it, the event is *processed*: its callbacks run, which is
+    how waiting processes get resumed.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: Callables invoked with this event when it is processed; ``None``
+        #: once processed.
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if self._value is _PENDING
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError("event is not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError("event is not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, 0.0, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, 0.0, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the same outcome as another (triggered) event."""
+        if event._value is _PENDING:
+            raise SimulationError("source event is not triggered")
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- composition -------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_done, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_done, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after it is created."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay, PRIORITY_NORMAL)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal event that starts a new :class:`Process`."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env.schedule(self, 0.0, PRIORITY_URGENT)
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    The process itself is an :class:`Event` that triggers when the generator
+    returns (value = return value) or raises (failure).  Other processes can
+    therefore ``yield proc`` to join it.
+    """
+
+    __slots__ = ("_generator", "name", "_target", "started_at")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None if runnable).
+        self._target: Optional[Event] = None
+        self.started_at = env.now
+        Initialize(env, self)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} at {id(self):#x}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_ev = Event(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._defused = True
+        interrupt_ev.callbacks.append(self._resume)
+        self.env.schedule(interrupt_ev, 0.0, PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_proc = self
+        # Detach from the old target: if we were interrupted while waiting,
+        # the original target may still fire later; drop our callback.
+        if (
+            self._target is not None
+            and self._target is not event
+            and self._target.callbacks is not None
+        ):
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        try:
+            if event._ok:
+                next_ev = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_ev = self._generator.throw(event._value)
+        except StopIteration as exc:
+            env._active_proc = None
+            self._ok = True
+            self._value = getattr(exc, "value", None)
+            env.schedule(self, 0.0, PRIORITY_NORMAL)
+            return
+        except StopProcess as exc:
+            env._active_proc = None
+            self._generator.close()
+            self._ok = True
+            self._value = exc.value
+            env.schedule(self, 0.0, PRIORITY_NORMAL)
+            return
+        except BaseException as exc:
+            env._active_proc = None
+            self._ok = False
+            self._value = exc
+            env.schedule(self, 0.0, PRIORITY_NORMAL)
+            return
+        env._active_proc = None
+
+        if not isinstance(next_ev, Event):
+            self._generator.throw(
+                SimulationError(
+                    f"process {self.name!r} yielded {next_ev!r}, which is not "
+                    "an Event; protocol helpers must be delegated to with "
+                    "'yield from'"
+                )
+            )
+            return
+        if next_ev.env is not env:
+            self._generator.throw(
+                SimulationError("yielded an event from a different environment")
+            )
+            return
+        if next_ev.callbacks is not None:
+            next_ev.callbacks.append(self._resume)
+            self._target = next_ev
+        else:
+            # Already processed: resume immediately at the current time.
+            resume_ev = Event(env)
+            resume_ev._ok = next_ev._ok
+            resume_ev._value = next_ev._value
+            if not next_ev._ok:
+                next_ev._defused = True
+                resume_ev._defused = True
+            resume_ev.callbacks.append(self._resume)
+            env.schedule(resume_ev, 0.0, PRIORITY_URGENT)
+            self._target = resume_ev
+
+
+class ConditionValue:
+    """Mapping-like result of a :class:`Condition` (events -> values)."""
+
+    __slots__ = ("events", "_todict")
+
+    def __init__(self, events: list):
+        self.events = events
+        self._todict = None
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event._value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+    def todict(self) -> dict:
+        if self._todict is None:
+            self._todict = {ev: ev._value for ev in self.events}
+        return self._todict
+
+
+class Condition(Event):
+    """Composite event over a list of sub-events.
+
+    Succeeds (with a :class:`ConditionValue` of the *triggered* sub-events)
+    when ``evaluate(events, n_done)`` returns True; fails immediately if any
+    sub-event fails.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list, int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("events from different environments")
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            # "Done" means *processed* (callbacks ran), not merely triggered:
+            # a Timeout is triggered at creation but has not happened yet.
+            done = [ev for ev in self._events if ev.callbacks is None and ev._ok]
+            self.succeed(ConditionValue(done))
+
+    @staticmethod
+    def all_done(events: list, count: int) -> bool:
+        return count == len(events)
+
+    @staticmethod
+    def any_done(events: list, count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Succeeds when all sub-events have succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, Condition.all_done, events)
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as any sub-event has succeeded."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, Condition.any_done, events)
+
+
+class Environment:
+    """The simulation environment: a clock and a priority event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._seq = count()
+        self._active_proc: Optional[Process] = None
+        #: Optional callable ``(time, event)`` invoked on every processed
+        #: event; used by :mod:`repro.sim.trace`.
+        self.on_event: Optional[Callable[[float, Event], None]] = None
+        #: Count of processed events (cheap global progress metric).
+        self.events_processed = 0
+
+    # -- clock & queue -----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (microseconds by convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
+    ) -> None:
+        """Enqueue a triggered event ``delay`` time units from now."""
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process one event; raises :class:`EmptySchedule` if none left."""
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        self.events_processed += 1
+        if self.on_event is not None:
+            self.on_event(when, event)
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue drains), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        is processed; its value is returned).
+        """
+        stop_at: Optional[float] = None
+        stop_ev: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_ev = until
+                if stop_ev.callbacks is None:
+                    return stop_ev._value
+            else:
+                stop_at = float(until)
+                if stop_at < self._now:
+                    raise ValueError(
+                        f"until={stop_at} is in the past (now={self._now})"
+                    )
+        hit = []
+        if stop_ev is not None:
+            stop_ev.callbacks.append(hit.append)
+        try:
+            while True:
+                if stop_ev is not None and hit:
+                    break
+                nxt = self.peek()
+                if nxt == float("inf"):
+                    if stop_ev is not None:
+                        raise SimulationError(
+                            "simulation queue drained before the awaited event "
+                            f"{stop_ev!r} triggered (deadlock?)"
+                        )
+                    if stop_at is not None:
+                        self._now = stop_at
+                    break
+                if stop_at is not None and nxt > stop_at:
+                    self._now = stop_at
+                    break
+                self.step()
+        except EmptySchedule:
+            pass
+        if stop_ev is not None:
+            if not stop_ev.triggered:
+                return None
+            if not stop_ev._ok:
+                raise stop_ev._value
+            return stop_ev._value
+        return None
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+
+class EmptySchedule(Exception):
+    """Internal: the event queue is empty."""

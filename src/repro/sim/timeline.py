@@ -1,0 +1,123 @@
+"""Per-process activity timelines with ASCII Gantt rendering.
+
+A debugging/teaching aid: programs (or instrumented primitives) record
+labeled intervals per rank; :meth:`Timeline.render` draws the interleaving
+as one lane per rank, which makes convoys (Figure 7's AllFence) and lock
+handoff chains (Figures 8-10) visible at a glance.
+
+Usage::
+
+    tl = Timeline(env)
+    ...
+    tl.begin(rank, "fence")
+    ...  # simulated time passes
+    tl.end(rank)
+    print(tl.render(width=100))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .core import Environment
+
+__all__ = ["Timeline", "Interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    rank: int
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Collects labeled per-rank intervals in virtual time."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.intervals: List[Interval] = []
+        self._open: Dict[int, Tuple[str, float]] = {}
+
+    def begin(self, rank: int, label: str) -> None:
+        """Open an interval for ``rank`` (closing any still-open one)."""
+        if rank in self._open:
+            self.end(rank)
+        self._open[rank] = (label, self.env.now)
+
+    def end(self, rank: int) -> Optional[Interval]:
+        """Close ``rank``'s open interval; returns it (or None)."""
+        entry = self._open.pop(rank, None)
+        if entry is None:
+            return None
+        label, start = entry
+        interval = Interval(rank, label, start, self.env.now)
+        if interval.duration > 0:
+            self.intervals.append(interval)
+        return interval
+
+    def close_all(self) -> None:
+        for rank in list(self._open):
+            self.end(rank)
+
+    # -- queries -----------------------------------------------------------------
+
+    def by_rank(self, rank: int) -> List[Interval]:
+        return [iv for iv in self.intervals if iv.rank == rank]
+
+    def total(self, rank: int, label: str) -> float:
+        """Total time ``rank`` spent in intervals labeled ``label``."""
+        return sum(
+            iv.duration for iv in self.intervals
+            if iv.rank == rank and iv.label == label
+        )
+
+    def span(self) -> Tuple[float, float]:
+        if not self.intervals:
+            return (0.0, 0.0)
+        return (
+            min(iv.start for iv in self.intervals),
+            max(iv.end for iv in self.intervals),
+        )
+
+    # -- rendering ------------------------------------------------------------------
+
+    def render(
+        self,
+        width: int = 80,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> str:
+        """ASCII Gantt: one lane per rank; each label gets a stable glyph."""
+        if not self.intervals:
+            return "(empty timeline)"
+        lo, hi = self.span()
+        t0 = lo if t0 is None else t0
+        t1 = hi if t1 is None else t1
+        if t1 <= t0:
+            return "(empty window)"
+        glyphs = "#*+=o%@&$~"
+        labels = sorted({iv.label for iv in self.intervals})
+        glyph_of = {
+            label: glyphs[i % len(glyphs)] for i, label in enumerate(labels)
+        }
+        scale = width / (t1 - t0)
+        ranks = sorted({iv.rank for iv in self.intervals})
+        lines = []
+        for rank in ranks:
+            lane = [" "] * width
+            for iv in self.by_rank(rank):
+                a = max(int((iv.start - t0) * scale), 0)
+                b = min(max(int((iv.end - t0) * scale), a + 1), width)
+                for x in range(a, b):
+                    lane[x] = glyph_of[iv.label]
+            lines.append(f"r{rank:<3}|{''.join(lane)}|")
+        legend = "  ".join(f"{glyph_of[l]}={l}" for l in labels)
+        header = f"t=[{t0:.1f}, {t1:.1f}]us  {legend}"
+        return "\n".join([header] + lines)

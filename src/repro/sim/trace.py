@@ -1,0 +1,122 @@
+"""Lightweight tracing and measurement helpers for simulations.
+
+The experiment harness measures *simulated* time.  :class:`Stopwatch`
+accumulates interval samples in virtual microseconds; :class:`Tracer`
+optionally records every processed kernel event for debugging.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from .core import Environment, Event
+
+__all__ = ["Stopwatch", "SampleStats", "Tracer", "TraceRecord"]
+
+
+@dataclass
+class SampleStats:
+    """Summary statistics over a set of duration samples (microseconds)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+    total: float
+
+    @classmethod
+    def from_samples(cls, samples: List[float]) -> "SampleStats":
+        if not samples:
+            return cls(0, float("nan"), float("nan"), float("nan"), float("nan"), 0.0)
+        n = len(samples)
+        total = sum(samples)
+        mean = total / n
+        var = sum((s - mean) ** 2 for s in samples) / n
+        return cls(n, mean, min(samples), max(samples), math.sqrt(var), total)
+
+
+class Stopwatch:
+    """Accumulates interval samples of simulated time.
+
+    Usage inside a process::
+
+        sw.start()
+        ...  # yield some events
+        sw.stop()
+    """
+
+    def __init__(self, env: Environment, name: str = "stopwatch"):
+        self.env = env
+        self.name = name
+        self.samples: List[float] = []
+        self._started_at: Optional[float] = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError(f"stopwatch {self.name!r} already running")
+        self._started_at = self.env.now
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError(f"stopwatch {self.name!r} is not running")
+        dt = self.env.now - self._started_at
+        self._started_at = None
+        self.samples.append(dt)
+        return dt
+
+    def discard(self) -> None:
+        """Abort the current interval without recording it."""
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def stats(self) -> SampleStats:
+        return SampleStats.from_samples(self.samples)
+
+    def mean(self) -> float:
+        return self.stats().mean
+
+    def reset(self) -> None:
+        self.samples.clear()
+        self._started_at = None
+
+
+@dataclass
+class TraceRecord:
+    """One processed kernel event."""
+
+    time: float
+    kind: str
+    detail: str
+
+
+@dataclass
+class Tracer:
+    """Records every processed event via ``Environment.on_event``.
+
+    Intended for debugging small runs; do not enable for full benchmarks.
+    """
+
+    records: List[TraceRecord] = field(default_factory=list)
+    limit: int = 100_000
+
+    def install(self, env: Environment) -> None:
+        env.on_event = self._on_event
+
+    def _on_event(self, when: float, event: Event) -> None:
+        if len(self.records) >= self.limit:
+            return
+        self.records.append(
+            TraceRecord(when, type(event).__name__, repr(event))
+        )
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def between(self, t0: float, t1: float) -> List[TraceRecord]:
+        return [r for r in self.records if t0 <= r.time <= t1]

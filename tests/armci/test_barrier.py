@@ -1,0 +1,199 @@
+"""Tests for the combined ARMCI_Barrier (the paper's core contribution)."""
+
+import pytest
+
+from repro.runtime.memory import GlobalAddress
+
+
+def all_to_all_put_program(algorithm):
+    """Every rank puts into every other rank, then barriers; returns memory."""
+
+    def main(ctx):
+        base = ctx.region.alloc(ctx.nprocs, initial=0)
+        for peer in range(ctx.nprocs):
+            if peer != ctx.rank:
+                yield from ctx.armci.put(
+                    GlobalAddress(peer, base + ctx.rank), [ctx.rank + 1]
+                )
+        yield from ctx.armci.barrier(algorithm=algorithm)
+        # Semantics: at this point ALL puts from ALL ranks are complete.
+        return ctx.region.read_many(base, ctx.nprocs)
+
+    return main
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("algorithm", ["exchange", "linear", "auto"])
+    @pytest.mark.parametrize("nprocs", [2, 3, 4, 8])
+    def test_all_puts_complete_at_barrier_exit(self, make_cluster, algorithm, nprocs):
+        rt = make_cluster(nprocs=nprocs)
+        results = rt.run_spmd(all_to_all_put_program(algorithm))
+        for rank, values in enumerate(results):
+            expected = [r + 1 if r != rank else 0 for r in range(nprocs)]
+            assert values == expected, f"rank {rank} under {algorithm}"
+
+    @pytest.mark.parametrize("algorithm", ["exchange", "linear"])
+    def test_barrier_synchronizes_processes(self, make_cluster, algorithm):
+        def main(ctx):
+            yield ctx.compute(50.0 * ctx.rank)
+            entered = ctx.now
+            yield from ctx.armci.barrier(algorithm=algorithm)
+            return (entered, ctx.now)
+
+        rt = make_cluster(nprocs=4)
+        results = rt.run_spmd(main)
+        assert min(r[1] for r in results) >= max(r[0] for r in results)
+
+    def test_repeated_barriers_with_interleaved_puts(self, make_cluster):
+        def main(ctx):
+            base = ctx.region.alloc(1, initial=0)
+            peer = (ctx.rank + 1) % ctx.nprocs
+            observed = []
+            for round_no in range(5):
+                yield from ctx.armci.put(GlobalAddress(peer, base), [round_no + 1])
+                yield from ctx.armci.barrier()
+                observed.append(ctx.region.read(base))
+            return observed
+
+        rt = make_cluster(nprocs=4)
+        for values in rt.run_spmd(main):
+            assert values == [1, 2, 3, 4, 5]
+
+    def test_barrier_with_no_puts_is_pure_sync(self, make_cluster):
+        def main(ctx):
+            yield from ctx.armci.barrier()
+            return ctx.now
+
+        rt = make_cluster(nprocs=4)
+        times = rt.run_spmd(main)
+        assert max(times) > 0
+        assert rt.fabric.stats.by_payload.get("PutRequest", 0) == 0
+
+    def test_counters_are_cumulative(self, make_cluster):
+        def main(ctx):
+            base = ctx.region.alloc(1)
+            peer = (ctx.rank + 1) % ctx.nprocs
+            for _ in range(3):
+                yield from ctx.armci.put(GlobalAddress(peer, base), [1])
+                yield from ctx.armci.barrier()
+            return ctx.armci.op_init[peer]
+
+        rt = make_cluster(nprocs=2)
+        assert rt.run_spmd(main) == [3, 3]
+        # server completed 3 ops for each hosted rank
+        assert rt.servers[0].op_done(0) == 3
+        assert rt.servers[1].op_done(1) == 3
+
+    def test_barrier_works_in_ack_mode_too(self, make_cluster):
+        rt = make_cluster(nprocs=4, fence_mode="ack")
+        results = rt.run_spmd(all_to_all_put_program("exchange"))
+        for rank, values in enumerate(results):
+            expected = [r + 1 if r != rank else 0 for r in range(4)]
+            assert values == expected
+
+    def test_unknown_algorithm_rejected(self, make_cluster):
+        def main(ctx):
+            yield from ctx.armci.barrier(algorithm="quantum")
+
+        rt = make_cluster(nprocs=2)
+        with pytest.raises(ValueError, match="algorithm"):
+            rt.run_spmd(main)
+
+    def test_barrier_requires_comm(self, env, make_cluster):
+        from repro.armci.api import Armci
+
+        rt = make_cluster(nprocs=2)
+        bare = Armci(
+            rt.env, 0, rt.topology, rt.fabric, rt.params,
+            rt.regions, rt.servers, comm=None,
+        )
+
+        def main():
+            yield from bare.barrier()
+
+        rt.env.process(main())
+        with pytest.raises(RuntimeError, match="communicator"):
+            rt.env.run()
+
+
+class TestCost:
+    def test_exchange_beats_linear_under_all_to_all(self, make_cluster):
+        def main(ctx, algorithm):
+            base = ctx.region.alloc(ctx.nprocs, initial=0)
+            for peer in range(ctx.nprocs):
+                if peer != ctx.rank:
+                    yield from ctx.armci.put(GlobalAddress(peer, base), [1])
+            t0 = ctx.now
+            yield from ctx.armci.barrier(algorithm=algorithm)
+            return ctx.now - t0
+
+        times = {}
+        for algorithm in ("exchange", "linear"):
+            rt = make_cluster(nprocs=8)
+            times[algorithm] = max(rt.run_spmd(main, algorithm))
+        assert times["exchange"] < times["linear"]
+
+    def test_linear_beats_exchange_with_one_target(self, make_cluster):
+        """The §3.1.2 crossover: few dirty servers favour the original."""
+
+        def main(ctx, algorithm):
+            base = ctx.region.alloc(1, initial=0)
+            yield from ctx.armci.put(
+                GlobalAddress((ctx.rank + 1) % ctx.nprocs, base), [1]
+            )
+            t0 = ctx.now
+            yield from ctx.armci.barrier(algorithm=algorithm)
+            return ctx.now - t0
+
+        times = {}
+        for algorithm in ("exchange", "linear"):
+            rt = make_cluster(nprocs=16)
+            times[algorithm] = max(rt.run_spmd(main, algorithm))
+        assert times["linear"] < times["exchange"]
+
+    def test_auto_tracks_the_winner(self, make_cluster):
+        def main(ctx, targets):
+            base = ctx.region.alloc(1, initial=0)
+            for k in range(targets):
+                peer = (ctx.rank + 1 + k) % ctx.nprocs
+                if peer != ctx.rank:
+                    yield from ctx.armci.put(GlobalAddress(peer, base), [1])
+            t0 = ctx.now
+            yield from ctx.armci.barrier(algorithm="auto")
+            return ctx.now - t0
+
+        def timed(algorithm_targets, algorithm):
+            def prog(ctx):
+                base = ctx.region.alloc(1, initial=0)
+                for k in range(algorithm_targets):
+                    peer = (ctx.rank + 1 + k) % ctx.nprocs
+                    if peer != ctx.rank:
+                        yield from ctx.armci.put(GlobalAddress(peer, base), [1])
+                t0 = ctx.now
+                yield from ctx.armci.barrier(algorithm=algorithm)
+                return ctx.now - t0
+
+            rt = make_cluster(nprocs=16)
+            return max(rt.run_spmd(prog))
+
+        for targets in (1, 15):
+            rt = make_cluster(nprocs=16)
+            auto_time = max(rt.run_spmd(main, targets))
+            best = min(timed(targets, "linear"), timed(targets, "exchange"))
+            assert auto_time <= best * 1.05
+
+    def test_exchange_scales_logarithmically(self, make_cluster):
+        """Pure synchronization cost (no outstanding puts) grows ~log N."""
+
+        def main(ctx):
+            t0 = ctx.now
+            yield from ctx.armci.barrier(algorithm="exchange")
+            return ctx.now - t0
+
+        times = {}
+        for nprocs in (4, 16):
+            rt = make_cluster(nprocs=nprocs)
+            times[nprocs] = max(rt.run_spmd(main))
+        # 4 -> 16 procs: exchange rounds double (2 -> 4) so time roughly
+        # doubles; it must stay far below the 4x of a linear algorithm.
+        assert times[16] < 3.0 * times[4]

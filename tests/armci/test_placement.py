@@ -1,0 +1,101 @@
+"""ARMCI semantics across irregular SMP placements."""
+
+import pytest
+
+from repro.runtime.memory import GlobalAddress
+
+
+def all_to_all(ctx):
+    base = ctx.region.alloc_named("p", ctx.nprocs, initial=0)
+    for peer in range(ctx.nprocs):
+        if peer != ctx.rank:
+            yield from ctx.armci.put(
+                GlobalAddress(peer, base + ctx.rank), [ctx.rank + 1]
+            )
+    yield from ctx.armci.barrier()
+    return ctx.region.read_many(base, ctx.nprocs)
+
+
+PLACEMENTS = [
+    ("interleaved", [0, 1, 0, 1]),
+    ("clustered", [0, 0, 1, 1]),
+    ("lopsided", [0, 0, 0, 1]),
+    ("all_one_node", [0, 0, 0, 0]),
+]
+
+
+class TestPlacements:
+    @pytest.mark.parametrize("name,placement", PLACEMENTS)
+    def test_barrier_semantics_hold(self, make_cluster, name, placement):
+        rt = make_cluster(nprocs=4, placement=placement)
+        for rank, values in enumerate(rt.run_spmd(all_to_all)):
+            expected = [r + 1 if r != rank else 0 for r in range(4)]
+            assert values == expected, f"{name}: rank {rank}"
+
+    def test_all_local_cluster_uses_no_wire(self, make_cluster):
+        rt = make_cluster(nprocs=4, placement=[0, 0, 0, 0])
+        rt.run_spmd(all_to_all)
+        assert rt.fabric.stats.inter_node == 0
+
+    @pytest.mark.parametrize("name,placement", PLACEMENTS)
+    def test_allfence_respects_placement(self, make_cluster, name, placement):
+        def main(ctx):
+            base = ctx.region.alloc_named("q", 1, 0)
+            if ctx.rank == 0:
+                for peer in range(1, ctx.nprocs):
+                    yield from ctx.armci.put(GlobalAddress(peer, base), [1])
+                yield from ctx.armci.allfence()
+            else:
+                yield ctx.compute(1)
+            return None
+
+        rt = make_cluster(nprocs=4, placement=placement)
+        rt.run_spmd(main)
+        my_node = rt.topology.node_of(0)
+        # Only *other* nodes with dirty puts receive fence requests.
+        for node, server in rt.servers.items():
+            ranks_there = rt.topology.ranks_on(node)
+            remote_targets = [r for r in ranks_there if r != 0]
+            if node == my_node:
+                assert server.stats.fences == 0
+            elif remote_targets:
+                assert server.stats.fences == 1
+            else:
+                assert server.stats.fences == 0
+
+    def test_locks_across_lopsided_placement(self, make_cluster):
+        from repro.locks import make_lock
+        from repro.mp import collectives
+
+        def main(ctx, kind):
+            lock = make_lock(kind, ctx, home_rank=0, name="pl")
+            yield from collectives.barrier(ctx.comm)
+            spans = []
+            for _ in range(4):
+                yield from lock.acquire()
+                start = ctx.now
+                yield ctx.compute(2.0)
+                spans.append((start, ctx.now))
+                yield from lock.release()
+            yield from ctx.armci.barrier()
+            return spans
+
+        for kind in ("hybrid", "mcs"):
+            rt = make_cluster(nprocs=4, placement=[0, 0, 0, 1])
+            spans = sorted(s for per in rt.run_spmd(main, kind) for s in per)
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                assert e1 <= s2, kind
+
+    def test_notify_between_colocated(self, make_cluster):
+        def main(ctx):
+            base = ctx.region.alloc_named("n", 1, 0)
+            if ctx.rank == 0:
+                yield from ctx.armci.put(GlobalAddress(1, base), [5])
+                yield from ctx.armci.notify(1)
+                return None
+            yield from ctx.armci.notify_wait(0)
+            return ctx.region.read(base)
+
+        rt = make_cluster(nprocs=2, placement=[0, 0])
+        assert rt.run_spmd(main)[1] == 5
+        assert rt.fabric.stats.inter_node == 0

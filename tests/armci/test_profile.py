@@ -1,0 +1,122 @@
+"""Tests for the ARMCI operation profiler."""
+
+import math
+
+import pytest
+
+from repro.armci.profile import OpProfile, install, _percentile
+from repro.runtime.memory import GlobalAddress
+
+
+class TestPercentile:
+    def test_empty_nan(self):
+        assert math.isnan(_percentile([], 0.5))
+
+    def test_median(self):
+        assert _percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_p95_near_top(self):
+        samples = [float(i) for i in range(100)]
+        assert _percentile(samples, 0.95) == 94.0
+
+    def test_single_sample(self):
+        assert _percentile([7.0], 0.95) == 7.0
+
+
+class TestOpProfile:
+    def test_record_and_stats(self):
+        profile = OpProfile(rank=0)
+        for v in (1.0, 2.0, 3.0):
+            profile.record("put", v)
+        assert profile.count("put") == 3
+        assert profile.mean("put") == 2.0
+        assert profile.max("put") == 3.0
+
+    def test_missing_op_is_nan(self):
+        profile = OpProfile(rank=0)
+        assert math.isnan(profile.mean("get"))
+        assert profile.count("get") == 0
+
+    def test_merge_pools_samples(self):
+        a, b = OpProfile(rank=0), OpProfile(rank=1)
+        a.record("put", 1.0)
+        b.record("put", 3.0)
+        b.record("get", 5.0)
+        a.merge(b)
+        assert a.count("put") == 2
+        assert a.mean("put") == 2.0
+        assert a.count("get") == 1
+
+    def test_render(self):
+        profile = OpProfile(rank=2)
+        profile.record("barrier", 10.0)
+        text = profile.render()
+        assert "rank 2" in text and "barrier" in text and "p95" in text
+
+
+class TestInstall:
+    def test_profiles_operations_end_to_end(self, make_cluster):
+        def main(ctx):
+            profile = install(ctx.armci)
+            base = ctx.region.alloc(2, initial=0)
+            peer = (ctx.rank + 1) % ctx.nprocs
+            yield from ctx.armci.put(GlobalAddress(peer, base), [1, 2])
+            yield from ctx.armci.get(GlobalAddress(peer, base), 2)
+            yield from ctx.armci.rmw("fetch_add", GlobalAddress(peer, base), 1)
+            yield from ctx.armci.barrier()
+            return profile
+
+        rt = make_cluster(nprocs=2)
+        profiles = rt.run_spmd(main)
+        p0 = profiles[0]
+        assert p0.count("put") == 1
+        assert p0.count("get") == 1
+        assert p0.count("rmw") == 1
+        assert p0.count("barrier") == 1
+        # A remote get takes a full round trip; a put only injects.
+        assert p0.mean("get") > p0.mean("put")
+        # Synchronization costs more than fire-and-forget injection.
+        assert p0.mean("barrier") > p0.mean("put")
+
+    def test_idempotent_install(self, make_cluster):
+        rt = make_cluster(nprocs=1)
+        armci = rt.armcis[0]
+        p1 = install(armci)
+        p2 = install(armci)
+        assert p1 is p2
+
+    def test_wrapped_results_pass_through(self, make_cluster):
+        def main(ctx):
+            install(ctx.armci)
+            base = ctx.region.alloc(1, initial=41)
+            old = yield from ctx.armci.rmw(
+                "fetch_add", GlobalAddress(ctx.rank, base), 1
+            )
+            values = yield from ctx.armci.get(GlobalAddress(ctx.rank, base), 1)
+            return old, values
+
+        rt = make_cluster(nprocs=1)
+        assert rt.run_spmd(main)[0] == (41, [42])
+
+    def test_profile_under_ga_workload(self, make_cluster):
+        import numpy as np
+
+        from repro.ga import GlobalArray
+
+        def main(ctx):
+            profile = install(ctx.armci)
+            ga = GlobalArray(ctx, "P", (8, 8))
+            blk = ga.dist.block((ctx.rank + 1) % ctx.nprocs)
+            yield from ga.put(
+                (blk.row0, blk.row1, blk.col0, blk.col1),
+                np.ones((blk.nrows, blk.ncols)),
+            )
+            yield from ga.sync("new")
+            return profile
+
+        rt = make_cluster(nprocs=4)
+        pooled = OpProfile(rank=-1)
+        for profile in rt.run_spmd(main):
+            pooled.merge(profile)
+        assert pooled.count("put_segments") == 4
+        assert pooled.count("barrier") == 4

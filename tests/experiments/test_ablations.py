@@ -1,0 +1,134 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    render_lock_algorithms,
+    render_release_opt,
+    run_crossover,
+    run_fence_modes,
+    run_lock_algorithms,
+    run_release_opt,
+    run_skew,
+    run_smp_handoff,
+    run_wake_cost,
+)
+from repro.experiments.lockbench import LockBenchConfig
+
+FAST_LOCK = LockBenchConfig(iterations=80, warmup=6)
+
+
+class TestCrossover:
+    @pytest.fixture(scope="class")
+    def crossover(self):
+        return run_crossover(nprocs=16, targets_list=(0, 1, 2, 4, 15), iterations=6)
+
+    def test_linear_wins_with_few_targets(self, crossover):
+        row = crossover.by_targets[1]
+        assert row["linear"] < row["exchange"]
+
+    def test_exchange_wins_with_many_targets(self, crossover):
+        row = crossover.by_targets[15]
+        assert row["exchange"] < row["linear"]
+
+    def test_crossover_near_paper_heuristic(self, crossover):
+        """Paper: linear wins below ~log2(16)/2 = 2 put targets."""
+        crossover_at = crossover.crossover_targets()
+        assert crossover_at is not None
+        assert 1 <= crossover_at <= 4
+
+    def test_auto_tracks_winner_everywhere(self, crossover):
+        for targets, row in crossover.by_targets.items():
+            best = min(row["linear"], row["exchange"])
+            assert row["auto"] <= best * 1.10, f"auto suboptimal at {targets}"
+
+    def test_render(self, crossover):
+        text = crossover.render()
+        assert "crossover" in text
+        assert "winner" in text
+
+
+class TestFenceModes:
+    def test_ack_mode_allfence_nearly_free(self):
+        comparison = run_fence_modes(nprocs_list=(8,), iterations=6)
+        assert comparison.get("ack", 8) < comparison.get("confirm", 8) / 5
+
+    def test_confirm_grows_with_procs(self):
+        comparison = run_fence_modes(nprocs_list=(2, 8), iterations=6)
+        assert comparison.get("confirm", 8) > 2 * comparison.get("confirm", 2)
+
+
+class TestSmpHandoff:
+    def test_colocated_mcs_much_faster(self):
+        comparison = run_smp_handoff(
+            nprocs=4, ppn_list=(1, 4), cfg=FAST_LOCK
+        )
+        # Full co-location: MCS entirely in shared memory.
+        assert comparison.get("new", 4) < comparison.get("new", 1) / 4
+        # The hybrid still pays server visits even fully co-located.
+        assert comparison.get("new", 4) < comparison.get("current", 4)
+
+
+class TestWakeCost:
+    def test_hybrid_more_sensitive_to_wake(self):
+        comparison = run_wake_cost(nprocs=4, wake_list=(0.0, 36.0), cfg=FAST_LOCK)
+        hybrid_delta = comparison.get("current", 36) - comparison.get("current", 0)
+        mcs_delta = comparison.get("new", 36) - comparison.get("new", 0)
+        assert hybrid_delta > mcs_delta
+
+
+class TestLockAlgorithms:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return run_lock_algorithms(
+            kinds=("hybrid", "mcs", "raymond", "naimi"),
+            nprocs_list=(4, 8),
+            cfg=FAST_LOCK,
+        )
+
+    def test_mcs_beats_all_baselines_under_contention(self, series):
+        for n in (4, 8):
+            mcs = series["mcs"][n].roundtrip_us
+            for kind in ("hybrid", "raymond", "naimi"):
+                assert mcs < series[kind][n].roundtrip_us, (kind, n)
+
+    def test_naimi_beats_raymond(self, series):
+        """Path compression beats fixed-tree forwarding under contention."""
+        for n in (4, 8):
+            assert series["naimi"][n].roundtrip_us < series["raymond"][n].roundtrip_us
+
+    def test_render(self, series):
+        text = render_lock_algorithms(series)
+        assert "raymond" in text and "naimi" in text
+
+
+class TestSkew:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_skew(nprocs=8, skew_us=150.0, iterations=8)
+
+    def test_no_prebarrier_inflates_new_sync_reported_time(self, result):
+        assert result.inflation("new") > 1.3
+
+    def test_new_more_sensitive_than_current(self, result):
+        assert result.inflation("new") > result.inflation("current")
+
+    def test_render(self, result):
+        assert "pre-barrier" in result.render()
+
+
+class TestReleaseOpt:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return run_release_opt(nprocs_list=(1, 4), cfg=FAST_LOCK)
+
+    def test_release_time_collapses_at_low_contention(self, series):
+        """The future-work variant removes the blocking CAS from release."""
+        assert series["mcs-opt"][1].release_us < series["mcs"][1].release_us / 2
+
+    def test_correct_and_competitive_under_contention(self, series):
+        assert series["mcs-opt"][4].roundtrip_us <= series["mcs"][4].roundtrip_us * 1.3
+
+    def test_render(self, series):
+        text = render_release_opt(series)
+        assert "optimistic" in text

@@ -1,0 +1,40 @@
+"""Experiments at non-power-of-two process counts.
+
+The paper's evaluation uses powers of two; the binary-exchange algorithms
+need the fold-in/dissemination generalizations to run elsewhere.  These
+tests pin the whole experiment stack at awkward sizes."""
+
+import pytest
+
+from repro.experiments.fig7_sync import Fig7Config, run_fig7
+from repro.experiments.lockbench import LockBenchConfig, run_lock_point
+
+
+class TestFig7NonPow2:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_fig7(
+            Fig7Config(nprocs_list=(3, 5, 6, 12), iterations=6, shape=(60, 60))
+        )
+
+    def test_new_wins_at_every_size(self, comparison):
+        for n in (3, 5, 6, 12):
+            assert comparison.factor(n) > 1.0, n
+
+    def test_factor_still_grows(self, comparison):
+        assert comparison.factor(12) > comparison.factor(3)
+
+
+class TestLocksNonPow2:
+    @pytest.mark.parametrize("kind", ["hybrid", "mcs"])
+    @pytest.mark.parametrize("nprocs", [3, 5, 7])
+    def test_lock_bench_runs(self, kind, nprocs):
+        cfg = LockBenchConfig(iterations=40, warmup=4)
+        point = run_lock_point(kind, nprocs, cfg)
+        assert point.acquire_us > 0 and point.release_us > 0
+
+    def test_mcs_wins_at_six(self):
+        cfg = LockBenchConfig(iterations=100, warmup=8)
+        hybrid = run_lock_point("hybrid", 6, cfg)
+        mcs = run_lock_point("mcs", 6, cfg)
+        assert mcs.roundtrip_us < hybrid.roundtrip_us

@@ -1,0 +1,79 @@
+"""Tests for CSV export and the application-scaling experiment."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.app_scaling import AppScalingConfig, run_app_scaling
+from repro.experiments.common import Comparison
+from repro.experiments.lockbench import LockBenchConfig, run_lock_series
+from repro.experiments.report import (
+    comparison_to_csv,
+    lock_series_to_csv,
+    write_csv,
+)
+
+
+class TestComparisonCsv:
+    def make_comparison(self):
+        c = Comparison("t", "m", baseline="current", improved="new")
+        c.record("current", 2, 10.0)
+        c.record("current", 4, 20.0)
+        c.record("new", 2, 5.0)
+        c.record("new", 4, 8.0)
+        return c
+
+    def test_tidy_rows(self):
+        text = comparison_to_csv(self.make_comparison())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["variant", "nprocs", "microseconds"]
+        assert ["current", "2", "10.000"] in rows
+        assert ["new", "4", "8.000"] in rows
+
+    def test_factor_rows_included(self):
+        text = comparison_to_csv(self.make_comparison())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert ["factor", "2", "2.0000"] in rows
+        assert ["factor", "4", "2.5000"] in rows
+
+    def test_write_csv_creates_dirs(self, tmp_path):
+        path = write_csv("a,b\n1,2\n", tmp_path / "sub" / "dir", "test")
+        assert path.exists()
+        assert path.read_text() == "a,b\n1,2\n"
+
+
+class TestLockSeriesCsv:
+    def test_contains_all_metrics(self):
+        series = run_lock_series(
+            LockBenchConfig(nprocs_list=(1, 2), iterations=25, warmup=2)
+        )
+        text = lock_series_to_csv(series)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["kind", "nprocs", "acquire_us", "release_us",
+                           "roundtrip_us"]
+        kinds = {row[0] for row in rows[1:]}
+        assert kinds == {"hybrid", "mcs"}
+        assert len(rows) == 1 + 2 * 2
+
+
+class TestAppScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_app_scaling(
+            AppScalingConfig(nprocs_list=(2, 8), iterations=4, shape=(64, 64))
+        )
+
+    def test_new_sync_speeds_up_the_application(self, result):
+        assert result.speedup(8) > 1.2
+
+    def test_speedup_grows_with_system_size(self, result):
+        assert result.speedup(8) > result.speedup(2)
+
+    def test_sync_share_reduced(self, result):
+        for n in (2, 8):
+            assert result.data["new"][n][1] < result.data["current"][n][1]
+
+    def test_render(self, result):
+        text = result.render()
+        assert "app speedup" in text and "sync %" in text

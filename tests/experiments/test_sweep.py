@@ -1,0 +1,105 @@
+"""Tests for the parameter-sweep framework."""
+
+import math
+
+import pytest
+
+from repro.experiments.sweep import (
+    SweepResult,
+    best,
+    calibration_loss,
+    sweep,
+)
+from repro.net.params import myrinet2000
+
+
+class TestSweep:
+    def test_cartesian_coverage(self):
+        seen = []
+
+        def evaluate(params):
+            seen.append((params.server_wake_us, params.api_call_us))
+            return {"m": params.server_wake_us + params.api_call_us}
+
+        result = sweep(
+            {"server_wake_us": [1.0, 2.0], "api_call_us": [0.5, 1.5]},
+            evaluate,
+        )
+        assert len(result.points) == 4
+        assert sorted(seen) == [(1.0, 0.5), (1.0, 1.5), (2.0, 0.5), (2.0, 1.5)]
+
+    def test_deterministic_order(self):
+        def evaluate(params):
+            return {"m": params.server_wake_us}
+
+        grid = {"server_wake_us": [3.0, 1.0, 2.0]}
+        a = sweep(grid, evaluate)
+        b = sweep(grid, evaluate)
+        assert [p for p, _m in a.points] == [p for p, _m in b.points]
+
+    def test_base_params_respected(self):
+        def evaluate(params):
+            return {"latency": params.inter_latency_us}
+
+        base = myrinet2000(inter_latency_us=99.0)
+        result = sweep({"api_call_us": [1.0]}, evaluate, base=base)
+        assert result.points[0][1]["latency"] == 99.0
+
+    def test_render(self):
+        def evaluate(params):
+            return {"m": 1.0}
+
+        text = sweep({"api_call_us": [1.0, 2.0]}, evaluate).render()
+        assert "api_call_us" in text and "m" in text
+        assert len(text.splitlines()) == 4
+
+
+class TestBest:
+    def test_picks_minimum(self):
+        result = SweepResult(grid={"x": [1, 2]})
+        result.points = [
+            ({"x": 1}, {"m": 10.0}),
+            ({"x": 2}, {"m": 3.0}),
+        ]
+        overrides, outputs, loss_value = best(result, lambda m: m["m"])
+        assert overrides == {"x": 2}
+        assert loss_value == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            best(SweepResult(grid={}), lambda m: 0.0)
+
+
+class TestCalibrationLoss:
+    def test_zero_at_targets(self):
+        loss = calibration_loss({"a": 2.0, "b": 5.0})
+        assert loss({"a": 2.0, "b": 5.0}) == pytest.approx(0.0)
+
+    def test_symmetric_in_ratio(self):
+        loss = calibration_loss({"a": 1.0})
+        assert loss({"a": 2.0}) == pytest.approx(loss({"a": 0.5}))
+
+    def test_weights_scale(self):
+        plain = calibration_loss({"a": 1.0})
+        weighted = calibration_loss({"a": 1.0}, weights={"a": 4.0})
+        assert weighted({"a": 2.0}) == pytest.approx(4 * plain({"a": 2.0}))
+
+    def test_missing_metric_is_infinite(self):
+        loss = calibration_loss({"a": 1.0})
+        assert math.isinf(loss({}))
+        assert math.isinf(loss({"a": 0.0}))
+
+    def test_end_to_end_fit_on_synthetic_model(self):
+        """The framework recovers a known optimum on an analytic metric."""
+
+        def evaluate(params):
+            # A bowl with minimum at wake=20.
+            return {"m": 100.0 + (params.server_wake_us - 20.0) ** 2}
+
+        result = sweep(
+            {"server_wake_us": [10.0, 15.0, 20.0, 25.0]}, evaluate
+        )
+        overrides, _outputs, _loss = best(
+            result, calibration_loss({"m": 100.0})
+        )
+        assert overrides == {"server_wake_us": 20.0}

@@ -1,0 +1,41 @@
+"""Tests for the installation self-check."""
+
+import pytest
+
+from repro.experiments.validate import ValidationCheck, run_validation
+
+
+class TestValidationCheck:
+    def test_pass_inside_range(self):
+        assert ValidationCheck("x", "c", 5.0, 1.0, 10.0).passed
+
+    def test_fail_outside_range(self):
+        assert not ValidationCheck("x", "c", 0.5, 1.0, 10.0).passed
+        assert not ValidationCheck("x", "c", 11.0, 1.0, 10.0).passed
+
+    def test_boundaries_inclusive(self):
+        assert ValidationCheck("x", "c", 1.0, 1.0, 10.0).passed
+        assert ValidationCheck("x", "c", 10.0, 1.0, 10.0).passed
+
+
+class TestRunValidation:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_validation(quick=True)
+
+    def test_all_headline_checks_pass(self, outcome):
+        checks, report = outcome
+        failing = [c.name for c in checks if not c.passed]
+        assert not failing, f"failing reproduction checks: {failing}"
+        assert "ALL CHECKS PASSED" in report
+
+    def test_covers_every_figure(self, outcome):
+        checks, _report = outcome
+        names = " ".join(c.name for c in checks)
+        for token in ("fig7", "fig8", "fig9", "fig10", "crossover", "release opt"):
+            assert token in names
+
+    def test_report_renders_all_rows(self, outcome):
+        checks, report = outcome
+        for check in checks:
+            assert check.name in report

@@ -1,0 +1,168 @@
+"""Tests for ghost-cell (halo) support."""
+
+import numpy as np
+import pytest
+
+from repro.ga.ghosts import GhostArray, _edge_range, _halo_range
+
+
+class TestRanges:
+    def test_edge_ranges(self):
+        assert _edge_range(-1, 10, 2) == (0, 2)
+        assert _edge_range(1, 10, 2) == (8, 10)
+        assert _edge_range(0, 10, 2) == (0, 10)
+
+    def test_halo_ranges(self):
+        assert _halo_range(-1, 10, 2) == (0, 2)
+        assert _halo_range(1, 10, 2) == (12, 14)
+        assert _halo_range(0, 10, 2) == (2, 12)
+
+
+def reference_halo(global_array, r0, r1, c0, c1, width, boundary):
+    """The halo-extended view a block should see after update_ghosts."""
+    rows, cols = global_array.shape
+    out = np.full((r1 - r0 + 2 * width, c1 - c0 + 2 * width), boundary)
+    for i in range(r0 - width, r1 + width):
+        for j in range(c0 - width, c1 + width):
+            if 0 <= i < rows and 0 <= j < cols:
+                out[i - (r0 - width), j - (c0 - width)] = global_array[i, j]
+    return out
+
+
+def make_global(shape, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(1, 100, size=shape).astype(float)
+
+
+class TestUpdateGhosts:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 6])
+    @pytest.mark.parametrize("width", [1, 2])
+    def test_halos_match_reference(self, make_cluster, nprocs, width):
+        shape = (12, 12)
+        reference = make_global(shape)
+
+        def main(ctx):
+            gh = GhostArray(ctx, "G", shape, width=width, boundary=-5.0)
+            blk = gh.dist.block(ctx.rank)
+            yield from gh.set_local(
+                reference[blk.row0 : blk.row1, blk.col0 : blk.col1]
+            )
+            yield from gh.update_ghosts()
+            return gh.local_with_ghosts(), (blk.row0, blk.row1, blk.col0, blk.col1)
+
+        rt = make_cluster(nprocs=nprocs)
+        for got, (r0, r1, c0, c1) in rt.run_spmd(main):
+            want = reference_halo(reference, r0, r1, c0, c1, width, -5.0)
+            np.testing.assert_array_equal(got, want)
+
+    def test_interior_preserved(self, make_cluster):
+        shape = (8, 8)
+        reference = make_global(shape)
+
+        def main(ctx):
+            gh = GhostArray(ctx, "G2", shape)
+            blk = gh.dist.block(ctx.rank)
+            yield from gh.set_local(
+                reference[blk.row0 : blk.row1, blk.col0 : blk.col1]
+            )
+            yield from gh.update_ghosts()
+            return gh.local_interior(), (blk.row0, blk.row1, blk.col0, blk.col1)
+
+        rt = make_cluster(nprocs=4)
+        for got, (r0, r1, c0, c1) in rt.run_spmd(main):
+            np.testing.assert_array_equal(got, reference[r0:r1, c0:c1])
+
+    @pytest.mark.parametrize("sync", ["current", "new"])
+    def test_sync_modes_equivalent(self, make_cluster, sync):
+        shape = (8, 8)
+        reference = make_global(shape)
+
+        def main(ctx):
+            gh = GhostArray(ctx, "G3", shape)
+            blk = gh.dist.block(ctx.rank)
+            yield from gh.set_local(
+                reference[blk.row0 : blk.row1, blk.col0 : blk.col1]
+            )
+            yield from gh.update_ghosts(sync=sync)
+            return float(gh.local_with_ghosts().sum())
+
+        rt = make_cluster(nprocs=4)
+        sums = rt.run_spmd(main)
+        assert len(sums) == 4
+
+    def test_repeated_updates_track_changes(self, make_cluster):
+        shape = (6, 6)
+
+        def main(ctx):
+            gh = GhostArray(ctx, "G4", shape)
+            blk = gh.dist.block(ctx.rank)
+            seen = []
+            for step in (1.0, 2.0):
+                yield from gh.set_local(
+                    np.full((blk.nrows, blk.ncols), step * (ctx.rank + 1))
+                )
+                yield from gh.update_ghosts()
+                seen.append(gh.local_with_ghosts().max())
+            return seen
+
+        rt = make_cluster(nprocs=4)
+        results = rt.run_spmd(main)
+        # Max visible value doubles between steps for every rank that can
+        # see rank 3's block (value 4 then 8).
+        assert results[3] == [4.0, 8.0]
+
+    def test_width_validation(self, make_cluster):
+        rt = make_cluster(nprocs=1)
+
+        def main(ctx):
+            GhostArray(ctx, "bad", (4, 4), width=0)
+            yield ctx.compute(0)
+
+        with pytest.raises(ValueError, match="width"):
+            rt.run_spmd(main)
+
+    def test_set_local_shape_checked(self, make_cluster):
+        def main(ctx):
+            gh = GhostArray(ctx, "G5", (8, 8))
+            yield from gh.set_local(np.zeros((1, 1)))
+
+        rt = make_cluster(nprocs=4)
+        with pytest.raises(ValueError, match="block shape"):
+            rt.run_spmd(main)
+
+    def test_jacobi_against_numpy(self, make_cluster):
+        """A 3-step Jacobi on ghosts must equal the sequential stencil."""
+        shape = (10, 10)
+        initial = make_global(shape, seed=9)
+        steps = 3
+
+        def seq_jacobi(grid):
+            for _ in range(steps):
+                padded = np.zeros((grid.shape[0] + 2, grid.shape[1] + 2))
+                padded[1:-1, 1:-1] = grid
+                grid = 0.25 * (
+                    padded[:-2, 1:-1] + padded[2:, 1:-1]
+                    + padded[1:-1, :-2] + padded[1:-1, 2:]
+                )
+            return grid
+
+        def main(ctx):
+            gh = GhostArray(ctx, "J", shape, width=1, boundary=0.0)
+            blk = gh.dist.block(ctx.rank)
+            yield from gh.set_local(
+                initial[blk.row0 : blk.row1, blk.col0 : blk.col1]
+            )
+            for _ in range(steps):
+                yield from gh.update_ghosts()
+                halo = gh.local_with_ghosts()
+                relaxed = 0.25 * (
+                    halo[:-2, 1:-1] + halo[2:, 1:-1]
+                    + halo[1:-1, :-2] + halo[1:-1, 2:]
+                )
+                yield from gh.set_local(relaxed)
+            return gh.local_interior(), (blk.row0, blk.row1, blk.col0, blk.col1)
+
+        rt = make_cluster(nprocs=4)
+        expected = seq_jacobi(initial)
+        for got, (r0, r1, c0, c1) in rt.run_spmd(main):
+            np.testing.assert_allclose(got, expected[r0:r1, c0:c1])

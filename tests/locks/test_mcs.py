@@ -1,0 +1,215 @@
+"""Unit tests for the MCS software queuing lock (the paper's new lock)."""
+
+import pytest
+
+from repro.locks.mcs import MCSLock
+from repro.runtime.memory import NULL_PTR
+
+from .helpers import assert_mutual_exclusion, critical_section_program
+
+
+class TestMutualExclusion:
+    @pytest.mark.parametrize("nprocs,ppn", [(2, 1), (4, 1), (4, 2), (8, 2)])
+    def test_exclusion_across_placements(self, make_cluster, nprocs, ppn):
+        main, intervals = critical_section_program("mcs", iterations=6)
+        rt = make_cluster(nprocs=nprocs, procs_per_node=ppn)
+        rt.run_spmd(main)
+        assert len(intervals) == 6 * nprocs
+        assert_mutual_exclusion(intervals)
+
+    def test_exclusion_with_remote_home(self, make_cluster):
+        main, intervals = critical_section_program("mcs", iterations=6, home_rank=3)
+        rt = make_cluster(nprocs=4)
+        rt.run_spmd(main)
+        assert_mutual_exclusion(intervals)
+
+    def test_queue_order_is_starvation_free(self, make_cluster):
+        """MCS's queue bounds unfairness: between two acquisitions by the
+        same rank, every other rank acquires at most twice."""
+        main, intervals = critical_section_program("mcs", iterations=5)
+        rt = make_cluster(nprocs=4)
+        rt.run_spmd(main)
+        order = [r for (_s, _e, r, _i) in sorted(intervals)]
+        positions = {r: [i for i, x in enumerate(order) if x == r] for r in range(4)}
+        for r, pos in positions.items():
+            gaps = [b - a for a, b in zip(pos, pos[1:])]
+            assert max(gaps) <= 2 * 4, f"rank {r} starved: gaps {gaps}"
+
+    def test_exclusion_under_optimistic_release(self, make_cluster):
+        main, intervals = critical_section_program(
+            "mcs", iterations=6, lock_kwargs={"optimistic_release": True}
+        )
+        rt = make_cluster(nprocs=4)
+        rt.run_spmd(main)
+        assert len(intervals) == 24
+        assert_mutual_exclusion(intervals)
+
+
+class TestLockState:
+    def test_lock_returns_to_null_when_idle(self, make_cluster):
+        main, _ = critical_section_program("mcs", iterations=3)
+        rt = make_cluster(nprocs=3)
+        locks = rt.run_spmd(main)
+        lock_addr = locks[0].lock_addr
+        assert tuple(rt.regions[0].read_many(lock_addr, 2)) == NULL_PTR
+
+    def test_uncontended_acquire_counts(self, make_cluster):
+        def main(ctx):
+            lock = MCSLock(ctx, home_rank=0)
+            yield from lock.acquire()
+            yield from lock.release()
+            return lock.stats
+
+        rt = make_cluster(nprocs=1)
+        stats = rt.run_spmd(main)[0]
+        assert stats.uncontended_acquires == 1
+        assert stats.counters.get("release_cas") == 1
+        assert stats.counters.get("release_cas_failed", 0) == 0
+
+    def test_node_struct_shared_across_locks(self, make_cluster):
+        def main(ctx):
+            a = MCSLock(ctx, home_rank=0, name="A")
+            b = MCSLock(ctx, home_rank=0, name="B")
+            assert a.node_struct is b.node_struct
+            yield from a.acquire()
+            yield from a.release()
+            yield from b.acquire()
+            yield from b.release()
+            return True
+
+        rt = make_cluster(nprocs=1)
+        assert rt.run_spmd(main) == [True]
+
+    def test_concurrent_use_of_node_struct_rejected(self, make_cluster):
+        """Paper: one node structure per process — so a process cannot hold
+        or wait on two MCS locks simultaneously."""
+
+        def main(ctx):
+            a = MCSLock(ctx, home_rank=0, name="A")
+            b = MCSLock(ctx, home_rank=0, name="B")
+            yield from a.acquire()
+            yield from b.acquire()
+
+        rt = make_cluster(nprocs=1)
+        with pytest.raises(RuntimeError, match="node structure already in use"):
+            rt.run_spmd(main)
+
+
+class TestProtocolCosts:
+    def test_server_uninvolved_when_all_local(self, make_cluster):
+        """All on the home node: lock traffic never touches the server."""
+        main, intervals = critical_section_program("mcs", iterations=5)
+        rt = make_cluster(nprocs=4, procs_per_node=4)
+        rt.run_spmd(main)
+        assert_mutual_exclusion(intervals)
+        assert rt.servers[0].stats.rmws == 0
+        assert rt.servers[0].stats.puts == 0
+
+    def test_same_node_handoff_counted(self, make_cluster):
+        main, _ = critical_section_program("mcs", iterations=6)
+        rt = make_cluster(nprocs=4, procs_per_node=4)
+        locks = rt.run_spmd(main)
+        total_handoffs = sum(l.stats.handoffs for l in locks)
+        same_node = sum(l.stats.counters.get("handoffs_same_node", 0) for l in locks)
+        assert total_handoffs > 0
+        assert same_node == total_handoffs
+
+    def test_remote_handoff_is_one_message(self, make_cluster):
+        """Passing to a remote waiter = one put; no server grant messages."""
+
+        def main(ctx):
+            lock = MCSLock(ctx, home_rank=0)
+            if ctx.rank == 1:
+                yield from lock.acquire()
+                yield from ctx.comm.send(2, "mine")
+                yield ctx.compute(60)  # let rank 2 queue behind us
+                yield from lock.release()
+            elif ctx.rank == 2:
+                yield from ctx.comm.recv(source=1)
+                yield from lock.acquire()
+                yield from lock.release()
+            yield from ctx.armci.barrier()
+            return lock.stats
+
+        rt = make_cluster(nprocs=3)
+        stats = rt.run_spmd(main)
+        assert stats[1].handoffs == 1
+        assert stats[2].counters.get("contended_acquires") == 1
+        # Hybrid-server lock machinery never used.
+        assert rt.servers[0].stats.locks == 0
+        assert rt.servers[0].stats.unlocks == 0
+        assert rt.servers[0].stats.grants == 0
+
+    def test_uncontended_remote_release_blocks_on_cas(self, make_cluster):
+        """Figure 10's cause: release with no waiter = blocking CAS RTT."""
+
+        def main(ctx):
+            lock = MCSLock(ctx, home_rank=1)  # remote home
+            yield from lock.acquire()
+            t0 = ctx.now
+            yield from lock.release()
+            return ctx.now - t0
+
+        rt = make_cluster(nprocs=2)
+        release_time = rt.run_spmd(main)[0]
+        p = rt.params
+        assert release_time > 2 * p.inter_latency_us  # a full round trip
+
+
+class TestOptimisticRelease:
+    def test_release_returns_fast(self, make_cluster):
+        def main(ctx):
+            lock = MCSLock(ctx, home_rank=1, optimistic_release=True)
+            yield from lock.acquire()
+            t0 = ctx.now
+            yield from lock.release()
+            release_time = ctx.now - t0
+            yield from ctx.armci.barrier()
+            return release_time
+
+        rt = make_cluster(nprocs=2)
+        release_time = rt.run_spmd(main)[0]
+        assert release_time < rt.params.inter_latency_us
+
+    def test_lock_still_freed_in_background(self, make_cluster):
+        def main(ctx):
+            lock = MCSLock(ctx, home_rank=1, optimistic_release=True)
+            yield from lock.acquire()
+            yield from lock.release()
+            yield from ctx.armci.barrier()
+            yield ctx.compute(100)
+            return lock.lock_addr
+
+        rt = make_cluster(nprocs=2)
+        lock_addr = rt.run_spmd(main)[0]
+        assert tuple(rt.regions[1].read_many(lock_addr, 2)) == NULL_PTR
+
+    def test_reacquire_waits_for_pending_release(self, make_cluster):
+        """The node structure must not be reused while the optimistic CAS is
+        in flight; a tight relock loop stays correct."""
+        main, intervals = critical_section_program(
+            "mcs", iterations=8, lock_kwargs={"optimistic_release": True}
+        )
+        rt = make_cluster(nprocs=2)
+        rt.run_spmd(main)
+        assert len(intervals) == 16
+        assert_mutual_exclusion(intervals)
+
+    def test_optimistic_cas_failure_still_hands_off(self, make_cluster):
+        def main(ctx):
+            lock = MCSLock(ctx, home_rank=0, optimistic_release=True)
+            if ctx.rank == 1:
+                yield from lock.acquire()
+                yield from ctx.comm.send(2, "queued?")
+                yield ctx.compute(80)
+                yield from lock.release()
+            elif ctx.rank == 2:
+                yield from ctx.comm.recv(source=1)
+                yield from lock.acquire()
+                yield from lock.release()
+            yield from ctx.armci.barrier()
+            return lock.stats.acquires
+
+        rt = make_cluster(nprocs=3)
+        acquires = rt.run_spmd(main)
+        assert acquires[1] == 1 and acquires[2] == 1

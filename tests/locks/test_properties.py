@@ -1,0 +1,116 @@
+"""Property-based lock tests: mutual exclusion and liveness under random
+schedules, for every algorithm and placement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locks import make_lock
+from repro.net.params import myrinet2000
+from repro.runtime.cluster import ClusterRuntime
+
+from .helpers import assert_mutual_exclusion
+
+
+@given(
+    kind=st.sampled_from(["hybrid", "mcs", "server", "raymond", "naimi"]),
+    nprocs=st.integers(min_value=1, max_value=5),
+    ppn=st.integers(min_value=1, max_value=3),
+    home=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_mutual_exclusion_under_random_schedules(kind, nprocs, ppn, home, seed):
+    """Random per-iteration work and think times never break exclusion, and
+    every requested acquisition is eventually granted exactly once."""
+    import random
+
+    home = home % nprocs
+    rng = random.Random(seed)
+    iters = rng.randint(1, 5)
+    delays = {
+        rank: [(rng.uniform(0, 20), rng.uniform(0, 20)) for _ in range(iters)]
+        for rank in range(nprocs)
+    }
+    intervals = []
+
+    def main(ctx):
+        lock = make_lock(kind, ctx, home_rank=home, name="prop")
+        for i in range(iters):
+            think, hold = delays[ctx.rank][i]
+            yield ctx.compute(think)
+            yield from lock.acquire()
+            enter = ctx.now
+            yield ctx.compute(hold)
+            intervals.append((enter, ctx.now, ctx.rank, i))
+            yield from lock.release()
+        yield from ctx.armci.barrier()
+        return lock.stats.acquires
+
+    rt = ClusterRuntime(nprocs, procs_per_node=ppn, params=myrinet2000())
+    acquires = rt.run_spmd(main)
+    assert acquires == [iters] * nprocs
+    assert len(intervals) == iters * nprocs
+    assert_mutual_exclusion(intervals)
+
+
+@given(
+    optimistic=st.booleans(),
+    nprocs=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_mcs_variants_equivalent_outcomes(optimistic, nprocs, seed):
+    """Optimistic release must preserve exclusion and total acquisitions."""
+    import random
+
+    rng = random.Random(seed)
+    iters = rng.randint(1, 4)
+    intervals = []
+
+    def main(ctx):
+        lock = make_lock(
+            "mcs", ctx, home_rank=0, name="prop",
+            optimistic_release=optimistic,
+        )
+        for i in range(iters):
+            yield ctx.compute(rng.uniform(0, 10))
+            yield from lock.acquire()
+            enter = ctx.now
+            yield ctx.compute(1.0)
+            intervals.append((enter, ctx.now, ctx.rank, i))
+            yield from lock.release()
+        yield from ctx.armci.barrier()
+        return lock.stats.acquires
+
+    rt = ClusterRuntime(nprocs, params=myrinet2000())
+    acquires = rt.run_spmd(main)
+    assert acquires == [iters] * nprocs
+    assert_mutual_exclusion(intervals)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_ticket_lock_exclusion_random_holds(seed):
+    import random
+
+    rng = random.Random(seed)
+    nprocs = rng.randint(1, 4)
+    iters = rng.randint(1, 5)
+    intervals = []
+
+    def main(ctx):
+        lock = make_lock("ticket", ctx, home_rank=0, name="prop")
+        for i in range(iters):
+            yield ctx.compute(rng.uniform(0, 5))
+            yield from lock.acquire()
+            enter = ctx.now
+            yield ctx.compute(rng.uniform(0.1, 5))
+            intervals.append((enter, ctx.now, ctx.rank, i))
+            yield from lock.release()
+        yield from ctx.armci.barrier()
+
+    rt = ClusterRuntime(nprocs, procs_per_node=nprocs, params=myrinet2000())
+    rt.run_spmd(main)
+    assert len(intervals) == iters * nprocs
+    assert_mutual_exclusion(intervals)

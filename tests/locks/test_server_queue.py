@@ -1,0 +1,55 @@
+"""Unit tests for the pure server-based queue lock."""
+
+import pytest
+
+from repro.locks.server_queue import ServerQueueLock
+
+from .helpers import assert_mutual_exclusion, critical_section_program
+
+
+class TestServerQueueLock:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4])
+    def test_mutual_exclusion(self, make_cluster, nprocs):
+        main, intervals = critical_section_program("server", iterations=6)
+        rt = make_cluster(nprocs=nprocs)
+        rt.run_spmd(main)
+        assert len(intervals) == 6 * nprocs
+        assert_mutual_exclusion(intervals)
+
+    def test_even_local_requesters_use_server(self, make_cluster):
+        """Unlike the hybrid, the home rank also sends LockRequests."""
+
+        def main(ctx):
+            lock = ServerQueueLock(ctx, home_rank=0)
+            yield from lock.acquire()
+            yield from lock.release()
+            yield ctx.compute(100)
+            return None
+
+        rt = make_cluster(nprocs=1)
+        rt.run_spmd(main)
+        assert rt.servers[0].stats.locks == 1
+        assert rt.servers[0].stats.unlocks == 1
+
+    def test_grants_follow_ticket_order(self, make_cluster):
+        def main(ctx):
+            lock = ServerQueueLock(ctx, home_rank=0)
+            yield ctx.compute(ctx.rank * 5.0)  # staggered arrival
+            yield from lock.acquire()
+            grabbed = ctx.now
+            yield from lock.release()
+            yield from ctx.armci.barrier()
+            return grabbed
+
+        rt = make_cluster(nprocs=4)
+        times = rt.run_spmd(main)
+        assert times == sorted(times)
+
+    def test_interoperates_with_hybrid_state_layout(self, make_cluster):
+        """Server lock shares the hybrid's [ticket, counter] server logic."""
+        main, intervals = critical_section_program("server", iterations=4)
+        rt = make_cluster(nprocs=2, procs_per_node=2)
+        rt.run_spmd(main)
+        assert_mutual_exclusion(intervals)
+        # All messages intra-node, but the server is still in the loop.
+        assert rt.servers[0].stats.locks == 8

@@ -1,0 +1,76 @@
+"""Unit tests for the shared-memory ticket lock."""
+
+import pytest
+
+from repro.locks.ticket import TicketLock
+
+from .helpers import assert_mutual_exclusion, critical_section_program
+
+
+class TestTicketLock:
+    def test_mutual_exclusion_same_node(self, make_cluster):
+        main, intervals = critical_section_program("ticket", iterations=8)
+        rt = make_cluster(nprocs=4, procs_per_node=4)
+        rt.run_spmd(main)
+        assert len(intervals) == 32
+        assert_mutual_exclusion(intervals)
+
+    def test_fifo_by_ticket_order(self, make_cluster):
+        """Grants happen in fetch&inc order — tickets are FIFO-fair."""
+        main, intervals = critical_section_program("ticket", iterations=5)
+        rt = make_cluster(nprocs=3, procs_per_node=3)
+        rt.run_spmd(main)
+        # With identical loop costs, each rank acquires once per "round".
+        rounds = [sorted(r for (_s, _e, r, i) in intervals if i == k)
+                  for k in range(5)]
+        assert all(r == [0, 1, 2] for r in rounds)
+
+    def test_remote_home_rejected(self, make_cluster):
+        rt = make_cluster(nprocs=2, procs_per_node=1)
+
+        def main(ctx):
+            TicketLock(ctx, home_rank=(ctx.rank + 1) % 2)
+            yield ctx.compute(0)
+
+        with pytest.raises(ValueError, match="not.*mappable|not mappable"):
+            rt.run_spmd(main)
+
+    def test_uncontended_stats(self, make_cluster):
+        def main(ctx):
+            lock = TicketLock(ctx, home_rank=0)
+            yield from lock.acquire()
+            yield from lock.release()
+            return lock.stats
+
+        rt = make_cluster(nprocs=1)
+        stats = rt.run_spmd(main)[0]
+        assert stats.acquires == 1
+        assert stats.releases == 1
+        assert stats.uncontended_acquires == 1
+
+    def test_recursive_acquire_rejected(self, make_cluster):
+        def main(ctx):
+            lock = TicketLock(ctx, home_rank=0)
+            yield from lock.acquire()
+            yield from lock.acquire()
+
+        rt = make_cluster(nprocs=1)
+        with pytest.raises(RuntimeError, match="recursive"):
+            rt.run_spmd(main)
+
+    def test_release_without_acquire_rejected(self, make_cluster):
+        def main(ctx):
+            lock = TicketLock(ctx, home_rank=0)
+            yield from lock.release()
+
+        rt = make_cluster(nprocs=1)
+        with pytest.raises(RuntimeError, match="without acquire"):
+            rt.run_spmd(main)
+
+    def test_no_messages_used(self, make_cluster):
+        main, _intervals = critical_section_program("ticket", iterations=5)
+        rt = make_cluster(nprocs=2, procs_per_node=2)
+        rt.run_spmd(main)
+        # The final armci.barrier uses messages; ticket ops themselves none.
+        assert rt.fabric.stats.by_payload.get("LockRequest", 0) == 0
+        assert rt.fabric.stats.by_payload.get("UnlockRequest", 0) == 0

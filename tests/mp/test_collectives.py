@@ -1,0 +1,220 @@
+"""Unit and property tests for the collective operations."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp import collectives
+from repro.net.params import myrinet2000
+from repro.runtime.cluster import ClusterRuntime
+
+ALL_SIZES = [1, 2, 3, 4, 5, 6, 7, 8, 9, 16]
+
+
+def spmd(nprocs, main, *args):
+    rt = ClusterRuntime(nprocs, params=myrinet2000())
+    return rt, rt.run_spmd(main, *args)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("nprocs", ALL_SIZES)
+    def test_no_rank_exits_before_all_enter(self, nprocs):
+        def main(ctx):
+            # Stagger arrivals heavily.
+            yield ctx.compute(100.0 * ctx.rank)
+            entered = ctx.now
+            yield from collectives.barrier(ctx.comm)
+            return (entered, ctx.now)
+
+        _rt, results = spmd(nprocs, main)
+        last_entry = max(r[0] for r in results)
+        first_exit = min(r[1] for r in results)
+        assert first_exit >= last_entry
+
+    def test_single_process_barrier_is_free(self):
+        def main(ctx):
+            yield from collectives.barrier(ctx.comm)
+            return ctx.now
+
+        _rt, results = spmd(1, main)
+        assert results == [0.0]
+
+    def test_barrier_scales_logarithmically(self):
+        """Barrier time grows ~log2(N), not linearly (paper §3.1.2)."""
+
+        def main(ctx):
+            t0 = ctx.now
+            yield from collectives.barrier(ctx.comm)
+            return ctx.now - t0
+
+        times = {}
+        for n in (2, 4, 16):
+            _rt, results = spmd(n, main)
+            times[n] = max(results)
+        # 16 procs has 4 rounds vs 1 round at 2 procs: ratio ~4, never ~8.
+        assert times[16] < 6 * times[2]
+        assert times[16] > times[4] > times[2]
+
+    def test_repeated_barriers_do_not_cross_match(self):
+        def main(ctx):
+            stamps = []
+            for _ in range(5):
+                yield ctx.compute(10.0 * ctx.rank)
+                yield from collectives.barrier(ctx.comm)
+                stamps.append(ctx.now)
+            return stamps
+
+        _rt, results = spmd(5, main)
+        # After each barrier all ranks agree on a lower bound: each barrier's
+        # exit must come after every rank's entry into that same round.
+        for round_idx in range(5):
+            exits = [r[round_idx] for r in results]
+            assert max(exits) - min(exits) < 50.0
+
+
+class TestAllreduceSum:
+    @pytest.mark.parametrize("nprocs", ALL_SIZES)
+    def test_vector_sum_correct(self, nprocs):
+        def main(ctx):
+            vec = [ctx.rank, 1, ctx.rank * ctx.rank]
+            result = yield from collectives.allreduce_sum(ctx.comm, vec)
+            return result
+
+        _rt, results = spmd(nprocs, main)
+        ranks = range(nprocs)
+        expected = [sum(ranks), nprocs, sum(r * r for r in ranks)]
+        for result in results:
+            assert result == expected
+
+    def test_empty_vector(self):
+        def main(ctx):
+            result = yield from collectives.allreduce_sum(ctx.comm, [])
+            return result
+
+        _rt, results = spmd(4, main)
+        assert results == [[], [], [], []]
+
+    def test_input_not_mutated(self):
+        def main(ctx):
+            vec = [ctx.rank]
+            yield from collectives.allreduce_sum(ctx.comm, vec)
+            return vec
+
+        _rt, results = spmd(4, main)
+        assert results == [[0], [1], [2], [3]]
+
+    def test_float_vectors(self):
+        def main(ctx):
+            result = yield from collectives.allreduce_sum(ctx.comm, [0.5])
+            return result[0]
+
+        _rt, results = spmd(8, main)
+        assert all(r == pytest.approx(4.0) for r in results)
+
+    @given(
+        nprocs=st.integers(min_value=1, max_value=9),
+        length=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_vectors(self, nprocs, length, seed):
+        import random
+
+        rng = random.Random(seed)
+        vectors = [
+            [rng.randint(-100, 100) for _ in range(length)] for _ in range(nprocs)
+        ]
+
+        def main(ctx):
+            result = yield from collectives.allreduce_sum(ctx.comm, vectors[ctx.rank])
+            return result
+
+        _rt, results = spmd(nprocs, main)
+        expected = [sum(v[i] for v in vectors) for i in range(length)]
+        for result in results:
+            assert result == expected
+
+
+class TestBcast:
+    @pytest.mark.parametrize("nprocs", ALL_SIZES)
+    def test_all_ranks_receive(self, nprocs):
+        def main(ctx):
+            value = {"data": 42} if ctx.rank == 0 else None
+            result = yield from collectives.bcast(ctx.comm, value, root=0)
+            return result
+
+        _rt, results = spmd(nprocs, main)
+        assert all(r == {"data": 42} for r in results)
+
+    @pytest.mark.parametrize("root", [0, 1, 2, 4])
+    def test_nonzero_roots(self, root):
+        nprocs = 5
+
+        def main(ctx):
+            value = f"from-{ctx.rank}" if ctx.rank == root else None
+            result = yield from collectives.bcast(ctx.comm, value, root=root)
+            return result
+
+        _rt, results = spmd(nprocs, main)
+        assert all(r == f"from-{root}" for r in results)
+
+    def test_invalid_root(self):
+        def main(ctx):
+            yield from collectives.bcast(ctx.comm, 1, root=9)
+
+        with pytest.raises(ValueError, match="root"):
+            spmd(2, main)
+
+
+class TestGather:
+    @pytest.mark.parametrize("nprocs", [1, 2, 5, 8])
+    def test_root_collects_in_rank_order(self, nprocs):
+        def main(ctx):
+            result = yield from collectives.gather(ctx.comm, ctx.rank * 2, root=0)
+            return result
+
+        _rt, results = spmd(nprocs, main)
+        assert results[0] == [r * 2 for r in range(nprocs)]
+        assert all(r is None for r in results[1:])
+
+    def test_nonzero_root(self):
+        def main(ctx):
+            result = yield from collectives.gather(ctx.comm, ctx.rank, root=2)
+            return result
+
+        _rt, results = spmd(4, main)
+        assert results[2] == [0, 1, 2, 3]
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 7, 8])
+    def test_everyone_gets_everything(self, nprocs):
+        def main(ctx):
+            result = yield from collectives.allgather(ctx.comm, chr(65 + ctx.rank))
+            return result
+
+        _rt, results = spmd(nprocs, main)
+        expected = [chr(65 + r) for r in range(nprocs)]
+        assert all(r == expected for r in results)
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 8, 3, 5])
+    def test_personalized_exchange(self, nprocs):
+        def main(ctx):
+            outgoing = [(ctx.rank, dst) for dst in range(ctx.nprocs)]
+            result = yield from collectives.alltoall(ctx.comm, outgoing)
+            return result
+
+        _rt, results = spmd(nprocs, main)
+        for rank, received in enumerate(results):
+            assert received == [(src, rank) for src in range(nprocs)]
+
+    def test_wrong_length_rejected(self):
+        def main(ctx):
+            yield from collectives.alltoall(ctx.comm, [1])
+
+        with pytest.raises(ValueError, match="items"):
+            spmd(3, main)

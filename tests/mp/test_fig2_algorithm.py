@@ -1,0 +1,83 @@
+"""The paper's Figure 2 algorithm, verbatim, vs the production allreduce."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp import collectives
+from repro.net.params import myrinet2000
+from repro.runtime.cluster import ClusterRuntime
+
+
+class TestFig2:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 8, 16])
+    def test_correct_sums(self, nprocs):
+        def main(ctx):
+            vec = [ctx.rank + 1, ctx.rank * 3]
+            result = yield from collectives.allreduce_sum_fig2(ctx.comm, vec)
+            return result
+
+        rt = ClusterRuntime(nprocs, params=myrinet2000())
+        expected = [sum(r + 1 for r in range(nprocs)),
+                    sum(r * 3 for r in range(nprocs))]
+        for result in rt.run_spmd(main):
+            assert result == expected
+
+    def test_rejects_non_power_of_two(self):
+        def main(ctx):
+            yield from collectives.allreduce_sum_fig2(ctx.comm, [1])
+
+        rt = ClusterRuntime(3, params=myrinet2000())
+        with pytest.raises(ValueError, match="power-of-two"):
+            rt.run_spmd(main)
+
+    @given(
+        nprocs_log=st.integers(min_value=0, max_value=3),
+        length=st.integers(min_value=0, max_value=5),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_equivalent_to_production_allreduce(self, nprocs_log, length, seed):
+        """Same values AND same virtual completion time: the production
+        algorithm reduces to Figure 2's exchanges for powers of two."""
+        import random
+
+        nprocs = 2 ** nprocs_log
+        rng = random.Random(seed)
+        vectors = [[rng.randint(-50, 50) for _ in range(length)]
+                   for _ in range(nprocs)]
+
+        def run(which):
+            def main(ctx):
+                fn = (collectives.allreduce_sum_fig2 if which == "fig2"
+                      else collectives.allreduce_sum)
+                result = yield from fn(ctx.comm, vectors[ctx.rank])
+                return (result, ctx.now)
+
+            rt = ClusterRuntime(nprocs, params=myrinet2000())
+            return rt.run_spmd(main)
+
+        fig2 = run("fig2")
+        prod = run("prod")
+        for (v1, t1), (v2, t2) in zip(fig2, prod):
+            assert v1 == v2
+            assert t1 == pytest.approx(t2)
+
+    def test_phase_count_is_log2(self):
+        """Communication time = log2(N) overlapped phases (paper's claim)."""
+
+        def main(ctx):
+            t0 = ctx.now
+            yield from collectives.allreduce_sum_fig2(ctx.comm, [1.0])
+            return ctx.now - t0
+
+        times = {}
+        for nprocs in (2, 4, 8, 16):
+            rt = ClusterRuntime(nprocs, params=myrinet2000())
+            times[nprocs] = max(rt.run_spmd(main))
+        # Doubling N adds exactly one phase: differences are constant.
+        d1 = times[4] - times[2]
+        d2 = times[8] - times[4]
+        d3 = times[16] - times[8]
+        assert d1 == pytest.approx(d2, rel=0.05)
+        assert d2 == pytest.approx(d3, rel=0.05)

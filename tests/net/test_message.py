@@ -1,0 +1,38 @@
+"""Tests for fabric envelopes and endpoint addressing."""
+
+from repro.net.message import Envelope, mp_endpoint, server_endpoint
+
+
+class TestEndpoints:
+    def test_server_endpoint(self):
+        assert server_endpoint(3) == ("srv", 3)
+
+    def test_mp_endpoint(self):
+        assert mp_endpoint(7) == ("mp", 7)
+
+    def test_endpoints_hashable_and_distinct(self):
+        table = {server_endpoint(0): "a", mp_endpoint(0): "b"}
+        assert len(table) == 2
+
+
+class TestEnvelope:
+    def make(self, **kw):
+        defaults = dict(
+            src_rank=1, dst=server_endpoint(2), payload="data",
+            size_bytes=96, sent_at=5.0, deliver_at=12.5, seq=42,
+            intra_node=False,
+        )
+        defaults.update(kw)
+        return Envelope(**defaults)
+
+    def test_fields(self):
+        env = self.make()
+        assert env.src_rank == 1 and env.dst == ("srv", 2)
+        assert env.deliver_at == 12.5
+
+    def test_repr_shows_path_kind(self):
+        assert "inter" in repr(self.make())
+        assert "intra" in repr(self.make(intra_node=True))
+
+    def test_repr_shows_payload_type(self):
+        assert "str" in repr(self.make())

@@ -1,0 +1,137 @@
+"""Unit and property tests for the atomic memory operations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import atomics
+from repro.runtime.memory import NULL_PTR, Region
+from repro.sim.core import Environment
+
+
+@pytest.fixture
+def region(env):
+    r = Region(env, 0)
+    r.alloc(16, initial=0)
+    return r
+
+
+class TestFetchAndAdd:
+    def test_returns_old_value(self, region):
+        region.write(0, 10)
+        assert atomics.fetch_and_add(region, 0, 5) == 10
+        assert region.read(0) == 15
+
+    def test_default_increment_one(self, region):
+        assert atomics.fetch_and_add(region, 0) == 0
+        assert region.read(0) == 1
+
+    def test_negative_increment(self, region):
+        region.write(0, 10)
+        atomics.fetch_and_add(region, 0, -3)
+        assert region.read(0) == 7
+
+    def test_sequence_yields_unique_tickets(self, region):
+        tickets = [atomics.fetch_and_add(region, 0) for _ in range(100)]
+        assert tickets == list(range(100))
+
+
+class TestSwap:
+    def test_swap_returns_old(self, region):
+        region.write(1, "old")
+        assert atomics.swap(region, 1, "new") == "old"
+        assert region.read(1) == "new"
+
+
+class TestCompareAndSwap:
+    def test_success(self, region):
+        region.write(2, 5)
+        assert atomics.compare_and_swap(region, 2, 5, 9)
+        assert region.read(2) == 9
+
+    def test_failure_leaves_value(self, region):
+        region.write(2, 5)
+        assert not atomics.compare_and_swap(region, 2, 4, 9)
+        assert region.read(2) == 5
+
+
+class TestPairOps:
+    def test_read_write_pair(self, region):
+        atomics.write_pair(region, 4, (3, 77))
+        assert atomics.read_pair(region, 4) == (3, 77)
+
+    def test_swap_pair(self, region):
+        atomics.write_pair(region, 4, NULL_PTR)
+        old = atomics.swap_pair(region, 4, (1, 10))
+        assert old == NULL_PTR
+        assert atomics.read_pair(region, 4) == (1, 10)
+
+    def test_cas_pair_success(self, region):
+        atomics.write_pair(region, 4, (1, 10))
+        assert atomics.compare_and_swap_pair(region, 4, (1, 10), NULL_PTR)
+        assert atomics.read_pair(region, 4) == NULL_PTR
+
+    def test_cas_pair_failure(self, region):
+        atomics.write_pair(region, 4, (2, 20))
+        assert not atomics.compare_and_swap_pair(region, 4, (1, 10), NULL_PTR)
+        assert atomics.read_pair(region, 4) == (2, 20)
+
+    def test_cas_pair_accepts_list_expected(self, region):
+        atomics.write_pair(region, 4, (2, 20))
+        assert atomics.compare_and_swap_pair(region, 4, [2, 20], (0, 0))
+
+
+class TestAccumulate:
+    def test_adds_elementwise(self, region):
+        region.write_many(8, [1.0, 2.0, 3.0])
+        atomics.accumulate(region, 8, [10.0, 20.0, 30.0])
+        assert region.read_many(8, 3) == [11.0, 22.0, 33.0]
+
+    def test_scale(self, region):
+        region.write_many(8, [1.0, 1.0])
+        atomics.accumulate(region, 8, [2.0, 4.0], scale=0.5)
+        assert region.read_many(8, 2) == [2.0, 3.0]
+
+
+class TestProperties:
+    @given(increments=st.lists(st.integers(min_value=-1000, max_value=1000),
+                               max_size=50))
+    @settings(max_examples=100)
+    def test_fetch_add_is_a_running_sum(self, increments):
+        env = Environment()
+        region = Region(env, 0)
+        region.alloc(1, initial=0)
+        total = 0
+        for inc in increments:
+            old = atomics.fetch_and_add(region, 0, inc)
+            assert old == total
+            total += inc
+        assert region.read(0) == total
+
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["swap", "cas_ok", "cas_bad"]),
+                  st.tuples(st.integers(0, 7), st.integers(0, 100))),
+        max_size=40,
+    ))
+    @settings(max_examples=100)
+    def test_pair_ops_model_matches_reference(self, ops):
+        """Pair atomics behave like an atomic 2-tuple cell."""
+        env = Environment()
+        region = Region(env, 0)
+        region.alloc(2)
+        atomics.write_pair(region, 0, NULL_PTR)
+        reference = NULL_PTR
+        for kind, pair in ops:
+            if kind == "swap":
+                old = atomics.swap_pair(region, 0, pair)
+                assert old == reference
+                reference = pair
+            elif kind == "cas_ok":
+                ok = atomics.compare_and_swap_pair(region, 0, reference, pair)
+                assert ok
+                reference = pair
+            else:
+                bogus = (reference[0] + 1, reference[1])
+                ok = atomics.compare_and_swap_pair(region, 0, bogus, pair)
+                assert not ok
+            assert atomics.read_pair(region, 0) == reference

@@ -1,0 +1,203 @@
+"""Unit tests for memory regions, global addressing, and write-watchers."""
+
+import pytest
+
+from repro.runtime.memory import NULL_PTR, GlobalAddress, Region
+
+
+class TestGlobalAddress:
+    def test_tuple_behaviour(self):
+        ga = GlobalAddress(3, 17)
+        assert ga.rank == 3 and ga.addr == 17
+        rank, addr = ga
+        assert (rank, addr) == (3, 17)
+
+    def test_repr_compact(self):
+        assert repr(GlobalAddress(1, 2)) == "GA(1,2)"
+
+    def test_null_ptr_encoding(self):
+        assert NULL_PTR == (-1, -1)
+
+
+class TestAllocation:
+    def test_alloc_returns_consecutive_bases(self, env):
+        region = Region(env, 0)
+        a = region.alloc(4)
+        b = region.alloc(2)
+        assert (a, b) == (0, 4)
+        assert len(region) == 6
+
+    def test_alloc_initial_value(self, env):
+        region = Region(env, 0)
+        base = region.alloc(3, initial=7.5)
+        assert region.read_many(base, 3) == [7.5, 7.5, 7.5]
+
+    def test_alloc_zero_rejected(self, env):
+        with pytest.raises(ValueError):
+            Region(env, 0).alloc(0)
+
+    def test_alloc_named_idempotent(self, env):
+        region = Region(env, 0)
+        a = region.alloc_named("lock:x", 2)
+        b = region.alloc_named("lock:x", 2)
+        assert a == b
+        assert len(region) == 2
+
+    def test_alloc_named_distinct_keys(self, env):
+        region = Region(env, 0)
+        a = region.alloc_named("k1", 2)
+        b = region.alloc_named("k2", 2)
+        assert a != b
+
+
+class TestAccess:
+    def test_read_write_roundtrip(self, env):
+        region = Region(env, 0)
+        base = region.alloc(1)
+        region.write(base, 42)
+        assert region.read(base) == 42
+
+    def test_out_of_range_read(self, env):
+        region = Region(env, 0)
+        region.alloc(2)
+        with pytest.raises(IndexError):
+            region.read(2)
+        with pytest.raises(IndexError):
+            region.read(-1)
+
+    def test_out_of_range_write(self, env):
+        region = Region(env, 0)
+        region.alloc(1)
+        with pytest.raises(IndexError):
+            region.write(5, 0)
+
+    def test_read_many_bounds(self, env):
+        region = Region(env, 0)
+        base = region.alloc(4)
+        region.write_many(base, [1, 2, 3, 4])
+        assert region.read_many(base + 1, 2) == [2, 3]
+        with pytest.raises(IndexError):
+            region.read_many(base + 2, 3)
+        with pytest.raises(ValueError):
+            region.read_many(base, -1)
+
+    def test_write_many_bounds(self, env):
+        region = Region(env, 0)
+        base = region.alloc(2)
+        with pytest.raises(IndexError):
+            region.write_many(base, [1, 2, 3])
+
+    def test_write_many_empty_noop(self, env):
+        region = Region(env, 0)
+        region.alloc(1)
+        region.write_many(0, [])
+        assert region.writes == 0
+
+    def test_access_counters(self, env):
+        region = Region(env, 0)
+        base = region.alloc(3)
+        region.write_many(base, [1, 2, 3])
+        region.read_many(base, 2)
+        region.read(base)
+        assert region.writes == 3
+        assert region.reads == 3
+
+
+class TestWatchers:
+    def test_wait_until_immediate_when_satisfied(self, env):
+        region = Region(env, 0)
+        base = region.alloc(1, initial=5)
+
+        def proc():
+            value = yield from region.wait_until(base, lambda v: v == 5)
+            return (env.now, value)
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == (0.0, 5)
+
+    def test_wait_until_woken_by_write(self, env):
+        region = Region(env, 0)
+        base = region.alloc(1, initial=0)
+
+        def waiter():
+            value = yield from region.wait_until(base, lambda v: v >= 3)
+            return (env.now, value)
+
+        def writer():
+            for i in range(1, 4):
+                yield env.timeout(10)
+                region.write(base, i)
+
+        p = env.process(waiter())
+        env.process(writer())
+        env.run()
+        assert p.value == (30.0, 3)
+
+    def test_wait_until_charges_poll_detect(self, env):
+        region = Region(env, 0)
+        base = region.alloc(1, initial=0)
+
+        def waiter():
+            yield from region.wait_until(base, lambda v: v == 1, poll_detect_us=0.7)
+            return env.now
+
+        def writer():
+            yield env.timeout(10)
+            region.write(base, 1)
+
+        p = env.process(waiter())
+        env.process(writer())
+        env.run()
+        assert p.value == pytest.approx(10.7)
+
+    def test_multiple_waiters_same_address(self, env):
+        region = Region(env, 0)
+        base = region.alloc(1, initial=0)
+        woken = []
+
+        def waiter(tag):
+            yield from region.wait_until(base, lambda v: v == 1)
+            woken.append(tag)
+
+        env.process(waiter("a"))
+        env.process(waiter("b"))
+
+        def writer():
+            yield env.timeout(1)
+            region.write(base, 1)
+
+        env.process(writer())
+        env.run()
+        assert sorted(woken) == ["a", "b"]
+
+    def test_write_without_watchers_is_cheap(self, env):
+        region = Region(env, 0)
+        base = region.alloc(1)
+        region.write(base, 1)  # must not raise or allocate watchers
+        assert not region._watchers
+
+    def test_watcher_out_of_range(self, env):
+        region = Region(env, 0)
+        region.alloc(1)
+        with pytest.raises(IndexError):
+            region.watcher(10)
+
+    def test_wait_until_sees_all_writes_in_same_event(self, env):
+        """A waiter woken by a pair write observes the complete pair."""
+        region = Region(env, 0)
+        base = region.alloc(2, initial=-1)
+        seen = []
+
+        def waiter():
+            yield from region.wait_until(base, lambda v: v != -1)
+            seen.append((region.read(base), region.read(base + 1)))
+
+        def writer():
+            yield env.timeout(1)
+            region.write_many(base, [7, 8])
+
+        env.process(waiter())
+        env.process(writer())
+        env.run()
+        assert seen == [(7, 8)]

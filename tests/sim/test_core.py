@@ -1,0 +1,489 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopProcess,
+    Timeout,
+    PRIORITY_LAZY,
+    PRIORITY_URGENT,
+)
+
+
+class TestEnvironmentClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=42.5).now == 42.5
+
+    def test_run_until_time_advances_clock(self, env):
+        env.run(until=10.0)
+        assert env.now == 10.0
+
+    def test_run_until_past_time_raises(self, env):
+        env.run(until=5.0)
+        with pytest.raises(ValueError, match="in the past"):
+            env.run(until=1.0)
+
+    def test_peek_empty_queue_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(3.5)
+        assert env.peek() == 3.5
+
+    def test_events_processed_counter(self, env):
+        env.timeout(1)
+        env.timeout(2)
+        env.run()
+        assert env.events_processed == 2
+
+
+class TestTimeout:
+    def test_fires_after_delay(self, env):
+        fired = []
+        t = env.timeout(5.0, value="x")
+        t.callbacks.append(lambda ev: fired.append((env.now, ev.value)))
+        env.run()
+        assert fired == [(5.0, "x")]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError, match="negative delay"):
+            env.timeout(-1.0)
+
+    def test_zero_delay_fires_now(self, env):
+        t = env.timeout(0.0)
+        env.run()
+        assert t.processed and env.now == 0.0
+
+    def test_timeouts_fire_in_time_order(self, env):
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            t = env.timeout(delay, value=delay)
+            t.callbacks.append(lambda ev: order.append(ev.value))
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_fifo_among_equal_times(self, env):
+        order = []
+        for tag in "abc":
+            t = env.timeout(1.0, value=tag)
+            t.callbacks.append(lambda ev: order.append(ev.value))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_beats_fifo_at_same_time(self, env):
+        order = []
+        normal = Event(env)
+        normal.succeed("normal")
+        urgent = Event(env)
+        urgent._ok = True
+        urgent._value = "urgent"
+        env.schedule(urgent, 0.0, PRIORITY_URGENT)
+        lazy = Event(env)
+        lazy._ok = True
+        lazy._value = "lazy"
+        env.schedule(lazy, 0.0, PRIORITY_LAZY)
+        for ev in (normal, urgent, lazy):
+            ev.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == ["urgent", "normal", "lazy"]
+
+
+class TestEvent:
+    def test_initially_pending(self, env):
+        ev = env.event()
+        assert not ev.triggered and not ev.processed
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_ok_before_trigger_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.event().ok
+
+    def test_succeed_sets_value(self, env):
+        ev = env.event().succeed(7)
+        assert ev.triggered and ev.ok and ev.value == 7
+
+    def test_double_succeed_raises(self, env):
+        ev = env.event().succeed()
+        with pytest.raises(SimulationError, match="already been triggered"):
+            ev.succeed()
+
+    def test_fail_then_succeed_raises(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("boom"))
+        ev._defused = True
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_unhandled_failure_propagates_from_run(self, env):
+        env.event().fail(RuntimeError("nobody caught me"))
+        with pytest.raises(RuntimeError, match="nobody caught me"):
+            env.run()
+
+    def test_trigger_copies_outcome(self, env):
+        src = env.event().succeed("payload")
+        dst = env.event()
+        dst.trigger(src)
+        assert dst.triggered and dst.value == "payload"
+
+    def test_trigger_from_pending_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.event().trigger(env.event())
+
+
+class TestProcess:
+    def test_return_value_is_event_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return 99
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == 99
+
+    def test_is_alive_transitions(self, env):
+        def proc():
+            yield env.timeout(5)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_join_another_process(self, env):
+        def worker():
+            yield env.timeout(3)
+            return "done"
+
+        def waiter(wp):
+            result = yield wp
+            return (env.now, result)
+
+        wp = env.process(worker())
+        joiner = env.process(waiter(wp))
+        env.run()
+        assert joiner.value == (3.0, "done")
+
+    def test_exception_propagates_to_run(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("inside process")
+
+        env.process(bad())
+        with pytest.raises(ValueError, match="inside process"):
+            env.run()
+
+    def test_exception_catchable_by_joiner(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("caught me")
+
+        def joiner(bp):
+            try:
+                yield bp
+            except ValueError as exc:
+                return str(exc)
+
+        bp = env.process(bad())
+        jp = env.process(joiner(bp))
+        env.run()
+        assert jp.value == "caught me"
+
+    def test_stop_process_returns_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            raise StopProcess("early")
+            yield env.timeout(100)  # pragma: no cover
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "early" and env.now == 1.0
+
+    def test_yield_non_event_raises(self, env):
+        def proc():
+            yield 42
+
+        env.process(proc())
+        with pytest.raises(SimulationError, match="not.*an Event|not an Event"):
+            env.run()
+
+    def test_yield_processed_event_resumes_immediately(self, env):
+        done = env.event().succeed("v")
+
+        def proc():
+            # run one step so `done` gets processed first
+            yield env.timeout(1)
+            value = yield done
+            return (env.now, value)
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == (1.0, "v")
+
+    def test_yield_from_composition(self, env):
+        def inner():
+            yield env.timeout(2)
+            return 10
+
+        def outer():
+            a = yield from inner()
+            b = yield from inner()
+            return a + b
+
+        p = env.process(outer())
+        env.run()
+        assert p.value == 20 and env.now == 4.0
+
+    def test_process_name_default_and_custom(self, env):
+        def named():
+            yield env.timeout(0)
+
+        p1 = env.process(named())
+        p2 = env.process(named(), name="custom")
+        assert p1.name == "named" and p2.name == "custom"
+        env.run()
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            Process(env, lambda: None)
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt as exc:
+                return ("interrupted", exc.cause, env.now)
+
+        def interrupter(target):
+            yield env.timeout(5)
+            target.interrupt("wakeup")
+
+        p = env.process(sleeper())
+        env.process(interrupter(p))
+        env.run()
+        assert p.value == ("interrupted", "wakeup", 5.0)
+
+    def test_interrupted_process_can_continue(self, env):
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(10)
+            return env.now
+
+        def interrupter(target):
+            yield env.timeout(5)
+            target.interrupt()
+
+        p = env.process(sleeper())
+        env.process(interrupter(p))
+        env.run()
+        assert p.value == 15.0
+
+    def test_interrupted_target_firing_later_does_not_resume_twice(self, env):
+        resumes = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                resumes.append(("interrupt", env.now))
+            yield env.timeout(200)
+            resumes.append(("final", env.now))
+
+        def interrupter(target):
+            yield env.timeout(5)
+            target.interrupt()
+
+        p = env.process(sleeper())
+        env.process(interrupter(p))
+        env.run()
+        # The original 100us timeout still fires at t=100 but must not
+        # resume the process again; the process continues on its own clock.
+        assert resumes == [("interrupt", 5.0), ("final", 205.0)]
+
+    def test_self_interrupt_rejected(self, env):
+        def proc():
+            me = env.active_process
+            with pytest.raises(SimulationError, match="cannot interrupt itself"):
+                me.interrupt()
+            yield env.timeout(0)
+
+        env.process(proc())
+        env.run()
+
+    def test_interrupt_dead_process_raises(self, env):
+        def quick():
+            yield env.timeout(1)
+
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError, match="terminated"):
+            p.interrupt()
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, env):
+        t1, t2 = env.timeout(1, "a"), env.timeout(5, "b")
+
+        def proc():
+            result = yield AllOf(env, [t1, t2])
+            return (env.now, result[t1], result[t2])
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == (5.0, "a", "b")
+
+    def test_any_of_fires_on_first(self, env):
+        t1, t2 = env.timeout(1, "fast"), env.timeout(5, "slow")
+
+        def proc():
+            result = yield AnyOf(env, [t1, t2])
+            return (env.now, t1 in result, t2 in result)
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == (1.0, True, False)
+
+    def test_empty_all_of_succeeds_immediately(self, env):
+        cond = AllOf(env, [])
+        assert cond.triggered
+
+    def test_and_operator(self, env):
+        t1, t2 = env.timeout(2), env.timeout(3)
+
+        def proc():
+            yield t1 & t2
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == 3.0
+
+    def test_or_operator(self, env):
+        t1, t2 = env.timeout(2), env.timeout(3)
+
+        def proc():
+            yield t1 | t2
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == 2.0
+
+    def test_condition_failure_propagates(self, env):
+        bad = env.event()
+
+        def failer():
+            yield env.timeout(1)
+            bad.fail(RuntimeError("cond fail"))
+
+        def waiter():
+            try:
+                yield AllOf(env, [bad, env.timeout(100)])
+            except RuntimeError as exc:
+                return str(exc)
+
+        env.process(failer())
+        p = env.process(waiter())
+        env.run()
+        assert p.value == "cond fail"
+
+    def test_condition_value_mapping(self, env):
+        t1 = env.timeout(1, "x")
+
+        def proc():
+            result = yield AllOf(env, [t1])
+            assert len(result) == 1
+            assert list(result) == [t1]
+            assert result.todict() == {t1: "x"}
+            return result[t1]
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == "x"
+
+    def test_cross_environment_event_rejected(self, env):
+        other = Environment()
+        t = other.timeout(1)
+        with pytest.raises(SimulationError):
+            AllOf(env, [t])
+
+
+class TestRunUntil:
+    def test_run_until_event_returns_value(self, env):
+        def proc():
+            yield env.timeout(4)
+            return "finished"
+
+        p = env.process(proc())
+        assert env.run(until=p) == "finished"
+        assert env.now == 4.0
+
+    def test_run_until_event_stops_early(self, env):
+        env.timeout(100)  # later noise
+
+        def proc():
+            yield env.timeout(4)
+
+        p = env.process(proc())
+        env.run(until=p)
+        assert env.now == 4.0
+
+    def test_run_until_never_firing_event_raises(self, env):
+        ev = env.event()  # nobody will trigger it
+        env.timeout(1)
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(until=ev)
+
+    def test_run_until_already_processed_event(self, env):
+        ev = env.event().succeed("done")
+        env.run()
+        assert env.run(until=ev) == "done"
+
+    def test_run_until_failed_event_raises(self, env):
+        def proc():
+            yield env.timeout(1)
+            raise KeyError("oops")
+
+        p = env.process(proc())
+        with pytest.raises(KeyError):
+            env.run(until=p)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            env = Environment()
+            trace = []
+
+            def worker(wid):
+                for i in range(3):
+                    yield env.timeout(1.5 * (wid + 1))
+                    trace.append((env.now, wid, i))
+
+            for w in range(4):
+                env.process(worker(w))
+            env.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,108 @@
+"""Tests for the activity timeline / ASCII Gantt tool."""
+
+import pytest
+
+from repro.sim.core import Environment
+from repro.sim.timeline import Interval, Timeline
+
+
+@pytest.fixture
+def tl(env):
+    return Timeline(env)
+
+
+def advance(env, dt):
+    env.timeout(dt)
+    env.run()
+
+
+class TestIntervals:
+    def test_begin_end_records(self, env, tl):
+        tl.begin(0, "work")
+        advance(env, 5.0)
+        interval = tl.end(0)
+        assert interval == Interval(0, "work", 0.0, 5.0)
+        assert interval.duration == 5.0
+
+    def test_end_without_begin_is_none(self, tl):
+        assert tl.end(3) is None
+
+    def test_begin_twice_closes_first(self, env, tl):
+        tl.begin(0, "a")
+        advance(env, 2.0)
+        tl.begin(0, "b")
+        advance(env, 3.0)
+        tl.end(0)
+        assert [iv.label for iv in tl.by_rank(0)] == ["a", "b"]
+        assert tl.total(0, "a") == 2.0
+        assert tl.total(0, "b") == 3.0
+
+    def test_zero_duration_dropped(self, tl):
+        tl.begin(0, "instant")
+        tl.end(0)
+        assert tl.intervals == []
+
+    def test_close_all(self, env, tl):
+        tl.begin(0, "x")
+        tl.begin(1, "y")
+        advance(env, 1.0)
+        tl.close_all()
+        assert len(tl.intervals) == 2
+
+    def test_span(self, env, tl):
+        advance(env, 2.0)
+        tl.begin(0, "w")
+        advance(env, 4.0)
+        tl.end(0)
+        assert tl.span() == (2.0, 6.0)
+
+
+class TestRender:
+    def test_empty(self, tl):
+        assert "empty" in tl.render()
+
+    def test_lanes_and_legend(self, env, tl):
+        tl.begin(0, "compute")
+        advance(env, 5.0)
+        tl.begin(0, "sync")
+        tl.begin(1, "compute")
+        advance(env, 5.0)
+        tl.close_all()
+        art = tl.render(width=20)
+        assert "r0  |" in art and "r1  |" in art
+        assert "=compute" in art or "compute" in art
+        lanes = [line for line in art.splitlines() if line.startswith("r")]
+        assert len(lanes) == 2
+        assert all(len(line) == len(lanes[0]) for line in lanes)
+
+    def test_glyphs_distinguish_labels(self, env, tl):
+        tl.begin(0, "alpha")
+        advance(env, 5.0)
+        tl.begin(0, "beta")
+        advance(env, 5.0)
+        tl.close_all()
+        art = tl.render(width=10)
+        lane = [line for line in art.splitlines() if line.startswith("r0")][0]
+        body = lane.split("|")[1]
+        assert len(set(body)) == 2  # two distinct glyphs
+
+    def test_integration_with_cluster(self, make_cluster):
+        """Record a real barrier's phases across ranks."""
+        from repro.mp import collectives
+        from repro.sim.timeline import Timeline
+
+        rt = make_cluster(nprocs=4)
+        tl = Timeline(rt.env)
+
+        def main(ctx):
+            tl.begin(ctx.rank, "compute")
+            yield ctx.compute(10.0 * (ctx.rank + 1))
+            tl.begin(ctx.rank, "barrier")
+            yield from collectives.barrier(ctx.comm)
+            tl.end(ctx.rank)
+
+        rt.run_spmd(main)
+        art = tl.render(width=60)
+        assert art.count("|") == 8  # 4 lanes x 2 bars
+        # Rank 0 computes least, so its barrier wait is the longest.
+        assert tl.total(0, "barrier") > tl.total(3, "barrier")

@@ -1,0 +1,120 @@
+"""Unit tests for stopwatches, sample statistics, and the tracer."""
+
+import math
+
+import pytest
+
+from repro.sim.core import Environment
+from repro.sim.trace import SampleStats, Stopwatch, Tracer
+
+
+class TestStopwatch:
+    def test_records_interval(self, env):
+        sw = Stopwatch(env)
+
+        def proc():
+            sw.start()
+            yield env.timeout(7.5)
+            assert sw.stop() == 7.5
+
+        env.process(proc())
+        env.run()
+        assert sw.samples == [7.5]
+
+    def test_double_start_raises(self, env):
+        sw = Stopwatch(env)
+        sw.start()
+        with pytest.raises(RuntimeError, match="already running"):
+            sw.start()
+
+    def test_stop_without_start_raises(self, env):
+        with pytest.raises(RuntimeError, match="not running"):
+            Stopwatch(env).stop()
+
+    def test_discard_drops_interval(self, env):
+        sw = Stopwatch(env)
+        sw.start()
+        sw.discard()
+        assert sw.samples == [] and not sw.running
+
+    def test_running_property(self, env):
+        sw = Stopwatch(env)
+        assert not sw.running
+        sw.start()
+        assert sw.running
+
+    def test_reset_clears_samples(self, env):
+        sw = Stopwatch(env)
+        sw.start()
+        sw.stop()
+        sw.reset()
+        assert sw.samples == [] and not sw.running
+
+    def test_multiple_samples_and_mean(self, env):
+        sw = Stopwatch(env)
+
+        def proc():
+            for d in (1.0, 2.0, 3.0):
+                sw.start()
+                yield env.timeout(d)
+                sw.stop()
+
+        env.process(proc())
+        env.run()
+        assert sw.mean() == 2.0
+
+
+class TestSampleStats:
+    def test_empty(self):
+        stats = SampleStats.from_samples([])
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+        assert stats.total == 0.0
+
+    def test_basic_statistics(self):
+        stats = SampleStats.from_samples([2.0, 4.0, 6.0])
+        assert stats.count == 3
+        assert stats.mean == 4.0
+        assert stats.minimum == 2.0
+        assert stats.maximum == 6.0
+        assert stats.total == 12.0
+        assert stats.stddev == pytest.approx(math.sqrt(8.0 / 3.0))
+
+    def test_single_sample(self):
+        stats = SampleStats.from_samples([5.0])
+        assert stats.stddev == 0.0 and stats.mean == 5.0
+
+
+class TestTracer:
+    def test_records_processed_events(self):
+        env = Environment()
+        tracer = Tracer()
+        tracer.install(env)
+        env.timeout(1.0)
+        env.timeout(2.0)
+        env.run()
+        assert len(tracer.records) == 2
+        assert [r.time for r in tracer.records] == [1.0, 2.0]
+        assert all(r.kind == "Timeout" for r in tracer.records)
+
+    def test_of_kind_and_between(self):
+        env = Environment()
+        tracer = Tracer()
+        tracer.install(env)
+
+        def proc():
+            yield env.timeout(3.0)
+
+        env.process(proc())
+        env.run()
+        assert len(tracer.of_kind("Timeout")) == 1
+        assert len(tracer.between(2.0, 4.0)) >= 1
+
+    def test_limit_caps_records(self):
+        env = Environment()
+        tracer = Tracer(limit=3)
+        tracer.install(env)
+        for i in range(10):
+            env.timeout(i)
+        env.run()
+        assert len(tracer.records) == 3

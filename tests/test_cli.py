@@ -1,0 +1,80 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_fig7_small(self, capsys):
+        assert main(["fig7", "--iterations", "3", "--procs", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "factor" in out
+
+    def test_fig8_small(self, capsys):
+        assert main(["fig8", "--iterations", "25", "--procs", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+
+    def test_fig9_and_fig10(self, capsys):
+        assert main(["fig9", "--iterations", "25", "--procs", "2"]) == 0
+        assert "Figure 9" in capsys.readouterr().out
+        assert main(["fig10", "--iterations", "25", "--procs", "2"]) == 0
+        assert "Figure 10" in capsys.readouterr().out
+
+    def test_locks_bundle(self, capsys):
+        assert main(["locks", "--iterations", "25", "--procs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "Figure 9" in out and "Figure 10" in out
+
+    def test_network_preset(self, capsys):
+        assert main(["fig7", "--iterations", "2", "--procs", "2",
+                     "--network", "quadrics"]) == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_bad_network_preset(self):
+        with pytest.raises(ValueError, match="unknown network preset"):
+            main(["fig7", "--iterations", "2", "--procs", "2",
+                  "--network", "carrier-pigeon"])
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_ppn_option(self, capsys):
+        assert main(["fig8", "--iterations", "20", "--procs", "2",
+                     "--ppn", "2"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_csv_export(self, capsys, tmp_path):
+        assert main(["fig7", "--iterations", "2", "--procs", "2",
+                     "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "csv written" in out
+        assert (tmp_path / "fig7_ga_sync.csv").exists()
+
+    def test_locks_csv_export(self, capsys, tmp_path):
+        assert main(["locks", "--iterations", "20", "--procs", "2",
+                     "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "figs8_9_10_locks.csv").exists()
+        capsys.readouterr()
+
+    def test_app_experiment(self, capsys):
+        assert main(["app", "--iterations", "2", "--procs", "2"]) == 0
+        assert "Application impact" in capsys.readouterr().out
+
+    def test_microbench_experiment(self, capsys):
+        from repro.net.params import quadrics_like  # noqa: F401 - preset sanity
+        assert main(["microbench", "--network", "quadrics"]) == 0
+        out = capsys.readouterr().out
+        assert "microbenchmarks" in out and "barrier" in out
+
+    def test_fairness_experiment(self, capsys):
+        assert main(["fairness", "--iterations", "30", "--procs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fairness" in out and "max/min" in out
+
+    def test_validate_experiment(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASSED" in out

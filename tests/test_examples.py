@@ -1,0 +1,32 @@
+"""Examples must run and validate themselves (each asserts its own output)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "ga_matrix_update.py", "lock_counter.py",
+     "stencil_exchange.py", "mutex_showdown.py", "pipeline_notify.py",
+     "dynamic_load_balance.py", "armci_testsuite.py"],
+)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples should print their findings"
+
+
+def test_examples_directory_complete():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3

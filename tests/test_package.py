@@ -1,0 +1,109 @@
+"""Package-level contract tests: exports, versioning, registry coherence."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_matches_packaging(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.sim",
+            "repro.net",
+            "repro.runtime",
+            "repro.mp",
+            "repro.armci",
+            "repro.locks",
+            "repro.ga",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestLockRegistry:
+    def test_every_kind_constructs_and_runs(self, make_cluster):
+        from repro.locks import LOCK_KINDS, make_lock
+
+        local_only = {"ticket", "lh"}
+
+        def main(ctx, kind):
+            lock = make_lock(kind, ctx, home_rank=0, name=f"reg-{kind}")
+            yield from lock.acquire()
+            yield from lock.release()
+            yield from ctx.armci.barrier()
+            return lock.kind
+
+        for kind in LOCK_KINDS:
+            ppn = 2 if kind in local_only else 1
+            rt = make_cluster(nprocs=2, procs_per_node=ppn)
+            kinds = rt.run_spmd(main, kind)
+            assert kinds == [kind, kind]
+
+    def test_kind_attribute_matches_registry_key(self):
+        from repro.locks import LOCK_KINDS
+
+        for key, cls in LOCK_KINDS.items():
+            assert cls.kind == key, (key, cls.kind)
+
+    def test_unknown_kind_message_lists_choices(self, make_cluster):
+        from repro.locks import make_lock
+
+        rt = make_cluster(nprocs=1)
+        with pytest.raises(ValueError, match="mcs"):
+            make_lock("spinlock9000", rt.context(0), home_rank=0)
+
+
+class TestMultiProgramSpawn:
+    def test_two_independent_programs_one_cluster(self, make_cluster):
+        """spawn() supports heterogeneous programs sharing the substrate."""
+
+        def producer(ctx):
+            base = ctx.regions[1].alloc_named("mp1", 1, 0)
+            yield from ctx.armci.put(ctx.ga(1, base), [41])
+            yield from ctx.armci.fence(1)
+            yield from ctx.comm.send(1, "ready", tag=5)
+            return "produced"
+
+        def consumer(ctx):
+            base = ctx.regions[1].alloc_named("mp1", 1, 0)
+            yield from ctx.comm.recv(source=0, tag=5)
+            return ctx.region.read(base)
+
+        rt = make_cluster(nprocs=2)
+        procs = {}
+        procs.update(rt.spawn(producer, ranks=[0]))
+        procs.update(rt.spawn(consumer, ranks=[1]))
+        rt.run()
+        assert procs[0].value == "produced"
+        assert procs[1].value == 41
+
+    def test_mismatched_collective_order_is_detected(self, make_cluster):
+        """SPMD misuse (ranks calling different collectives) surfaces as a
+        DeadlockError naming the stuck programs, not a silent hang."""
+        from repro.mp import collectives
+        from repro.runtime.cluster import DeadlockError
+
+        def main(ctx):
+            if ctx.rank == 0:
+                yield from collectives.barrier(ctx.comm)
+            else:
+                yield from collectives.allreduce_sum(ctx.comm, [1])
+
+        rt = make_cluster(nprocs=2)
+        with pytest.raises(DeadlockError, match="main"):
+            rt.run_spmd(main)
