@@ -1,0 +1,57 @@
+"""Ablation bench: synchronization cost and retry volume vs. link drop rate.
+
+The paper's measurements lean on GM's reliable in-order delivery (§3.1.1):
+completion counters, fence confirmations, and the combined barrier all
+assume a message posted is a message delivered, exactly once, in order.
+This bench drops that assumption.  A put/acc/barrier assembly epoch runs
+under increasing seeded link drop rates with the ACK/retransmit/resequence
+layer enabled, reporting how much the paper's optimized synchronization
+stretches and how much transport work (retransmits, suppressed duplicates,
+ACK frames) buys back correctness — which is asserted, not assumed: every
+faulty run must reach the exact memory state and op_done counters of the
+fault-free run.
+"""
+
+import pytest
+
+from repro.experiments.faultbench import FaultBenchConfig, run_faultbench
+
+from conftest import print_report
+
+DROP_RATES = (0.0, 0.02, 0.05, 0.1)
+NPROCS = 8
+EPOCHS = 4
+
+
+def run_sweep():
+    cfg = FaultBenchConfig(
+        nprocs=NPROCS,
+        drop_rates=DROP_RATES,
+        epochs=EPOCHS,
+        fault_seed=20030422,
+    )
+    return run_faultbench(cfg)
+
+
+def test_fault_sweep(benchmark):
+    result = benchmark.pedantic(run_sweep, rounds=1)
+    print_report(
+        "Ablation: assembly epoch (puts + accs + ARMCI_Barrier) vs drop rate",
+        result.render(),
+    )
+    for p in result.points:
+        tag = f"{p.drop_rate:.2f}".replace(".", "p")
+        benchmark.extra_info[f"epoch_us_drop_{tag}"] = round(p.epoch_us, 1)
+        benchmark.extra_info[f"retransmits_drop_{tag}"] = p.retransmits
+    # The reliability layer must make every faulty run state-identical to
+    # the fault-free reference.
+    assert result.all_ok()
+    by_rate = {p.drop_rate: p for p in result.points}
+    # Losses actually happened and were repaired.
+    assert by_rate[0.05].frames_dropped > 0
+    assert by_rate[0.05].retransmits > 0
+    assert by_rate[0.05].dup_suppressed > 0
+    # The fault-free point pays nothing: no retransmit machinery engaged.
+    assert by_rate[0.0].retransmits == 0 and by_rate[0.0].acks == 0
+    # Recovery costs time, monotonically in the loss rate.
+    assert by_rate[0.1].epoch_us > by_rate[0.02].epoch_us > by_rate[0.0].epoch_us

@@ -104,6 +104,9 @@ class Armci:
             "fences": 0,
             "allfences": 0,
             "barriers": 0,
+            #: Watchdog activity (stays 0 with watchdog_timeout_us == 0).
+            "fence_retries": 0,
+            "barrier_fallbacks": 0,
         }
 
     def __repr__(self) -> str:

@@ -24,6 +24,13 @@ Total communication: ``2 * log2(N)`` one-way latencies, versus the original
 Both counters are *cumulative* over the process lifetime, so repeated
 barriers need no reset protocol and the comparison in stage 2 is monotone
 (``op_done >= target``).
+
+With ``params.watchdog_timeout_us > 0`` the stage-2 wait is guarded: if the
+``op_done`` counter makes no progress for a full window (stalled server,
+or a lost operation on an unreliable network), the rank degrades to the
+conservative AllFence confirmation path and counts the fallback in
+``armci.stats["barrier_fallbacks"]`` — liveness over latency (see
+``docs/fault_model.md``).
 """
 
 from __future__ import annotations
@@ -99,9 +106,56 @@ def _exchange(armci: "Armci"):
     # Stage 2: poll the server's op_done counter for our own slot.
     region, addr = armci.server.op_done_cell(armci.rank)
     target = totals[armci.rank]
-    yield from region.wait_until(
-        addr, lambda v: v >= target, poll_detect_us=armci.params.poll_detect_us
-    )
+    watchdog_us = armci.params.watchdog_timeout_us
+    if watchdog_us > 0.0:
+        done = yield from _stage2_wait_with_watchdog(
+            armci, region, addr, target, watchdog_us
+        )
+        if not done:
+            # The op_done counter stopped making progress for a full
+            # watchdog window: a server is stalled, or (on an unreliable
+            # network without the retransmit layer) an operation was lost
+            # and the counter will never reach the target.  Degrade to the
+            # conservative path — explicit per-server confirmation round
+            # trips, which do not depend on the counter — and count it.
+            from . import fence as fence_mod
 
-    # Stage 3: binary-exchange barrier synchronization.
+            armci.stats["barrier_fallbacks"] = (
+                armci.stats.get("barrier_fallbacks", 0) + 1
+            )
+            yield from fence_mod.allfence_linear(armci)
+    else:
+        yield from region.wait_until(
+            addr, lambda v: v >= target, poll_detect_us=armci.params.poll_detect_us
+        )
+
+    # Stage 3: binary-exchange barrier synchronization.  Ranks that fell
+    # back in stage 2 still join the same collective, so mixed outcomes
+    # cannot deadlock.
     yield from collectives.barrier(armci.comm)
+
+
+def _stage2_wait_with_watchdog(armci: "Armci", region, addr, target, watchdog_us):
+    """Stage-2 poll that gives up when the counter stops progressing.
+
+    Returns True once ``op_done >= target``; returns False if a full
+    watchdog window elapses with *no forward progress* (a slow-but-moving
+    counter keeps re-arming the watchdog rather than tripping it).
+    """
+    env = armci.env
+    poll_detect_us = armci.params.poll_detect_us
+    value = region.read(addr)
+    last_seen = value
+    while value < target:
+        wake = region.watcher(addr).wait()
+        deadline = env.timeout(watchdog_us)
+        yield wake | deadline
+        if wake.triggered and poll_detect_us > 0.0:
+            yield env.timeout(poll_detect_us)
+        value = region.read(addr)
+        if value >= target:
+            break
+        if not wake.triggered and value <= last_seen:
+            return False
+        last_seen = value
+    return True

@@ -14,6 +14,13 @@ Two subsystem styles:
 
 Only nodes with unfenced operations are contacted (ARMCI tracks a per-server
 fence flag); a fence to a clean node is free.
+
+**Watchdog** (``params.watchdog_timeout_us > 0``): a confirm-mode fence
+that waits a full window without hearing back retransmits its confirmation
+request with exponential backoff — the request or its reply may have been
+lost on a faulty network, or the server may sit in a stall window.  After
+``params.max_retries`` unanswered rounds the fence raises instead of
+hanging.  Retries are counted in ``armci.stats["fence_retries"]``.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..net.message import server_endpoint
-from ..sim.core import Event
+from ..sim.core import Event, SimulationError
 from .requests import FenceRequest
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,11 +49,41 @@ def fence_node(armci: "Armci", node: int):
         return
     if node not in armci.dirty_nodes:
         return
-    reply = Event(armci.env)
-    req = FenceRequest(src_rank=armci.rank, reply=reply)
-    yield from armci.fabric.send(armci.rank, server_endpoint(node), req)
-    yield reply
+    watchdog_us = armci.params.watchdog_timeout_us
+    if watchdog_us > 0.0:
+        yield from _confirm_with_watchdog(armci, node, watchdog_us)
+    else:
+        reply = Event(armci.env)
+        req = FenceRequest(src_rank=armci.rank, reply=reply)
+        yield from armci.fabric.send(armci.rank, server_endpoint(node), req)
+        yield reply
     armci.dirty_nodes.discard(node)
+
+
+def _confirm_with_watchdog(armci: "Armci", node: int, watchdog_us: float):
+    """Confirm-mode fence round trip with timeout-driven retransmission.
+
+    Each attempt is a fresh FenceRequest with its own reply event, so a
+    straggling response to an earlier attempt is harmless (its event simply
+    triggers with nobody waiting).
+    """
+    p = armci.params
+    attempts = 0
+    while True:
+        reply = Event(armci.env)
+        req = FenceRequest(src_rank=armci.rank, reply=reply)
+        yield from armci.fabric.send(armci.rank, server_endpoint(node), req)
+        deadline = armci.env.timeout(watchdog_us * (p.retry_backoff ** attempts))
+        yield reply | deadline
+        if reply.triggered:
+            return
+        attempts += 1
+        armci.stats["fence_retries"] = armci.stats.get("fence_retries", 0) + 1
+        if attempts > p.max_retries:
+            raise SimulationError(
+                f"fence to node {node} unanswered after {attempts} attempts "
+                f"(watchdog {watchdog_us}us, max_retries={p.max_retries})"
+            )
 
 
 def allfence_linear(armci: "Armci"):

@@ -8,8 +8,16 @@ Usage (installed as ``armci-repro``, or ``python -m repro``)::
     armci-repro fig10               # lock release (Figure 10)
     armci-repro locks               # Figures 8-10 from one run
     armci-repro ablations           # all five ablation studies
+    armci-repro faults              # sync cost + retry volume vs drop rate
     armci-repro all                 # everything above
     armci-repro fig7 --iterations 100 --network gige
+    armci-repro faults --drop-rate 0.05 --fault-seed 7 --retry-timeout 40
+
+Fault options: ``--drop-rate`` enables seeded link-fault injection (with
+the reliable ACK/retransmit layer) on *any* experiment — with the
+``faults`` experiment it selects the sweep's single non-zero point;
+``--fault-seed`` pins the fault RNG stream and ``--retry-timeout`` the
+first retransmission timeout.
 """
 
 from __future__ import annotations
@@ -50,7 +58,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "locks", "ablations", "app",
-                 "microbench", "fairness", "validate", "all"],
+                 "microbench", "fairness", "faults", "validate", "all"],
         help="which experiment to regenerate",
     )
     parser.add_argument(
@@ -83,7 +91,49 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write tidy CSV series for plotting into DIR",
     )
+    parser.add_argument(
+        "--drop-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help=(
+            "inject seeded link faults: drop each inter-node transmission "
+            "with probability P (reliable delivery layer enabled); for the "
+            "'faults' experiment this picks the sweep's non-zero point"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="seed for the fault-injection RNG stream (independent of jitter)",
+    )
+    parser.add_argument(
+        "--retry-timeout",
+        type=float,
+        default=None,
+        metavar="US",
+        help="reliable layer: first retransmission timeout in simulated us",
+    )
     return parser
+
+
+def _network_params(args):
+    """Resolve the preset plus any fault/reliability options."""
+    from .net.faults import FaultPlan
+
+    params = _preset(args.network)
+    overrides = {}
+    if args.retry_timeout is not None:
+        overrides["retry_timeout_us"] = args.retry_timeout
+    if args.drop_rate:
+        overrides["faults"] = FaultPlan.uniform(
+            drop_rate=args.drop_rate,
+            dup_rate=args.drop_rate / 2.0,
+            seed=args.fault_seed,
+        )
+    return params.with_(**overrides) if overrides else params
 
 
 def _fig7(args) -> None:
@@ -93,7 +143,7 @@ def _fig7(args) -> None:
         nprocs_list=tuple(args.procs) if args.procs else Fig7Config.nprocs_list,
         iterations=args.iterations or 100,
         procs_per_node=args.ppn,
-        params=_preset(args.network),
+        params=_network_params(args),
     )
     comparison = run_fig7(cfg)
     print(comparison.render())
@@ -107,7 +157,7 @@ def _lock_cfg(args) -> LockBenchConfig:
         nprocs_list=tuple(args.procs) if args.procs else LockBenchConfig.nprocs_list,
         iterations=args.iterations or 400,
         procs_per_node=args.ppn,
-        params=_preset(args.network),
+        params=_network_params(args),
     )
 
 
@@ -133,11 +183,11 @@ def _locks(args, which: Optional[str] = None) -> None:
 def _ablations(args) -> None:
     from .experiments.ablations import render_lock_algorithms, run_lock_algorithms
 
-    print(run_crossover(params=_preset(args.network)).render())
+    print(run_crossover(params=_network_params(args)).render())
     print()
-    print(run_fence_modes(params=_preset(args.network)).render())
+    print(run_fence_modes(params=_network_params(args)).render())
     print()
-    print(run_smp_handoff(params=_preset(args.network)).render())
+    print(run_smp_handoff(params=_network_params(args)).render())
     print()
     print(run_wake_cost().render())
     print()
@@ -149,7 +199,7 @@ def _ablations(args) -> None:
 def _microbench(args) -> None:
     from .experiments.microbench import run_microbench
 
-    print(run_microbench(params=_preset(args.network)).render())
+    print(run_microbench(params=_network_params(args)).render())
 
 
 def _fairness(args) -> None:
@@ -158,7 +208,7 @@ def _fairness(args) -> None:
     data = run_lock_fairness(
         nprocs=(args.procs[0] if args.procs else 8),
         iterations=args.iterations or 200,
-        params=_preset(args.network),
+        params=_network_params(args),
     )
     print(render_lock_fairness(data))
 
@@ -170,9 +220,31 @@ def _app(args) -> None:
         nprocs_list=tuple(args.procs) if args.procs else AppScalingConfig.nprocs_list,
         iterations=args.iterations or 10,
         procs_per_node=args.ppn,
-        params=_preset(args.network),
+        params=_network_params(args),
     )
     print(run_app_scaling(cfg).render())
+
+
+def _faults(args) -> None:
+    from .experiments.faultbench import FaultBenchConfig, run_faultbench
+
+    cfg = FaultBenchConfig(
+        nprocs=(args.procs[0] if args.procs else FaultBenchConfig.nprocs),
+        procs_per_node=args.ppn,
+        drop_rates=(
+            (0.0, args.drop_rate)
+            if args.drop_rate
+            else FaultBenchConfig.drop_rates
+        ),
+        fault_seed=(
+            args.fault_seed
+            if args.fault_seed is not None
+            else FaultBenchConfig.fault_seed
+        ),
+        retry_timeout_us=args.retry_timeout,
+        params=_preset(args.network),
+    )
+    print(run_faultbench(cfg).render())
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -191,6 +263,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _microbench(args)
     elif args.experiment == "fairness":
         _fairness(args)
+    elif args.experiment == "faults":
+        _faults(args)
     elif args.experiment == "validate":
         from .experiments.validate import run_validation
 

@@ -1,6 +1,7 @@
 """Experiment harness: one module per paper figure, plus ablations."""
 
 from .common import Comparison, format_table
+from .faultbench import FaultBenchConfig, run_faultbench
 from .fig7_sync import Fig7Config, run_fig7
 from .fig8_lock_total import run_fig8
 from .fig9_lock_acquire import run_fig9
@@ -9,10 +10,12 @@ from .lockbench import LockBenchConfig, LockPoint, run_lock_point, run_lock_seri
 
 __all__ = [
     "Comparison",
+    "FaultBenchConfig",
     "Fig7Config",
     "LockBenchConfig",
     "LockPoint",
     "format_table",
+    "run_faultbench",
     "run_fig7",
     "run_fig8",
     "run_fig9",

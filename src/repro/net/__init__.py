@@ -1,6 +1,7 @@
-"""Simulated cluster network: parameters, topology, and message fabric."""
+"""Simulated cluster network: parameters, topology, fabric, faults, reliability."""
 
 from .fabric import Fabric, FabricStats
+from .faults import FaultInjector, FaultPlan, FaultStats, LinkFaults, StallWindow
 from .message import Endpoint, Envelope, mp_endpoint, server_endpoint
 from .params import (
     MSG_HEADER_BYTES,
@@ -10,6 +11,7 @@ from .params import (
     myrinet2000,
     quadrics_like,
 )
+from .reliable import ReliabilityError, ReliableDelivery
 from .topology import Topology
 
 __all__ = [
@@ -17,9 +19,16 @@ __all__ = [
     "Envelope",
     "Fabric",
     "FabricStats",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "LinkFaults",
     "MSG_HEADER_BYTES",
     "NetworkParams",
+    "ReliabilityError",
+    "ReliableDelivery",
     "SMALL_MSG_BYTES",
+    "StallWindow",
     "Topology",
     "gige",
     "mp_endpoint",

@@ -16,19 +16,32 @@ helper; mailbox receivers pay ``o_recv_us`` when they dequeue.  Replies
 delivered to a bare event (:meth:`post_reply`) fold the receiver overhead
 into the delivery delay, since the requester is blocked waiting for exactly
 that event.
+
+Fault injection and reliability.  With ``params.faults`` set, every
+physical transmission passes through a seeded
+:class:`~repro.net.faults.FaultInjector` (drops, duplicates, delay spikes,
+server stall windows), and — when the plan asks for it — the
+:class:`~repro.net.reliable.ReliableDelivery` layer restores exactly-once,
+in-order delivery over the lossy links with ACKs, retransmissions, and a
+receiver-side resequencer.  With ``params.faults`` left ``None`` (the
+default) neither subsystem is constructed and the fabric is byte-identical
+to a fault-free build; the jitter RNG keeps its own stream either way so
+enabling faults never perturbs jitter sequences.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import count
 from typing import Any, Dict, Optional
 
 from ..sim.core import Environment, Event
 from ..sim.primitives import FilterStore, Store
+from .faults import FaultInjector
 from .message import Endpoint, Envelope
 from .params import MSG_HEADER_BYTES, SMALL_MSG_BYTES, NetworkParams
+from .reliable import ReliableDelivery
 from .topology import Topology
 
 __all__ = ["Fabric", "FabricStats"]
@@ -36,7 +49,15 @@ __all__ = ["Fabric", "FabricStats"]
 
 @dataclass
 class FabricStats:
-    """Aggregate traffic counters."""
+    """Aggregate traffic counters.
+
+    ``messages``/``bytes``/``by_payload`` cover *logical* messages — posts
+    and replies alike, counted once regardless of how many physical
+    transmission attempts the reliable layer needed.  The reliability
+    counters (``retransmits``, ``timeouts``, ``dup_suppressed``, ``acks``)
+    measure the transport's extra work; they stay zero on a fault-free
+    fabric.
+    """
 
     messages: int = 0
     bytes: int = 0
@@ -44,6 +65,16 @@ class FabricStats:
     intra_node: int = 0
     replies: int = 0
     by_payload: Dict[str, int] = field(default_factory=dict)
+    #: Reliable layer: retransmission timer expiries (includes the final,
+    #: budget-exhausted one).
+    timeouts: int = 0
+    #: Reliable layer: frames re-sent after an unacknowledged timeout.
+    retransmits: int = 0
+    #: Duplicate deliveries suppressed (receiver dedup, resequencer, or an
+    #: already-triggered reply event).
+    dup_suppressed: int = 0
+    #: Acknowledgement frames sent by receivers.
+    acks: int = 0
 
     def record(self, envelope: Envelope) -> None:
         self.messages += 1
@@ -54,6 +85,17 @@ class FabricStats:
             self.inter_node += 1
         key = type(envelope.payload).__name__
         self.by_payload[key] = self.by_payload.get(key, 0) + 1
+
+    def record_reply(self, size_bytes: int, intra_node: bool) -> None:
+        """Count a reply like any other message (plus the reply counter)."""
+        self.replies += 1
+        self.messages += 1
+        self.bytes += size_bytes
+        if intra_node:
+            self.intra_node += 1
+        else:
+            self.inter_node += 1
+        self.by_payload["Reply"] = self.by_payload.get("Reply", 0) + 1
 
 
 class Fabric:
@@ -66,7 +108,20 @@ class Fabric:
         self._mailboxes: Dict[Endpoint, Any] = {}
         self._nic_free = [0.0] * topology.nnodes
         self._seq = count()
-        self._rng = random.Random(params.seed)
+        #: Jitter stream.  Seeded exactly as the historical single RNG so
+        #: jitter sequences are unchanged; the fault injector draws from
+        #: its own independent stream (see repro.net.faults).
+        self._jitter_rng = random.Random(params.seed)
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(params.faults, params.seed)
+            if params.faults is not None
+            else None
+        )
+        self.reliable: Optional[ReliableDelivery] = (
+            ReliableDelivery(self)
+            if params.faults is not None and params.faults.reliable
+            else None
+        )
         self.stats = FabricStats()
 
     # -- endpoint registry ---------------------------------------------------
@@ -110,7 +165,7 @@ class Fabric:
         self._nic_free[src_node] = depart + xfer
         delay = (depart - now) + xfer + p.inter_latency_us
         if p.jitter_us > 0.0:
-            delay += self._rng.uniform(0.0, p.jitter_us)
+            delay += self._jitter_rng.uniform(0.0, p.jitter_us)
         return delay
 
     # -- sending -------------------------------------------------------------
@@ -134,7 +189,6 @@ class Fabric:
             src_node = self.topology.node_of(src_rank)
         dst_node = self._dst_node(dst)
         size = payload_bytes + MSG_HEADER_BYTES
-        delay = self._path_delay(src_node, dst_node, size)
         env = self.env
         envelope = Envelope(
             src_rank=src_rank,
@@ -142,14 +196,29 @@ class Fabric:
             payload=payload,
             size_bytes=size,
             sent_at=env.now,
-            deliver_at=env.now + delay,
+            deliver_at=env.now,
             seq=next(self._seq),
             intra_node=(src_node == dst_node),
         )
         self.stats.record(envelope)
         mailbox = self.mailbox(dst)
-        deliver = env.timeout(delay)
-        deliver.callbacks.append(lambda _ev: mailbox.put(envelope))
+        if self.reliable is not None and not envelope.intra_node:
+            self.reliable.send_envelope(envelope, src_node, dst_node)
+            return envelope
+        delay = self._path_delay(src_node, dst_node, size)
+        if self.faults is None:
+            envelope.deliver_at = env.now + delay
+            deliver = env.timeout(delay)
+            deliver.callbacks.append(lambda _ev: mailbox.put(envelope))
+            return envelope
+        offsets = self.faults.delivery_offsets(
+            src_node, dst_node, dst, env.now, delay, intra_node=envelope.intra_node
+        )
+        for i, offset in enumerate(offsets):
+            copy = envelope if i == 0 else replace(envelope)
+            copy.deliver_at = env.now + offset
+            deliver = env.timeout(offset)
+            deliver.callbacks.append(lambda _ev, c=copy: mailbox.put(c))
         return envelope
 
     def send(
@@ -190,14 +259,41 @@ class Fabric:
         p = self.params
         dst_node = self.topology.node_of(dst_rank)
         size = payload_bytes + MSG_HEADER_BYTES
+        intra_node = src_node == dst_node
+        self.stats.record_reply(size, intra_node)
+        if self.reliable is not None and not intra_node:
+            self.reliable.send_reply(
+                src_node, dst_node, dst_rank, reply_event, value, size
+            )
+            return
         delay = self._path_delay(src_node, dst_node, size)
-        if src_node != dst_node:
-            delay += p.o_recv_us
-        else:
+        if intra_node:
             delay += p.shm_access_us
-        self.stats.replies += 1
-        deliver = self.env.timeout(delay)
-        deliver.callbacks.append(lambda _ev: reply_event.succeed(value))
+        else:
+            delay += p.o_recv_us
+        if self.faults is None:
+            deliver = self.env.timeout(delay)
+            deliver.callbacks.append(lambda _ev: reply_event.succeed(value))
+            return
+        apply_faults = self.params.faults.apply_to_replies and not intra_node
+        if apply_faults:
+            offsets = self.faults.delivery_offsets(
+                src_node, dst_node, None, self.env.now, delay
+            )
+        else:
+            offsets = [delay]
+        for offset in offsets:
+            deliver = self.env.timeout(offset)
+            deliver.callbacks.append(
+                lambda _ev: self._trigger_reply(reply_event, value)
+            )
+
+    def _trigger_reply(self, reply_event: Event, value: Any) -> None:
+        """Succeed a reply event, suppressing network-duplicated copies."""
+        if reply_event.triggered:
+            self.stats.dup_suppressed += 1
+        else:
+            reply_event.succeed(value)
 
     # -- introspection ---------------------------------------------------------
 

@@ -1,0 +1,305 @@
+"""Deterministic fault injection for the message fabric.
+
+The paper's protocols (the combined ``ARMCI_Barrier()``, the hybrid and MCS
+locks) are correct because GM guarantees reliable, in-order delivery
+(paper §3.1.1).  This module makes that assumption *falsifiable*: a
+:class:`FaultPlan` describes how a network misbehaves — per-link drop
+probability, duplication, delay spikes, reordering windows, and timed
+server stall/crash windows — and a :class:`FaultInjector` applies the plan
+to every physical transmission the fabric makes.
+
+Design rules:
+
+* **Disabled means absent.**  ``NetworkParams.faults`` defaults to ``None``;
+  the fabric then never constructs an injector, draws no random numbers,
+  and is byte-identical to a fault-free build.  Enabling faults must not
+  perturb any other stochastic stream (delivery jitter keeps its own RNG).
+
+* **Seeded and deterministic.**  All fault decisions come from one
+  ``random.Random`` seeded from ``FaultPlan.seed`` (falling back to the
+  network seed).  The same plan over the same workload produces the same
+  drops, duplicates, and delays on every run.
+
+* **The network lies; memory does not.**  Faults apply to inter-node
+  transmissions (and, for stall/crash windows, to deliveries addressed to
+  the stalled node's server).  The intra-node shared-memory queue stays
+  reliable, as real SMP request queues are.
+
+Recovery from injected faults is the job of :mod:`repro.net.reliable`
+(ACK/retransmit/resequencing) and the protocol watchdogs in
+:mod:`repro.armci.fence` / :mod:`repro.armci.barrier`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .message import Endpoint
+
+__all__ = [
+    "LinkFaults",
+    "StallWindow",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+]
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-link misbehaviour probabilities (each transmission attempt).
+
+    Attributes
+    ----------
+    drop_rate:
+        Probability a transmission is silently lost.
+    dup_rate:
+        Probability a transmission is delivered twice (the ghost copy
+        arrives after an extra uniform delay in ``[0, dup_lag_us]``).
+    delay_rate / delay_spike_us:
+        Probability of a delay spike, and the spike magnitude added to the
+        nominal delivery time (models a congested switch port or a link
+        retraining pause).
+    reorder_rate / reorder_window_us:
+        Probability of an extra uniform delay in ``[0, reorder_window_us]``,
+        which reorders the message against its neighbours (a softer, more
+        frequent perturbation than a full spike).
+    dup_lag_us:
+        Upper bound of the duplicate copy's extra lag.
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_spike_us: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_window_us: float = 0.0
+    dup_lag_us: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate", "delay_rate", "reorder_rate"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("delay_spike_us", "reorder_window_us", "dup_lag_us"):
+            value = getattr(self, name)
+            if value < 0.0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.drop_rate > 0.0
+            or self.dup_rate > 0.0
+            or self.delay_rate > 0.0
+            or self.reorder_rate > 0.0
+        )
+
+
+@dataclass(frozen=True)
+class StallWindow:
+    """A timed outage of one node's server.
+
+    A message due to arrive at ``("srv", node)`` inside ``[start_us,
+    end_us)`` is either *held* until the window closes (``mode="stall"``:
+    the server thread is descheduled / wedged, then resumes with its
+    backlog) or *dropped* (``mode="crash"``: the server restarts and loses
+    everything that was in flight to it).
+    """
+
+    node: int
+    start_us: float
+    end_us: float
+    mode: str = "stall"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("stall", "crash"):
+            raise ValueError(f"mode must be 'stall' or 'crash', got {self.mode!r}")
+        if self.start_us < 0.0 or self.end_us <= self.start_us:
+            raise ValueError(
+                f"need 0 <= start_us < end_us, got [{self.start_us}, {self.end_us})"
+            )
+
+    def covers(self, when: float) -> bool:
+        return self.start_us <= when < self.end_us
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, immutable description of how the network misbehaves.
+
+    Attributes
+    ----------
+    default:
+        Fault rates applied to every inter-node link not overridden.
+    links:
+        Per-link overrides: ``(((src_node, dst_node), LinkFaults), ...)``.
+    stalls:
+        Timed server stall/crash windows.
+    seed:
+        Fault-stream RNG seed; ``None`` derives it from the network seed.
+        Independent from the jitter stream either way.
+    reliable:
+        Whether the fabric should run the ACK/retransmit/resequencing layer
+        (:mod:`repro.net.reliable`) on top of the faulty links.  Disable it
+        to expose raw faults to the runtime (e.g. to exercise the server's
+        idempotent dispatch directly).
+    apply_to_replies:
+        Whether server responses are subject to link faults too (they are
+        on a real network; disable for experiments that only perturb the
+        request direction).
+    """
+
+    default: LinkFaults = LinkFaults()
+    links: Tuple[Tuple[Tuple[int, int], LinkFaults], ...] = ()
+    stalls: Tuple[StallWindow, ...] = ()
+    seed: Optional[int] = None
+    reliable: bool = True
+    apply_to_replies: bool = True
+
+    @classmethod
+    def uniform(
+        cls,
+        drop_rate: float = 0.0,
+        dup_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_spike_us: float = 0.0,
+        reorder_rate: float = 0.0,
+        reorder_window_us: float = 0.0,
+        stalls: Tuple[StallWindow, ...] = (),
+        seed: Optional[int] = None,
+        reliable: bool = True,
+    ) -> "FaultPlan":
+        """The common case: the same fault rates on every link."""
+        return cls(
+            default=LinkFaults(
+                drop_rate=drop_rate,
+                dup_rate=dup_rate,
+                delay_rate=delay_rate,
+                delay_spike_us=delay_spike_us,
+                reorder_rate=reorder_rate,
+                reorder_window_us=reorder_window_us,
+            ),
+            stalls=stalls,
+            seed=seed,
+            reliable=reliable,
+        )
+
+    def link(self, src_node: int, dst_node: int) -> LinkFaults:
+        for (src, dst), faults in self.links:
+            if src == src_node and dst == dst_node:
+                return faults
+        return self.default
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did (per fabric)."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    delay_spikes: int = 0
+    reordered: int = 0
+    stall_held: int = 0
+    crash_dropped: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.dropped
+            + self.duplicated
+            + self.delay_spikes
+            + self.reordered
+            + self.stall_held
+            + self.crash_dropped
+        )
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to individual transmission attempts."""
+
+    def __init__(self, plan: FaultPlan, fallback_seed: int):
+        self.plan = plan
+        seed = plan.seed if plan.seed is not None else fallback_seed
+        # String seeding hashes via SHA-512: stable across processes and
+        # independent of PYTHONHASHSEED, and distinct from the jitter
+        # stream which seeds random.Random(seed) directly.
+        self._rng = random.Random(f"faults:{seed}")
+        self._links: Dict[Tuple[int, int], LinkFaults] = dict(plan.links)
+        self.stats = FaultStats()
+
+    def __repr__(self) -> str:
+        return f"<FaultInjector plan={self.plan!r} injected={self.stats.total}>"
+
+    def link(self, src_node: int, dst_node: int) -> LinkFaults:
+        return self._links.get((src_node, dst_node), self.plan.default)
+
+    # -- the one entry point the fabric calls --------------------------------
+
+    def delivery_offsets(
+        self,
+        src_node: int,
+        dst_node: int,
+        dst: Optional[Endpoint],
+        now: float,
+        base_delay: float,
+        intra_node: bool = False,
+    ) -> List[float]:
+        """Delivery delays for one physical transmission attempt.
+
+        Returns zero (dropped), one, or two (duplicated) delays relative to
+        ``now``.  ``dst`` is the destination endpoint when the transmission
+        targets a registered mailbox (stall windows key off server
+        endpoints); pass ``None`` for transport-internal traffic (ACKs).
+        """
+        if intra_node:
+            # The shared-memory queue is reliable; only an outage of the
+            # server itself affects it.
+            return self._apply_stalls(dst, now, [base_delay])
+        faults = self.link(src_node, dst_node)
+        delays: List[float] = []
+        if faults.active:
+            rng = self._rng
+            if faults.drop_rate > 0.0 and rng.random() < faults.drop_rate:
+                self.stats.dropped += 1
+            else:
+                delay = base_delay
+                if faults.delay_rate > 0.0 and rng.random() < faults.delay_rate:
+                    self.stats.delay_spikes += 1
+                    delay += faults.delay_spike_us
+                if faults.reorder_rate > 0.0 and rng.random() < faults.reorder_rate:
+                    self.stats.reordered += 1
+                    delay += rng.uniform(0.0, faults.reorder_window_us)
+                delays.append(delay)
+                if faults.dup_rate > 0.0 and rng.random() < faults.dup_rate:
+                    self.stats.duplicated += 1
+                    delays.append(delay + rng.uniform(0.0, faults.dup_lag_us))
+        else:
+            delays.append(base_delay)
+        return self._apply_stalls(dst, now, delays)
+
+    def _apply_stalls(
+        self, dst: Optional[Endpoint], now: float, delays: List[float]
+    ) -> List[float]:
+        if not self.plan.stalls or dst is None or dst[0] != "srv":
+            return delays
+        node = dst[1]
+        out: List[float] = []
+        for delay in delays:
+            window = self._window_hit(node, now + delay)
+            if window is None:
+                out.append(delay)
+            elif window.mode == "crash":
+                self.stats.crash_dropped += 1
+            else:
+                self.stats.stall_held += 1
+                out.append(window.end_us - now)
+        return out
+
+    def _window_hit(self, node: int, when: float) -> Optional[StallWindow]:
+        for window in self.plan.stalls:
+            if window.node == node and window.covers(when):
+                return window
+        return None

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from .faults import FaultPlan
+
 __all__ = ["NetworkParams", "myrinet2000", "gige", "quadrics_like", "SMALL_MSG_BYTES", "MSG_HEADER_BYTES"]
 
 #: Nominal size charged for small control messages (requests, grants, acks).
@@ -85,7 +87,8 @@ class NetworkParams:
         If > 0, each inter-node delivery gets a uniform extra delay in
         ``[0, jitter_us]``, which can reorder messages between a pair.  GM
         delivers in order, so this is 0 by default; tests use it for
-        failure injection.
+        failure injection.  Richer misbehaviour (drops, duplicates, delay
+        spikes, server stalls) lives in ``faults``, on its own RNG stream.
     send_credits:
         GM-style sender flow control: each (process, server) pair holds
         this many send tokens; a request consumes one and the server's
@@ -94,7 +97,31 @@ class NetworkParams:
         0 disables the limit (default — the paper's GM configuration
         relies on GM's own link-level flow control instead).
     seed:
-        RNG seed for jitter.
+        RNG seed for jitter (and, unless the fault plan carries its own
+        seed, for the independent fault stream).
+    faults:
+        Optional :class:`repro.net.faults.FaultPlan`.  ``None`` (default)
+        means a perfect network — the fabric takes the exact same code
+        path as before the fault subsystem existed, so all fault-free
+        results are byte-identical.  When set, the fabric injects the
+        plan's drops/duplicates/delays/stalls and (if ``plan.reliable``)
+        runs the ACK/retransmit layer of :mod:`repro.net.reliable`.
+    retry_timeout_us:
+        Reliable layer: time to wait for an acknowledgement before the
+        first retransmission of a frame.
+    retry_backoff:
+        Reliable layer: multiplicative backoff applied to the retry
+        timeout on each successive retransmission (>= 1).
+    max_retries:
+        Reliable layer and fence watchdog: attempts after which the
+        transport gives up and raises (declaring the link/server dead)
+        instead of retrying forever.
+    watchdog_timeout_us:
+        Protocol watchdogs (0 = disabled, the default): a fence waiting
+        this long without a confirmation retransmits its request, and a
+        barrier whose stage-2 ``op_done`` wait makes no progress for a
+        full window degrades to the conservative AllFence path (see
+        ``docs/fault_model.md``).
     """
 
     inter_latency_us: float = 6.5
@@ -116,6 +143,11 @@ class NetworkParams:
     jitter_us: float = 0.0
     send_credits: int = 0
     seed: int = 12345
+    faults: Optional[FaultPlan] = None
+    retry_timeout_us: float = 60.0
+    retry_backoff: float = 2.0
+    max_retries: int = 12
+    watchdog_timeout_us: float = 0.0
 
     def __post_init__(self) -> None:
         for field_name in (
@@ -143,6 +175,22 @@ class NetworkParams:
         if self.send_credits < 0:
             raise ValueError(
                 f"send_credits must be non-negative, got {self.send_credits}"
+            )
+        for field_name in ("retry_timeout_us", "watchdog_timeout_us"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ValueError(f"{field_name} must be non-negative, got {value}")
+        if self.retry_backoff < 1.0:
+            raise ValueError(
+                f"retry_backoff must be >= 1, got {self.retry_backoff}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan or None, got {self.faults!r}"
             )
 
     def with_(self, **changes) -> "NetworkParams":

@@ -1,0 +1,288 @@
+"""Reliable delivery over a lossy fabric: ACK / retransmit / resequence.
+
+GM gives ARMCI reliable, in-order delivery for free (paper §3.1.1), and the
+optimized synchronization operations lean on it: the server's FIFO request
+processing stands in for completion tracking, and the ``op_done`` counters
+of the combined barrier assume every issued operation arrives exactly once.
+When the fabric injects faults (:mod:`repro.net.faults`), this module
+restores those guarantees the way a GM-like transport would:
+
+* **Sender side** — every logical message becomes a *frame* with a
+  per-``(source, destination endpoint)`` sequence number.  A frame is
+  retransmitted on an exponential-backoff timer (``retry_timeout_us``,
+  ``retry_backoff``) until the receiver acknowledges it; after
+  ``max_retries`` unanswered attempts the transport declares the link dead
+  and raises :class:`ReliabilityError` (surfacing the hang loudly instead
+  of deadlocking silently).
+
+* **Receiver side** — duplicate frames (retransmissions whose original made
+  it, or network-duplicated copies) are suppressed and re-acknowledged; a
+  resequencer buffers out-of-order frames and releases them to the real
+  mailbox in sequence order, restoring GM's per-pair FIFO property.
+
+* **ACKs** — acknowledgements travel the reverse path and are themselves
+  subject to link faults (a lost ACK causes a retransmission, which the
+  receiver suppresses as a duplicate and re-acknowledges).
+
+Server *responses* (:meth:`Fabric.post_reply`) complete a bare event rather
+than feeding a mailbox, so they need no resequencing: reply frames are
+retransmitted until acknowledged and deduplicated by the event's
+single-trigger property.
+
+Retry, timeout, and duplicate-suppression counters are surfaced through
+:class:`repro.net.fabric.FabricStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from ..sim.core import Event, SimulationError
+from .message import Endpoint, Envelope
+from .params import MSG_HEADER_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .fabric import Fabric
+
+__all__ = ["ReliableDelivery", "ReliabilityError", "ACK_BYTES"]
+
+#: Wire size of an acknowledgement frame (header-only control message).
+ACK_BYTES = MSG_HEADER_BYTES
+
+#: Channel key: (logical source, destination endpoint).
+ChannelKey = Tuple[Any, Endpoint]
+
+
+class ReliabilityError(SimulationError):
+    """A frame exhausted its retransmission budget (link declared dead)."""
+
+
+class _Frame:
+    """One logical message in flight, across all its transmission attempts."""
+
+    __slots__ = (
+        "seq",
+        "kind",
+        "envelope",
+        "event",
+        "value",
+        "size_bytes",
+        "src_node",
+        "dst_node",
+        "dst",
+        "attempts",
+        "acked",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        kind: str,
+        size_bytes: int,
+        src_node: int,
+        dst_node: int,
+        dst: Optional[Endpoint],
+        envelope: Optional[Envelope] = None,
+        event: Optional[Event] = None,
+        value: Any = None,
+    ):
+        self.seq = seq
+        self.kind = kind  # "msg" (mailbox envelope) | "reply" (bare event)
+        self.size_bytes = size_bytes
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.dst = dst
+        self.envelope = envelope
+        self.event = event
+        self.value = value
+        self.attempts = 0
+        self.acked = False
+
+    def __repr__(self) -> str:
+        state = "acked" if self.acked else f"attempt {self.attempts}"
+        return f"<Frame {self.kind} seq={self.seq} {state}>"
+
+
+@dataclass
+class _SendChannel:
+    next_seq: int = 0
+    unacked: Dict[int, _Frame] = field(default_factory=dict)
+
+
+@dataclass
+class _RecvChannel:
+    #: Next in-order sequence number to release to the mailbox.
+    expected: int = 0
+    #: Out-of-order frames awaiting the gap fill (resequencer).
+    buffer: Dict[int, Envelope] = field(default_factory=dict)
+
+
+class ReliableDelivery:
+    """Per-fabric reliable transport state (all channels, both directions)."""
+
+    def __init__(self, fabric: "Fabric"):
+        self.fabric = fabric
+        self.env = fabric.env
+        self.params = fabric.params
+        self._send_channels: Dict[ChannelKey, _SendChannel] = {}
+        self._recv_channels: Dict[ChannelKey, _RecvChannel] = {}
+
+    def __repr__(self) -> str:
+        inflight = sum(len(ch.unacked) for ch in self._send_channels.values())
+        return f"<ReliableDelivery channels={len(self._send_channels)} inflight={inflight}>"
+
+    # -- introspection -------------------------------------------------------
+
+    def in_flight(self) -> int:
+        """Number of unacknowledged frames across all channels."""
+        return sum(len(ch.unacked) for ch in self._send_channels.values())
+
+    def resequencer_depth(self) -> int:
+        """Frames currently buffered out-of-order at receivers."""
+        return sum(len(ch.buffer) for ch in self._recv_channels.values())
+
+    # -- sender entry points (called by Fabric) -------------------------------
+
+    def send_envelope(self, envelope: Envelope, src_node: int, dst_node: int) -> None:
+        """Ship a mailbox-bound envelope reliably and in order."""
+        key: ChannelKey = (envelope.src_rank, envelope.dst)
+        channel = self._send_channels.setdefault(key, _SendChannel())
+        frame = _Frame(
+            seq=channel.next_seq,
+            kind="msg",
+            size_bytes=envelope.size_bytes,
+            src_node=src_node,
+            dst_node=dst_node,
+            dst=envelope.dst,
+            envelope=envelope,
+        )
+        channel.next_seq += 1
+        channel.unacked[frame.seq] = frame
+        self._transmit(key, channel, frame)
+
+    def send_reply(
+        self,
+        src_node: int,
+        dst_node: int,
+        dst_rank: int,
+        reply_event: Event,
+        value: Any,
+        size_bytes: int,
+    ) -> None:
+        """Ship a server response reliably (at-least-once + event dedup)."""
+        key: ChannelKey = (("reply", src_node), ("mp", dst_rank))
+        channel = self._send_channels.setdefault(key, _SendChannel())
+        frame = _Frame(
+            seq=channel.next_seq,
+            kind="reply",
+            size_bytes=size_bytes,
+            src_node=src_node,
+            dst_node=dst_node,
+            dst=None,
+            event=reply_event,
+            value=value,
+        )
+        channel.next_seq += 1
+        channel.unacked[frame.seq] = frame
+        self._transmit(key, channel, frame)
+
+    # -- transmission / retransmission ----------------------------------------
+
+    def _transmit(self, key: ChannelKey, channel: _SendChannel, frame: _Frame) -> None:
+        fabric = self.fabric
+        env = self.env
+        frame.attempts += 1
+        base = fabric._path_delay(frame.src_node, frame.dst_node, frame.size_bytes)
+        if frame.kind == "reply":
+            # As in Fabric.post_reply, the blocked requester's receive
+            # overhead folds into the delivery delay.
+            base += self.params.o_recv_us
+        plan = fabric.faults.plan if fabric.faults is not None else None
+        if fabric.faults is None or (frame.kind == "reply" and not plan.apply_to_replies):
+            offsets = [base]
+        else:
+            offsets = fabric.faults.delivery_offsets(
+                frame.src_node, frame.dst_node, frame.dst, env.now, base
+            )
+        for offset in offsets:
+            deliver = env.timeout(offset)
+            deliver.callbacks.append(lambda _ev, k=key, f=frame: self._arrive(k, f))
+        self._arm_timer(key, channel, frame)
+
+    def _arm_timer(self, key: ChannelKey, channel: _SendChannel, frame: _Frame) -> None:
+        p = self.params
+        timeout = p.retry_timeout_us * (p.retry_backoff ** (frame.attempts - 1))
+        generation = frame.attempts
+        timer = self.env.timeout(timeout)
+        timer.callbacks.append(
+            lambda _ev: self._on_timer(key, channel, frame, generation)
+        )
+
+    def _on_timer(
+        self, key: ChannelKey, channel: _SendChannel, frame: _Frame, generation: int
+    ) -> None:
+        if frame.acked or frame.attempts != generation:
+            return
+        stats = self.fabric.stats
+        stats.timeouts += 1
+        if frame.attempts > self.params.max_retries:
+            raise ReliabilityError(
+                f"frame {frame!r} on channel {key} unacknowledged after "
+                f"{frame.attempts} attempts (max_retries={self.params.max_retries}); "
+                f"link {frame.src_node}->{frame.dst_node} declared dead"
+            )
+        stats.retransmits += 1
+        self._transmit(key, channel, frame)
+
+    # -- receiver side ---------------------------------------------------------
+
+    def _arrive(self, key: ChannelKey, frame: _Frame) -> None:
+        stats = self.fabric.stats
+        if frame.kind == "msg":
+            channel = self._recv_channels.setdefault(key, _RecvChannel())
+            if frame.seq < channel.expected or frame.seq in channel.buffer:
+                stats.dup_suppressed += 1
+            else:
+                channel.buffer[frame.seq] = frame.envelope
+                self._release_in_order(channel, frame.dst)
+        else:  # reply: the event can only trigger once
+            if frame.event.triggered:
+                stats.dup_suppressed += 1
+            else:
+                frame.event.succeed(frame.value)
+        self._send_ack(key, frame)
+
+    def _release_in_order(self, channel: _RecvChannel, dst: Endpoint) -> None:
+        mailbox = self.fabric.mailbox(dst)
+        now = self.env.now
+        while channel.expected in channel.buffer:
+            envelope = channel.buffer.pop(channel.expected)
+            channel.expected += 1
+            envelope.deliver_at = now
+            mailbox.put(envelope)
+
+    # -- acknowledgements ------------------------------------------------------
+
+    def _send_ack(self, key: ChannelKey, frame: _Frame) -> None:
+        fabric = self.fabric
+        env = self.env
+        fabric.stats.acks += 1
+        base = fabric._path_delay(frame.dst_node, frame.src_node, ACK_BYTES)
+        if fabric.faults is None:
+            offsets = [base]
+        else:
+            offsets = fabric.faults.delivery_offsets(
+                frame.dst_node, frame.src_node, None, env.now, base
+            )
+        for offset in offsets:
+            deliver = env.timeout(offset)
+            deliver.callbacks.append(lambda _ev, k=key, f=frame: self._on_ack(k, f))
+
+    def _on_ack(self, key: ChannelKey, frame: _Frame) -> None:
+        if frame.acked:
+            return  # duplicate ACK
+        frame.acked = True
+        channel = self._send_channels.get(key)
+        if channel is not None:
+            channel.unacked.pop(frame.seq, None)

@@ -71,6 +71,11 @@ class ServerStats:
     locks: int = 0
     unlocks: int = 0
     grants: int = 0
+    #: Retransmitted/duplicated requests caught by idempotent dispatch
+    #: (never double-applied, never double-bumping ``op_done``).
+    dup_requests: int = 0
+    #: Cached responses re-sent for duplicates whose original reply was lost.
+    replayed_replies: int = 0
     by_type: Dict[str, int] = field(default_factory=dict)
 
 
@@ -107,6 +112,18 @@ class ServerThread:
         }
         #: Hybrid-lock wait queues: (home_rank, base_addr) -> ticket -> waiter.
         self._lock_waiters: Dict[Tuple[int, int], Dict[int, LockRequest]] = {}
+        #: Idempotent dispatch (only when faults can duplicate requests):
+        #: envelopes are deduplicated by (src_rank, fabric seq) so a
+        #: retransmitted put/acc never double-applies or double-bumps
+        #: ``op_done`` — a double bump silently corrupts stage 2 of the
+        #: combined ARMCI_Barrier.
+        self._dedup = params.faults is not None
+        self._applied: set = set()
+        #: At-most-once reply cache: dedup key -> (src_rank, event, value,
+        #: payload_cells), used to re-send a response whose original was
+        #: lost on the way back.
+        self._reply_cache: Dict[Tuple[int, int], Tuple[int, Any, Any, int]] = {}
+        self._current_key: Optional[Tuple[int, int]] = None
         self._proc = None
 
     def __repr__(self) -> str:
@@ -194,6 +211,14 @@ class ServerThread:
     # -- request handlers -----------------------------------------------------
 
     def _dispatch(self, envelope: Envelope):
+        if self._dedup:
+            key = (envelope.src_rank, envelope.seq)
+            if key in self._applied:
+                self.stats.dup_requests += 1
+                yield from self._replay_reply(key)
+                return
+            self._applied.add(key)
+            self._current_key = key
         req = envelope.payload
         if isinstance(req, PutRequest):
             yield from self._handle_put(req)
@@ -215,19 +240,46 @@ class ServerThread:
     def _copy_cost(self, ncells: int) -> float:
         return ncells * Region.CELL_BYTES * self.params.mem_copy_per_byte_us
 
+    def _replay_reply(self, key: Tuple[int, int]):
+        """Re-send the cached response for a duplicate of an applied request.
+
+        Requests without a response (fire-and-forget put/acc/unlock) cache
+        nothing; duplicates of those are simply ignored.  If the original
+        response already reached the requester, the duplicate needs no
+        answer either.
+        """
+        cached = self._reply_cache.get(key)
+        if cached is None:
+            return
+        src_rank, event, value, payload_cells = cached
+        if event is None or event.triggered:
+            return
+        self.stats.replayed_replies += 1
+        self._current_key = key
+        yield from self._reply(src_rank, event, value, payload_cells=payload_cells)
+
     def _reply(self, req_src_rank: int, reply_event, value=None, payload_cells: int = 0):
         """Charge send overhead and post a response to the requester."""
+        if payload_cells < 0:
+            raise ValueError(f"payload_cells must be >= 0, got {payload_cells}")
         p = self.params
         same_node = self.topology.node_of(req_src_rank) == self.node
         overhead = p.shm_access_us if same_node else p.o_send_us
         if overhead > 0.0:
             yield self.env.timeout(overhead)
+        if self._dedup and self._current_key is not None:
+            self._reply_cache[self._current_key] = (
+                req_src_rank,
+                reply_event,
+                value,
+                payload_cells,
+            )
         self.fabric.post_reply(
             self.node,
             req_src_rank,
             reply_event,
             value,
-            payload_bytes=max(payload_cells * Region.CELL_BYTES, 0) or 0,
+            payload_bytes=payload_cells * Region.CELL_BYTES,
         )
 
     def _handle_put(self, req: PutRequest):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.net.fabric import Fabric
+from repro.net.faults import FaultPlan
 from repro.net.message import mp_endpoint, server_endpoint
 from repro.net.params import MSG_HEADER_BYTES, NetworkParams
 from repro.net.topology import Topology
@@ -171,6 +172,34 @@ class TestStats:
         assert fabric.stats.replies == 1
         env.run()
 
+    def test_reply_counts_message_bytes_and_payload(self):
+        # Regression: replies used to bump only `replies`, undercounting
+        # messages/bytes/by_payload relative to the traffic on the wire.
+        env, fabric, _ = make_fabric()
+        fabric.post_reply(0, 1, Event(env), payload_bytes=100)
+        assert fabric.stats.messages == 1
+        assert fabric.stats.bytes == 100 + MSG_HEADER_BYTES
+        assert fabric.stats.inter_node == 1
+        assert fabric.stats.by_payload == {"Reply": 1}
+        env.run()
+
+    def test_intra_reply_counts_as_intra_node(self):
+        env, fabric, _ = make_fabric(ppn=2)
+        fabric.post_reply(0, 1, Event(env))  # rank 1 lives on node 0
+        assert fabric.stats.intra_node == 1
+        assert fabric.stats.inter_node == 0
+        env.run()
+
+    def test_reliability_counters_zero_without_faults(self):
+        env, fabric, _ = make_fabric()
+        fabric.post(0, server_endpoint(1), "x")
+        fabric.post_reply(1, 0, Event(env))
+        env.run()
+        assert fabric.stats.timeouts == 0
+        assert fabric.stats.retransmits == 0
+        assert fabric.stats.dup_suppressed == 0
+        assert fabric.stats.acks == 0
+
 
 class TestJitter:
     def test_jitter_can_reorder_messages(self):
@@ -203,3 +232,42 @@ class TestJitter:
         env.run()
         box = boxes[("srv", 1)]
         assert [box.try_get().payload for _ in range(20)] == list(range(20))
+
+
+class TestRngStreamSplit:
+    """The jitter and fault RNG streams must be independent (same seed)."""
+
+    def _jittered_arrivals(self, faults):
+        env, fabric, boxes = make_fabric(
+            inter_latency_us=1.0,
+            per_byte_us=0.0,
+            jitter_us=50.0,
+            seed=7,
+            faults=faults,
+        )
+        for i in range(20):
+            fabric.post(0, server_endpoint(1), i, payload_bytes=0)
+        env.run()
+        box = boxes[("srv", 1)]
+        count = len(box)
+        out = [box.try_get() for _ in range(count)]
+        return [(e.payload, e.deliver_at) for e in out]
+
+    def test_inactive_fault_plan_leaves_jitter_sequence_unchanged(self):
+        # A present-but-all-zero plan routes through the injector yet must
+        # not perturb the jitter draws: identical payload/time schedule.
+        baseline = self._jittered_arrivals(None)
+        with_plan = self._jittered_arrivals(FaultPlan.uniform(reliable=False))
+        assert with_plan == baseline
+
+    def test_drops_do_not_shift_surviving_jitter_draws(self):
+        # Fault decisions come from their own stream, so the messages that
+        # survive a lossy plan keep the exact delivery times they had in the
+        # fault-free run.
+        baseline = dict(self._jittered_arrivals(None))
+        lossy = self._jittered_arrivals(
+            FaultPlan.uniform(drop_rate=0.3, seed=3, reliable=False)
+        )
+        assert 0 < len(lossy) < 20
+        for payload, deliver_at in lossy:
+            assert deliver_at == pytest.approx(baseline[payload])

@@ -1,0 +1,183 @@
+"""Unit tests for the fault-injection fabric (repro.net.faults)."""
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.net.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkFaults,
+    StallWindow,
+)
+from repro.net.message import server_endpoint
+from repro.net.params import NetworkParams
+from repro.net.topology import Topology
+from repro.sim.core import Environment
+from repro.sim.primitives import Store
+
+
+def make_fabric(plan, nprocs=4, ppn=1, **overrides):
+    """Fabric with a fault plan and deterministic (jitter-free) timing."""
+    overrides.setdefault("jitter_us", 0.0)
+    overrides.setdefault("per_byte_us", 0.0)
+    overrides.setdefault("inter_latency_us", 1.0)
+    env = Environment()
+    params = NetworkParams(faults=plan, **overrides)
+    topo = Topology(nprocs, procs_per_node=ppn)
+    fabric = Fabric(env, topo, params)
+    boxes = {}
+    for node in range(topo.nnodes):
+        boxes[("srv", node)] = Store(env, name=f"s{node}")
+        fabric.register(server_endpoint(node), boxes[("srv", node)])
+    return env, fabric, boxes
+
+
+def drain(box):
+    count = len(box)
+    return [box.try_get() for _ in range(count)]
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            LinkFaults(drop_rate=1.5)
+        with pytest.raises(ValueError, match="dup_rate"):
+            LinkFaults(dup_rate=-0.1)
+
+    def test_magnitudes_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="delay_spike_us"):
+            LinkFaults(delay_spike_us=-1.0)
+        with pytest.raises(ValueError, match="dup_lag_us"):
+            LinkFaults(dup_lag_us=-1.0)
+
+    def test_stall_window_ordering(self):
+        with pytest.raises(ValueError, match="start_us < end_us"):
+            StallWindow(node=0, start_us=5.0, end_us=5.0)
+
+    def test_stall_window_mode(self):
+        with pytest.raises(ValueError, match="stall.*crash"):
+            StallWindow(node=0, start_us=0.0, end_us=1.0, mode="reboot")
+
+    def test_params_reject_non_plan(self):
+        with pytest.raises((TypeError, ValueError)):
+            NetworkParams(faults="drop everything")
+
+
+class TestPlan:
+    def test_inactive_by_default(self):
+        assert not LinkFaults().active
+        assert LinkFaults(drop_rate=0.1).active
+        assert LinkFaults(reorder_rate=0.1).active
+
+    def test_per_link_override(self):
+        special = LinkFaults(drop_rate=0.9)
+        plan = FaultPlan(links=(((0, 1), special),))
+        assert plan.link(0, 1) is special
+        assert plan.link(1, 0) == plan.default
+
+    def test_uniform_builder(self):
+        plan = FaultPlan.uniform(drop_rate=0.2, dup_rate=0.1, seed=5)
+        assert plan.default.drop_rate == 0.2
+        assert plan.default.dup_rate == 0.1
+        assert plan.seed == 5 and plan.reliable
+
+    def test_plan_seed_overrides_network_seed(self):
+        pinned = FaultInjector(FaultPlan(seed=5), fallback_seed=999)
+        fallback = FaultInjector(FaultPlan(seed=None), fallback_seed=5)
+        draws = lambda inj: [inj._rng.random() for _ in range(4)]
+        assert draws(pinned) == draws(fallback)
+
+
+class TestInjection:
+    def test_drop_everything(self):
+        plan = FaultPlan.uniform(drop_rate=1.0, reliable=False)
+        env, fabric, boxes = make_fabric(plan)
+        for i in range(5):
+            fabric.post(0, server_endpoint(1), i)
+        env.run()
+        assert len(boxes[("srv", 1)]) == 0
+        assert fabric.faults.stats.dropped == 5
+
+    def test_duplicate_keeps_fabric_seq(self):
+        plan = FaultPlan.uniform(dup_rate=1.0, reliable=False)
+        env, fabric, boxes = make_fabric(plan)
+        fabric.post(0, server_endpoint(1), "msg")
+        env.run()
+        copies = drain(boxes[("srv", 1)])
+        assert len(copies) == 2
+        assert copies[0].seq == copies[1].seq  # same logical message
+        assert copies[1].deliver_at >= copies[0].deliver_at
+        assert fabric.faults.stats.duplicated == 1
+
+    def test_delay_spike(self):
+        plan = FaultPlan.uniform(delay_rate=1.0, delay_spike_us=100.0, reliable=False)
+        env, fabric, boxes = make_fabric(plan)
+        fabric.post(0, server_endpoint(1), "late", payload_bytes=0)
+        env.run()
+        envelope = boxes[("srv", 1)].try_get()
+        assert envelope.deliver_at == pytest.approx(101.0)
+        assert fabric.faults.stats.delay_spikes == 1
+
+    def test_intra_node_queue_is_reliable(self):
+        plan = FaultPlan.uniform(drop_rate=1.0, dup_rate=1.0, reliable=False)
+        env, fabric, boxes = make_fabric(plan, ppn=2)
+        fabric.post(1, server_endpoint(0), "local")  # rank 1 lives on node 0
+        env.run()
+        assert len(boxes[("srv", 0)]) == 1
+        assert fabric.faults.stats.dropped == 0
+
+    def test_deterministic_per_seed(self):
+        def delivered(seed):
+            plan = FaultPlan.uniform(drop_rate=0.4, seed=seed, reliable=False)
+            env, fabric, boxes = make_fabric(plan)
+            for i in range(40):
+                fabric.post(0, server_endpoint(1), i)
+            env.run()
+            return [e.payload for e in drain(boxes[("srv", 1)])]
+
+        assert delivered(11) == delivered(11)
+        assert delivered(11) != delivered(12)
+
+
+class TestStallWindows:
+    def test_stall_holds_delivery_until_window_end(self):
+        plan = FaultPlan(
+            stalls=(StallWindow(node=1, start_us=0.0, end_us=50.0),),
+            reliable=False,
+        )
+        env, fabric, boxes = make_fabric(plan)
+        fabric.post(0, server_endpoint(1), "held", payload_bytes=0)
+        env.run()
+        envelope = boxes[("srv", 1)].try_get()
+        assert envelope.deliver_at == pytest.approx(50.0)
+        assert fabric.faults.stats.stall_held == 1
+
+    def test_crash_drops_in_flight(self):
+        plan = FaultPlan(
+            stalls=(StallWindow(node=1, start_us=0.0, end_us=50.0, mode="crash"),),
+            reliable=False,
+        )
+        env, fabric, boxes = make_fabric(plan)
+        fabric.post(0, server_endpoint(1), "lost", payload_bytes=0)
+        env.run()
+        assert len(boxes[("srv", 1)]) == 0
+        assert fabric.faults.stats.crash_dropped == 1
+
+    def test_window_is_per_node_and_timed(self):
+        plan = FaultPlan(
+            stalls=(StallWindow(node=1, start_us=0.0, end_us=50.0),),
+            reliable=False,
+        )
+        env, fabric, boxes = make_fabric(plan)
+        fabric.post(0, server_endpoint(2), "other-node", payload_bytes=0)
+
+        # After the window closes, node 1 delivers normally again.
+        def late_sender():
+            yield env.timeout(60.0)
+            fabric.post(0, server_endpoint(1), "after", payload_bytes=0)
+
+        env.process(late_sender())
+        env.run()
+        assert boxes[("srv", 2)].try_get().deliver_at == pytest.approx(1.0)
+        assert boxes[("srv", 1)].try_get().deliver_at == pytest.approx(61.0)
+        assert fabric.faults.stats.stall_held == 0
