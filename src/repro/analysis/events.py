@@ -1,0 +1,79 @@
+"""Structured protocol events emitted by the RMCSan monitor.
+
+Every event carries the simulated time, the *actor* that performed it, and
+a kind-specific payload.  Actors are logical threads of the model:
+
+* ``p{rank}`` — a user process (the rank's SPMD program and anything it
+  spawns, e.g. a lock's optimistic-release helper),
+* ``s{node}`` — the server thread hosting node ``node``'s memory.
+
+The emission order of the events in the tracer *is* the global observation
+order used by the happens-before engine: the simulation is sequential, so
+an event appended later was observed later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["ProtoEvent", "KINDS"]
+
+#: Memory access to a region (``mode``: plain | atomic | sync).
+MEM_READ = "mem_read"
+MEM_WRITE = "mem_write"
+#: Remote operation lifecycle (client issue -> server apply -> completion).
+ISSUE = "issue"
+APPLY = "apply"
+APPLY_DONE = "apply_done"
+COMPLETE = "complete"
+#: Fence-counting protocol.
+OP_DONE = "op_done"
+FENCE_DONE = "fence_done"
+#: Combined barrier (client-side enter/exit around the whole operation).
+BARRIER_ENTER = "barrier_enter"
+BARRIER_EXIT = "barrier_exit"
+#: Message-passing collectives with all-to-all dependence.
+COLL_ENTER = "coll_enter"
+COLL_EXIT = "coll_exit"
+#: Lock protocol (client-side request/acquire/release).
+LOCK_REQ = "lock_req"
+LOCK_ACQ = "lock_acq"
+LOCK_REL = "lock_rel"
+
+KINDS = (
+    MEM_READ,
+    MEM_WRITE,
+    ISSUE,
+    APPLY,
+    APPLY_DONE,
+    COMPLETE,
+    OP_DONE,
+    FENCE_DONE,
+    BARRIER_ENTER,
+    BARRIER_EXIT,
+    COLL_ENTER,
+    COLL_EXIT,
+    LOCK_REQ,
+    LOCK_ACQ,
+    LOCK_REL,
+)
+
+
+@dataclass
+class ProtoEvent:
+    """One observed protocol event."""
+
+    kind: str
+    time: float
+    actor: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {"kind": self.kind, "time": self.time, "actor": self.actor}
+        out.update(self.data)
+        return out
+
+    def __repr__(self) -> str:
+        payload = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"<{self.kind} t={self.time:.3f} {self.actor} {payload}>"

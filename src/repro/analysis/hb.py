@@ -1,0 +1,499 @@
+"""Offline happens-before analysis of a monitored run (the RMCSan engine).
+
+The engine replays the structured event stream collected by
+:class:`~repro.analysis.monitor.SyncMonitor` — the emission order is a
+valid observation order because the simulation kernel is sequential — and
+maintains one vector clock per *actor* (user process ``p{rank}`` or server
+thread ``s{node}``).
+
+Happens-before edges (see ``docs/analysis.md`` for the full model):
+
+* **program order** — consecutive events of one actor;
+* **issue -> apply** — a server joins the issuing client's clock when it
+  starts applying a remote put/get/acc/rmw;
+* **apply -> completion** — a blocking client (get/rmw reply) joins the
+  server's clock at apply time;
+* **fence** — ``fence_done`` joins the apply-time clocks of every covered
+  operation (all ops the actor issued to that node);
+* **barrier** — ``barrier_exit`` joins every participant's enter clock and
+  the apply-time clocks of their pre-enter outstanding operations;
+* **collectives** — an exit joins every recorded enter of the same epoch
+  (only all-to-all collectives are instrumented);
+* **lock release -> acquire** — an acquire joins the clock stored by the
+  previous release of the same lock;
+* **sync cells** — reads of release/acquire cells (lock words, ``op_done``
+  and notify counters) join the clock of their last write.
+
+Checks: data races on plain cells (conflicting, HB-unordered, not both
+atomic), fence-counting violations (``op_done`` over/under-credit, fence
+or barrier completing with un-applied covered operations), lock safety
+(two holders, unlock-without-hold, non-FIFO ticket grants) and deadlock
+(wait-for-graph cycle over locks still pending at end of trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Violation", "SanReport", "HBAnalyzer", "CREDIT_OPS"]
+
+#: Remote operations whose application bumps the target's ``op_done``
+#: counter (the paper's fence-counted, store-class operations).
+CREDIT_OPS = ("put", "acc")
+
+#: Cap on reported violations per category (the counters keep exact totals).
+_REPORT_CAP = 50
+
+
+@dataclass
+class Violation:
+    """One detected protocol violation."""
+
+    kind: str  # data-race | fence | barrier | lock | deadlock
+    time: float
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return f"[{self.kind}] t={self.time:.3f}us: {self.message}"
+
+
+@dataclass
+class SanReport:
+    """Outcome of one happens-before analysis."""
+
+    violations: List[Violation] = field(default_factory=list)
+    events_analyzed: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+    suppressed: int = 0
+
+    def ok(self) -> bool:
+        return not self.violations and not self.suppressed
+
+    def add(self, violation: Violation) -> None:
+        self.counts[violation.kind] = self.counts.get(violation.kind, 0) + 1
+        if self.counts[violation.kind] <= _REPORT_CAP:
+            self.violations.append(violation)
+        else:
+            self.suppressed += 1
+
+    def of_kind(self, kind: str) -> List[Violation]:
+        return [v for v in self.violations if v.kind == kind]
+
+    def render(self) -> str:
+        lines = [
+            f"RMCSan: {self.events_analyzed} events analyzed, "
+            f"{sum(self.counts.values())} violation(s)"
+        ]
+        for v in self.violations:
+            lines.append("  " + v.render())
+        if self.suppressed:
+            lines.append(f"  ... {self.suppressed} further violation(s) suppressed")
+        if self.ok():
+            lines.append("  no violations: run is race-free and protocol-clean")
+        return "\n".join(lines)
+
+
+class _CellState:
+    """FastTrack-style per-cell access history (epochs, not full clocks)."""
+
+    __slots__ = ("write", "reads")
+
+    def __init__(self):
+        self.write: Optional[Tuple[str, int, str]] = None  # actor, tick, mode
+        self.reads: Dict[str, Tuple[int, str]] = {}
+
+
+class _OpRecord:
+    """Lifecycle of one remote operation."""
+
+    __slots__ = (
+        "actor",
+        "op",
+        "node",
+        "dst_rank",
+        "applied",
+        "issue_snap",
+        "apply_snap",
+    )
+
+    def __init__(self, actor: str, op: str, node: int, dst_rank: int):
+        self.actor = actor
+        self.op = op
+        self.node = node
+        self.dst_rank = dst_rank
+        self.applied = False
+        self.issue_snap: Optional[Dict[str, int]] = None
+        self.apply_snap: Optional[Dict[str, int]] = None
+
+
+class HBAnalyzer:
+    """Replays a protocol-event stream and reports violations."""
+
+    def __init__(self, sync_cells: Optional[Set[Tuple[str, int]]] = None):
+        #: Cells with release/acquire semantics (from the monitor).  Ranged
+        #: accesses that overlap these cells (e.g. MCS pair atomics through
+        #: ``write_many``) are given sync semantics per cell even though the
+        #: event itself was emitted in plain/atomic mode.
+        self._sync_cells = sync_cells or set()
+        self._clocks: Dict[str, Dict[str, int]] = {}
+        self._cells: Dict[Tuple[str, int], _CellState] = {}
+        self._sync_writes: Dict[Tuple[str, int], Dict[str, int]] = {}
+        self._ops: Dict[int, _OpRecord] = {}
+        self._issued_to: Dict[Tuple[str, int], List[int]] = {}
+        self._outstanding: Dict[str, Set[int]] = {}
+        self._credit_applies: Dict[int, int] = {}
+        self._op_done_bumps: Dict[int, int] = {}
+        self._barrier_enters: Dict[int, Dict[str, Dict[str, int]]] = {}
+        self._barrier_pending: Dict[int, Dict[str, List[int]]] = {}
+        self._coll_enters: Dict[Tuple[str, int], Dict[str, Dict[str, int]]] = {}
+        self._lock_holders: Dict[str, Set[str]] = {}
+        self._lock_clock: Dict[str, Dict[str, int]] = {}
+        self._lock_ticket: Dict[str, int] = {}
+        self._lock_pending: Dict[Tuple[str, str], float] = {}
+        self.report = SanReport()
+
+    # -- vector clock helpers ------------------------------------------------
+
+    def _clock(self, actor: str) -> Dict[str, int]:
+        clock = self._clocks.get(actor)
+        if clock is None:
+            clock = {actor: 0}
+            self._clocks[actor] = clock
+        return clock
+
+    def _tick(self, actor: str) -> int:
+        clock = self._clock(actor)
+        clock[actor] = clock.get(actor, 0) + 1
+        return clock[actor]
+
+    def _join(self, actor: str, snapshot: Optional[Dict[str, int]]) -> None:
+        if not snapshot:
+            return
+        clock = self._clock(actor)
+        for key, tick in snapshot.items():
+            if clock.get(key, 0) < tick:
+                clock[key] = tick
+
+    def _hb(self, src_actor: str, src_tick: int, dst_actor: str) -> bool:
+        """Did (src_actor @ src_tick) happen before dst_actor's current point?"""
+        if src_actor == dst_actor:
+            return True
+        return self._clock(dst_actor).get(src_actor, 0) >= src_tick
+
+    # -- main entry ----------------------------------------------------------
+
+    def analyze(self, events: Sequence[Any]) -> SanReport:
+        for event in events:
+            self._step(event)
+        self._finish(events[-1].time if events else 0.0)
+        self.report.events_analyzed = len(events)
+        return self.report
+
+    def _step(self, ev) -> None:
+        actor, data, kind = ev.actor, ev.data, ev.kind
+        tick = self._tick(actor)
+        handler = getattr(self, f"_on_{kind}", None)
+        if handler is not None:
+            handler(ev, actor, tick, data)
+
+    # -- memory accesses -----------------------------------------------------
+
+    def _on_mem_read(self, ev, actor, tick, data) -> None:
+        self._access(ev, actor, tick, data, is_write=False)
+
+    def _on_mem_write(self, ev, actor, tick, data) -> None:
+        self._access(ev, actor, tick, data, is_write=True)
+
+    def _access(self, ev, actor, tick, data, is_write: bool) -> None:
+        region, base, count, mode = (
+            data["region"],
+            data["addr"],
+            data["n"],
+            data["mode"],
+        )
+        for addr in range(base, base + count):
+            key = (region, addr)
+            if mode == "sync" or key in self._sync_cells:
+                if is_write:
+                    self._sync_writes[key] = dict(self._clock(actor))
+                else:
+                    self._join(actor, self._sync_writes.get(key))
+                continue
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = _CellState()
+                self._cells[key] = cell
+            prev = cell.write
+            if prev is not None:
+                p_actor, p_tick, p_mode = prev
+                both_atomic = p_mode == "atomic" and mode == "atomic"
+                if (
+                    p_actor != actor
+                    and not both_atomic
+                    and not self._hb(p_actor, p_tick, actor)
+                ):
+                    self._race(ev, key, actor, mode, p_actor, p_mode, is_write)
+            if is_write:
+                for r_actor, (r_tick, r_mode) in cell.reads.items():
+                    both_atomic = r_mode == "atomic" and mode == "atomic"
+                    if (
+                        r_actor != actor
+                        and not both_atomic
+                        and not self._hb(r_actor, r_tick, actor)
+                    ):
+                        self._race(ev, key, actor, mode, r_actor, r_mode, True)
+                cell.write = (actor, tick, mode)
+                cell.reads.clear()
+            else:
+                cell.reads[actor] = (tick, mode)
+
+    def _race(self, ev, key, actor, mode, other, other_mode, is_write) -> None:
+        access = "write" if is_write else "read"
+        self.report.add(
+            Violation(
+                kind="data-race",
+                time=ev.time,
+                message=(
+                    f"{actor} {access}s {key[0]}[{key[1]}] ({mode}) unordered "
+                    f"with earlier access by {other} ({other_mode})"
+                ),
+                details={"region": key[0], "addr": key[1], "actors": [other, actor]},
+            )
+        )
+
+    # -- remote operation lifecycle ------------------------------------------
+
+    def _on_issue(self, ev, actor, tick, data) -> None:
+        record = _OpRecord(actor, data["op"], data["node"], data["dst_rank"])
+        record.issue_snap = dict(self._clock(actor))
+        self._ops[data["op_id"]] = record
+        self._issued_to.setdefault((actor, data["node"]), []).append(data["op_id"])
+        self._outstanding.setdefault(actor, set()).add(data["op_id"])
+
+    def _on_apply(self, ev, actor, tick, data) -> None:
+        record = self._ops.get(data["op_id"])
+        if record is None:
+            return
+        self._join(actor, record.issue_snap)
+        if record.op in CREDIT_OPS:
+            # Charge the credit ledger at apply *start*: the server bumps
+            # op_done from inside the handler, i.e. between this event and
+            # apply_done.
+            rank = record.dst_rank
+            self._credit_applies[rank] = self._credit_applies.get(rank, 0) + 1
+
+    def _on_apply_done(self, ev, actor, tick, data) -> None:
+        record = self._ops.get(data["op_id"])
+        if record is None:
+            return
+        record.applied = True
+        record.apply_snap = dict(self._clock(actor))
+        self._outstanding.get(record.actor, set()).discard(data["op_id"])
+
+    def _on_complete(self, ev, actor, tick, data) -> None:
+        record = self._ops.get(data["op_id"])
+        if record is not None:
+            self._join(actor, record.apply_snap)
+
+    # -- fence counting ------------------------------------------------------
+
+    def _on_op_done(self, ev, actor, tick, data) -> None:
+        rank = data["rank"]
+        self._op_done_bumps[rank] = self._op_done_bumps.get(rank, 0) + 1
+        if self._op_done_bumps[rank] > self._credit_applies.get(rank, 0):
+            self.report.add(
+                Violation(
+                    kind="fence",
+                    time=ev.time,
+                    message=(
+                        f"op_done credited for rank {rank} without a matching "
+                        f"applied operation ({self._op_done_bumps[rank]} credits "
+                        f"vs {self._credit_applies.get(rank, 0)} applies)"
+                    ),
+                    details={"rank": rank},
+                )
+            )
+
+    def _on_fence_done(self, ev, actor, tick, data) -> None:
+        covered = self._issued_to.pop((actor, data["node"]), [])
+        for op_id in covered:
+            record = self._ops[op_id]
+            if not record.applied:
+                self.report.add(
+                    Violation(
+                        kind="fence",
+                        time=ev.time,
+                        message=(
+                            f"fence by {actor} to node {data['node']} completed "
+                            f"with un-applied {record.op} (op {op_id})"
+                        ),
+                        details={"op_id": op_id, "node": data["node"]},
+                    )
+                )
+            else:
+                self._join(actor, record.apply_snap)
+
+    # -- barriers ------------------------------------------------------------
+
+    def _on_barrier_enter(self, ev, actor, tick, data) -> None:
+        epoch = data["epoch"]
+        self._barrier_enters.setdefault(epoch, {})[actor] = dict(self._clock(actor))
+        pending = sorted(self._outstanding.get(actor, ()))
+        self._barrier_pending.setdefault(epoch, {})[actor] = pending
+
+    def _on_barrier_exit(self, ev, actor, tick, data) -> None:
+        epoch = data["epoch"]
+        for snapshot in self._barrier_enters.get(epoch, {}).values():
+            self._join(actor, snapshot)
+        for issuer, op_ids in self._barrier_pending.get(epoch, {}).items():
+            for op_id in op_ids:
+                record = self._ops[op_id]
+                if not record.applied:
+                    self.report.add(
+                        Violation(
+                            kind="barrier",
+                            time=ev.time,
+                            message=(
+                                f"barrier epoch {epoch} released {actor} while "
+                                f"{issuer}'s {record.op} (op {op_id}) to rank "
+                                f"{record.dst_rank} is still un-applied"
+                            ),
+                            details={"epoch": epoch, "op_id": op_id},
+                        )
+                    )
+                else:
+                    self._join(actor, record.apply_snap)
+
+    # -- message-passing collectives -----------------------------------------
+
+    def _on_coll_enter(self, ev, actor, tick, data) -> None:
+        key = (data["coll"], data["epoch"])
+        self._coll_enters.setdefault(key, {})[actor] = dict(self._clock(actor))
+
+    def _on_coll_exit(self, ev, actor, tick, data) -> None:
+        key = (data["coll"], data["epoch"])
+        for snapshot in self._coll_enters.get(key, {}).values():
+            self._join(actor, snapshot)
+
+    # -- locks ---------------------------------------------------------------
+
+    def _on_lock_req(self, ev, actor, tick, data) -> None:
+        self._lock_pending[(actor, data["lock"])] = ev.time
+
+    def _on_lock_acq(self, ev, actor, tick, data) -> None:
+        lock = data["lock"]
+        self._lock_pending.pop((actor, lock), None)
+        holders = self._lock_holders.setdefault(lock, set())
+        if holders:
+            self.report.add(
+                Violation(
+                    kind="lock",
+                    time=ev.time,
+                    message=(
+                        f"{actor} granted lock {lock} while held by "
+                        f"{', '.join(sorted(holders))}"
+                    ),
+                    details={"lock": lock, "holders": sorted(holders)},
+                )
+            )
+        holders.add(actor)
+        ticket = data.get("ticket")
+        if ticket is not None:
+            expected = self._lock_ticket.get(lock, -1) + 1
+            if ticket != expected:
+                self.report.add(
+                    Violation(
+                        kind="lock",
+                        time=ev.time,
+                        message=(
+                            f"non-FIFO grant on lock {lock}: ticket {ticket} "
+                            f"granted, expected {expected}"
+                        ),
+                        details={"lock": lock, "ticket": ticket},
+                    )
+                )
+            self._lock_ticket[lock] = max(self._lock_ticket.get(lock, -1), ticket)
+        self._join(actor, self._lock_clock.get(lock))
+
+    def _on_lock_rel(self, ev, actor, tick, data) -> None:
+        lock = data["lock"]
+        holders = self._lock_holders.setdefault(lock, set())
+        if actor not in holders:
+            self.report.add(
+                Violation(
+                    kind="lock",
+                    time=ev.time,
+                    message=f"{actor} released lock {lock} without holding it",
+                    details={"lock": lock},
+                )
+            )
+        holders.discard(actor)
+        self._lock_clock[lock] = dict(self._clock(actor))
+
+    # -- end-of-trace checks -------------------------------------------------
+
+    def _finish(self, end_time: float) -> None:
+        for rank in sorted(set(self._credit_applies) | set(self._op_done_bumps)):
+            applies = self._credit_applies.get(rank, 0)
+            bumps = self._op_done_bumps.get(rank, 0)
+            if bumps < applies:
+                self.report.add(
+                    Violation(
+                        kind="fence",
+                        time=end_time,
+                        message=(
+                            f"dropped op_done credit for rank {rank}: "
+                            f"{applies} applied store-class ops but only "
+                            f"{bumps} credits"
+                        ),
+                        details={"rank": rank},
+                    )
+                )
+        self._deadlock_check(end_time)
+
+    def _deadlock_check(self, end_time: float) -> None:
+        # Wait-for graph: a waiter points at every current holder of the
+        # lock it is still pending on at end of trace.
+        edges: Dict[str, Set[str]] = {}
+        for (actor, lock), _when in self._lock_pending.items():
+            for holder in self._lock_holders.get(lock, ()):  # may be empty
+                if holder != actor:
+                    edges.setdefault(actor, set()).add(holder)
+        seen: Set[str] = set()
+        for start in edges:
+            if start in seen:
+                continue
+            path: List[str] = []
+            on_path: Set[str] = set()
+
+            def visit(node: str) -> Optional[List[str]]:
+                if node in on_path:
+                    return path[path.index(node):] + [node]
+                if node in seen:
+                    return None
+                seen.add(node)
+                path.append(node)
+                on_path.add(node)
+                for nxt in edges.get(node, ()):  # DFS
+                    cycle = visit(nxt)
+                    if cycle is not None:
+                        return cycle
+                path.pop()
+                on_path.discard(node)
+                return None
+
+            cycle = visit(start)
+            if cycle is not None:
+                self.report.add(
+                    Violation(
+                        kind="deadlock",
+                        time=end_time,
+                        message=(
+                            "lock wait-for cycle: " + " -> ".join(cycle)
+                        ),
+                        details={"cycle": cycle},
+                    )
+                )
+                return

@@ -1,0 +1,260 @@
+"""Static lint for simulation-specific hazards (``repro check --lint``).
+
+Three ``ast``-based rules, each targeting a bug class that the dynamic
+checker cannot see (the buggy run never happens, or happens silently):
+
+``missing-yield-from``
+    A *bare expression statement* calling a known sub-generator —
+    ``armci.put(dst, vals)`` instead of ``yield from armci.put(...)`` —
+    creates and discards the generator without running a single step.  The
+    operation silently never executes.  Generator-ness is established by a
+    whole-package pre-pass (any ``def`` whose own body contains ``yield``
+    or ``yield from``).
+
+``unseeded-nondeterminism``
+    The simulator's contract is byte-identical repeated runs.  Global-state
+    RNG calls (``random.random()``, ``random.randint(...)``), unseeded
+    ``random.Random()`` constructions, and wall-clock reads
+    (``time.time()``, ``perf_counter`` ...) break it.  Seeded
+    ``random.Random(seed)`` is fine anywhere; :mod:`repro.net.params` is
+    exempt wholesale (it is the one place allowed to mint default seeds).
+
+``op-done-mutation``
+    The ``op_done`` completion counters are the barrier protocol's ground
+    truth; only the server thread may credit them.  Any reference to
+    ``_bump_op_done`` / ``_op_done_addr`` outside ``runtime/server.py``
+    is flagged.
+
+All rules operate on source text only — nothing is imported or executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "LintFinding",
+    "RULE_YIELD_FROM",
+    "RULE_UNSEEDED",
+    "RULE_OP_DONE",
+    "collect_generator_names",
+    "lint_source",
+    "lint_paths",
+    "run_lint",
+    "render_findings",
+]
+
+RULE_YIELD_FROM = "missing-yield-from"
+RULE_UNSEEDED = "unseeded-nondeterminism"
+RULE_OP_DONE = "op-done-mutation"
+
+#: ``(module, attribute)`` calls that read the wall clock.
+_WALL_CLOCK: Set[Tuple[str, str]] = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+}
+
+#: Attributes whose mere mention outside the server is an op_done mutation
+#: hazard (the bump helper and the raw counter-address table).
+_OP_DONE_ATTRS = {"_bump_op_done", "_op_done_addr"}
+
+#: Files exempt from the nondeterminism rule (path suffix match).
+_RNG_EXEMPT_SUFFIX = ("net/params.py",)
+
+#: The only file allowed to touch the op_done machinery.
+_OP_DONE_HOME_SUFFIX = "runtime/server.py"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One static finding: where, which rule, and why."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def render_findings(findings: Sequence[LintFinding]) -> str:
+    if not findings:
+        return "lint: no findings"
+    lines = [f.render() for f in findings]
+    lines.append(f"lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+# -- generator-name pre-pass -----------------------------------------------
+
+
+def _contains_yield(fn: ast.AST) -> bool:
+    """True if the function's *own* body yields (nested defs excluded)."""
+    stack: List[ast.AST] = list(getattr(fn, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _collect_def_names(trees: Iterable[ast.AST]) -> Tuple[Set[str], Set[str]]:
+    """``(generator_names, plain_names)`` over every ``def`` in the trees."""
+    gens: Set[str] = set()
+    plains: Set[str] = set()
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef):
+                (gens if _contains_yield(node) else plains).add(node.name)
+    return gens, plains
+
+
+def collect_generator_names(trees: Iterable[ast.AST]) -> Set[str]:
+    """Names that *unambiguously* denote sub-generators across the trees.
+
+    Matching is name-based, so a name is only flaggable when every ``def``
+    of that name yields: ``release`` names both lock sub-generators and a
+    semaphore's plain method, so a bare ``x.release()`` cannot be judged
+    statically and is left alone (the dynamic checker covers the lock
+    case); a bare ``armci.fence(...)`` is always a discarded generator.
+    """
+    gens, plains = _collect_def_names(trees)
+    return gens - plains
+
+
+def _call_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+# -- the checker ------------------------------------------------------------
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str, generator_names: Set[str]):
+        self.path = path
+        self.generator_names = generator_names
+        self.findings: List[LintFinding] = []
+        norm = path.replace("\\", "/")
+        self.rng_exempt = any(norm.endswith(s) for s in _RNG_EXEMPT_SUFFIX)
+        self.op_done_home = norm.endswith(_OP_DONE_HOME_SUFFIX)
+
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            LintFinding(self.path, getattr(node, "lineno", 0), rule, message)
+        )
+
+    # missing yield from: a discarded sub-generator call as a statement.
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            name = _call_name(value.func)
+            if name in self.generator_names:
+                self._add(
+                    node,
+                    RULE_YIELD_FROM,
+                    f"bare call to sub-generator {name}() discards it; "
+                    f"use 'yield from {name}(...)'",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if not self.rng_exempt:
+                if base == "random":
+                    if attr == "Random":
+                        if not node.args and not node.keywords:
+                            self._add(
+                                node,
+                                RULE_UNSEEDED,
+                                "random.Random() without a seed is "
+                                "nondeterministic; pass an explicit seed",
+                            )
+                    else:
+                        self._add(
+                            node,
+                            RULE_UNSEEDED,
+                            f"random.{attr}() uses the global RNG; construct "
+                            "a seeded random.Random instead",
+                        )
+                elif (base, attr) in _WALL_CLOCK:
+                    self._add(
+                        node,
+                        RULE_UNSEEDED,
+                        f"{base}.{attr}() reads the wall clock inside the "
+                        "deterministic simulator; use env.now",
+                    )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in _OP_DONE_ATTRS and not self.op_done_home:
+            self._add(
+                node,
+                RULE_OP_DONE,
+                f"reference to {node.attr} outside runtime/server.py; only "
+                "the server thread may credit op_done counters",
+            )
+        self.generic_visit(node)
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    generator_names: Optional[Set[str]] = None,
+) -> List[LintFinding]:
+    """Lint one source string (test/tooling entry point).
+
+    ``generator_names`` extends the set discovered in ``source`` itself —
+    pass names of sub-generators defined in other modules.
+    """
+    tree = ast.parse(source, filename=path)
+    names = collect_generator_names([tree])
+    if generator_names:
+        names |= set(generator_names)
+    checker = _Checker(path, names)
+    checker.visit(tree)
+    return checker.findings
+
+
+def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
+    """Lint a set of files with a shared generator-name pre-pass."""
+    parsed = []
+    for path in paths:
+        text = Path(path).read_text(encoding="utf-8")
+        parsed.append((str(path), ast.parse(text, filename=str(path))))
+    names = collect_generator_names(tree for _, tree in parsed)
+    findings: List[LintFinding] = []
+    for path, tree in parsed:
+        checker = _Checker(path, names)
+        checker.visit(tree)
+        findings.extend(checker.findings)
+    findings.sort(key=lambda f: (f.path, f.line))
+    return findings
+
+
+def run_lint(root: Optional[str] = None) -> List[LintFinding]:
+    """Lint the whole ``repro`` package (default) or a directory tree."""
+    base = Path(root) if root is not None else Path(__file__).resolve().parents[1]
+    paths = sorted(str(p) for p in base.rglob("*.py"))
+    return lint_paths(paths)

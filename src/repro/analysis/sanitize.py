@@ -1,0 +1,120 @@
+"""Monitored ("sanitized") runs of representative workloads.
+
+``repro check [target]`` runs scaled-down versions of the key experiment
+workloads with a :class:`~repro.analysis.monitor.SyncMonitor` installed and
+feeds the collected event stream to the happens-before engine.  A clean
+tree reports zero violations on every target; CI runs all of them.
+
+The configurations are deliberately small (a few ranks, a few iterations):
+the checker's power comes from the *protocols* being exercised — fences,
+the combined barrier, both lock families, the reliable-delivery layer under
+injected faults — not from iteration counts, and event analysis is
+quadratic-ish in trace length.
+
+Experiment modules are imported lazily inside each runner so importing
+:mod:`repro.analysis` stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .hb import SanReport
+from .monitor import SyncMonitor
+
+__all__ = ["TARGETS", "run_sanitized_target"]
+
+#: Recognized ``repro check`` targets (``all`` expands to every entry).
+TARGETS = ("fig7", "locks", "faultbench")
+
+
+def _sanitized_spmd(nprocs: int, main, *args, **runtime_kwargs):
+    """Run one SPMD program under a fresh monitor; return its report."""
+    from ..runtime.cluster import ClusterRuntime
+
+    monitor = SyncMonitor()
+    runtime = ClusterRuntime(nprocs, monitor=monitor, **runtime_kwargs)
+    runtime.run_spmd(main, *args)
+    return monitor.analyze()
+
+
+def _check_fig7() -> List[Tuple[str, SanReport]]:
+    """GA_Sync workload, both fence implementations (paper Figure 7)."""
+    from ..experiments.common import default_params
+    from ..experiments.fig7_sync import Fig7Config, sync_workload
+
+    cfg = Fig7Config(iterations=2, shape=(16, 16), strip_rows=2)
+    params = default_params(cfg.params)
+    return [
+        (
+            f"fig7[{mode}]",
+            _sanitized_spmd(4, sync_workload, mode, cfg, params=params),
+        )
+        for mode in ("current", "new")
+    ]
+
+
+def _check_locks() -> List[Tuple[str, SanReport]]:
+    """Lock stress (Figures 8-10 workload), hybrid and MCS algorithms."""
+    from ..experiments.common import default_params
+    from ..experiments.lockbench import LockBenchConfig, lock_workload
+
+    cfg = LockBenchConfig(iterations=6, warmup=2)
+    params = default_params(cfg.params)
+    return [
+        (
+            f"locks[{kind}]",
+            _sanitized_spmd(4, lock_workload, kind, 0, cfg, params=params),
+        )
+        for kind in ("hybrid", "mcs")
+    ]
+
+
+def _check_faultbench() -> List[Tuple[str, SanReport]]:
+    """Put/acc/barrier epochs over a faulty link (reliable delivery on)."""
+    from ..experiments.faultbench import (
+        FaultBenchConfig,
+        _make_params,
+        fault_workload,
+    )
+
+    cfg = FaultBenchConfig(nprocs=6, epochs=2, puts_per_peer=1, cells=4)
+    out = []
+    for drop in (0.0, 0.05):
+        report = _sanitized_spmd(
+            cfg.nprocs,
+            fault_workload,
+            cfg,
+            procs_per_node=cfg.procs_per_node,
+            params=_make_params(cfg, drop),
+        )
+        out.append((f"faultbench[drop={drop}]", report))
+    return out
+
+
+_RUNNERS = {
+    "fig7": _check_fig7,
+    "locks": _check_locks,
+    "faultbench": _check_faultbench,
+}
+
+
+def run_sanitized_target(target: str = "all") -> List[Tuple[str, SanReport]]:
+    """Run the monitored workload(s) for ``target``.
+
+    Returns ``[(label, report), ...]``; a clean tree has ``report.ok()``
+    true for every label.
+    """
+    if target == "all":
+        names = TARGETS
+    elif target in _RUNNERS:
+        names = (target,)
+    else:
+        raise ValueError(
+            f"unknown check target {target!r}; expected one of "
+            f"{TARGETS + ('all',)}"
+        )
+    results: List[Tuple[str, SanReport]] = []
+    for name in names:
+        results.extend(_RUNNERS[name]())
+    return results

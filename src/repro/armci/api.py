@@ -91,6 +91,12 @@ class Armci:
         self._notify_sent: Dict[int, int] = {}
         #: GM-style send credits per destination node (params.send_credits).
         self._credits: Dict[int, Any] = {}
+        #: RMCSan monitor (installed on env before the runtime was wired);
+        #: None keeps every operation on the uninstrumented fast path.
+        self._monitor = getattr(env, "_sync_monitor", None)
+        #: Client-side barrier epoch counter for RMCSan (SPMD programs call
+        #: barriers collectively, so equal counts identify the same epoch).
+        self._san_barrier_epoch = 0
         #: Operation counters (diagnostics / tests).
         self.stats: Dict[str, int] = {
             "puts_local": 0,
@@ -187,6 +193,20 @@ class Armci:
             return ack
         return self._credit_returning_event(node)
 
+    def _san_issue(self, op: str, req, dst_rank: int, node: int) -> None:
+        """RMCSan: tag a shipped request and record its issue point."""
+        mon = self._monitor
+        if mon is None:
+            return
+        req.san_id = mon.next_op_id()
+        mon.emit("issue", op=op, op_id=req.san_id, dst_rank=dst_rank, node=node)
+
+    def _san_complete(self, req) -> None:
+        """RMCSan: record the blocking completion (reply received)."""
+        mon = self._monitor
+        if mon is not None and req.san_id is not None:
+            mon.emit("complete", op_id=req.san_id)
+
     def _account_remote_op(self, dst_rank: int, node: int) -> Optional[Event]:
         """op_init / dirty / ack bookkeeping for a shipped write op."""
         self.op_init[dst_rank] += 1
@@ -230,6 +250,7 @@ class Armci:
         req = PutRequest(
             src_rank=self.rank, dst_rank=dst.rank, addr=dst.addr, values=values, ack=ack
         )
+        self._san_issue("put", req, dst.rank, node)
         self.stats["puts_remote"] += 1
         yield from self.fabric.send(
             self.rank,
@@ -266,6 +287,7 @@ class Armci:
         req = PutRequest(
             src_rank=self.rank, dst_rank=dst_rank, segments=segments, ack=ack
         )
+        self._san_issue("put", req, dst_rank, node)
         self.stats["puts_remote"] += 1
         yield from self.fabric.send(
             self.rank,
@@ -292,9 +314,11 @@ class Armci:
         req = GetRequest(
             src_rank=self.rank, dst_rank=src.rank, addr=src.addr, count=count, reply=reply
         )
+        self._san_issue("get", req, src.rank, node)
         self.stats["gets_remote"] += 1
         yield from self.fabric.send(self.rank, server_endpoint(node), req)
         values = yield reply
+        self._san_complete(req)
         self._return_credit(node)
         return values
 
@@ -324,9 +348,11 @@ class Armci:
         req = GetRequest(
             src_rank=self.rank, dst_rank=src_rank, segments=segments, reply=reply
         )
+        self._san_issue("get", req, src_rank, node)
         self.stats["gets_remote"] += 1
         yield from self.fabric.send(self.rank, server_endpoint(node), req)
         values = yield reply
+        self._san_complete(req)
         self._return_credit(node)
         return values
 
@@ -358,6 +384,7 @@ class Armci:
             scale=scale,
             ack=ack,
         )
+        self._san_issue("acc", req, dst.rank, node)
         self.stats["accs_remote"] += 1
         yield from self.fabric.send(
             self.rank,
@@ -388,9 +415,11 @@ class Armci:
         req = RmwRequest(
             src_rank=self.rank, dst_rank=dst.rank, addr=dst.addr, op=op, args=args, reply=reply
         )
+        self._san_issue("rmw", req, dst.rank, node)
         self.stats["rmws_remote"] += 1
         yield from self.fabric.send(self.rank, server_endpoint(node), req)
         result = yield reply
+        self._san_complete(req)
         self._return_credit(node)
         return result
 

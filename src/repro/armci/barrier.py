@@ -81,6 +81,14 @@ def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
         threshold = math.log2(max(armci.nprocs, 2)) / 2.0
         algorithm = "linear" if len(armci.dirty_nodes) < threshold else "exchange"
 
+    monitor = armci._monitor
+    epoch = 0
+    if monitor is not None:
+        # SPMD programs reach their N-th barrier together, so the per-rank
+        # count identifies the epoch across ranks.
+        armci._san_barrier_epoch += 1
+        epoch = armci._san_barrier_epoch
+        monitor.emit("barrier_enter", epoch=epoch)
     if algorithm == "linear":
         yield from _linear(armci)
     else:
@@ -88,6 +96,8 @@ def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
     # After stage 3 every operation in the system has completed; all fence
     # state is clean.
     armci.dirty_nodes.clear()
+    if monitor is not None:
+        monitor.emit("barrier_exit", epoch=epoch)
 
 
 def _linear(armci: "Armci"):

@@ -46,6 +46,10 @@ def _notify_cell(armci: "Armci", owner_rank: int, peer_rank: int) -> int:
     """Address (in owner's region) of the peer->owner notification counter."""
     region = armci.regions[owner_rank]
     base = region.alloc_named(f"notify:{peer_rank}", 1, initial=0)
+    if armci._monitor is not None:
+        # Notify counters are release/acquire cells: the waiter's read
+        # synchronizes with the notifier's (server-applied) bump.
+        armci._monitor.mark_sync(region, base)
     return base
 
 

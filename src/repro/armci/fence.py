@@ -43,9 +43,12 @@ def fence_node(armci: "Armci", node: int):
         # Same-node operations are performed directly and complete
         # synchronously; nothing to fence.
         return
+    monitor = armci._monitor
     if armci.fence_mode == "ack":
         yield from armci.wait_acks_drained(node)
         armci.dirty_nodes.discard(node)
+        if monitor is not None:
+            monitor.emit("fence_done", node=node)
         return
     if node not in armci.dirty_nodes:
         return
@@ -58,6 +61,8 @@ def fence_node(armci: "Armci", node: int):
         yield from armci.fabric.send(armci.rank, server_endpoint(node), req)
         yield reply
     armci.dirty_nodes.discard(node)
+    if monitor is not None:
+        monitor.emit("fence_done", node=node)
 
 
 def _confirm_with_watchdog(armci: "Armci", node: int, watchdog_us: float):

@@ -8,6 +8,20 @@ renders the summary table (count / mean / p50 / p95 / max per op type).
 
 The profiler wraps the public sub-generator methods, so it composes with
 everything else (locks, GA, experiments) without touching their code.
+
+Besides the data-movement operations, the percentile table covers the
+synchronization surface:
+
+* ``notify`` / ``notify_wait`` — the pairwise producer/consumer
+  primitives; ``notify_wait`` samples include the *waiting* time, so its
+  p95/max columns directly expose consumer stall (a large gap between p50
+  and p95 usually means the producer's data puts, not the notify itself,
+  are the bottleneck).
+* ``lock.acquire:<name>`` / ``lock.release:<name>`` — per-lock handle
+  timings, opt-in via :func:`profile_lock`; acquire samples include queue
+  wait, so under contention the p95 column approximates the lock hand-off
+  chain depth times the per-handoff cost (Figures 9/10's metrics, as
+  percentiles instead of means).
 """
 
 from __future__ import annotations
@@ -15,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
-__all__ = ["OpProfile", "install", "PROFILED_OPS"]
+__all__ = ["OpProfile", "install", "profile_lock", "PROFILED_OPS"]
 
 #: Public Armci sub-generator methods wrapped by the profiler.
 PROFILED_OPS = (
@@ -38,6 +52,8 @@ PROFILED_OPS = (
 
 
 def _percentile(samples: List[float], q: float) -> float:
+    if not (0.0 <= q <= 1.0):
+        raise ValueError(f"percentile q must be in [0, 1], got {q}")
     if not samples:
         return float("nan")
     ordered = sorted(samples)
@@ -125,3 +141,34 @@ def install(armci: Any) -> OpProfile:
     for name in PROFILED_OPS:
         wrap(name)
     return profile
+
+
+def profile_lock(lock: Any, profile: OpProfile) -> Any:
+    """Record a lock handle's acquire/release latencies into ``profile``.
+
+    Samples land under ``lock.acquire:<name>`` / ``lock.release:<name>``
+    so several handles stay distinguishable in one table.  Idempotent per
+    handle; returns the lock.
+    """
+    if getattr(lock, "_op_profile", None) is profile:
+        return lock
+    lock._op_profile = profile
+    env = lock.env
+
+    def wrap(name: str):
+        original = getattr(lock, name)
+        key = f"lock.{name}:{lock.name}"
+
+        def profiled(*args: Any, **kwargs: Any):
+            start = env.now
+            result = yield from original(*args, **kwargs)
+            profile.record(key, env.now - start)
+            return result
+
+        profiled.__name__ = f"profiled_{name}"
+        profiled.__doc__ = original.__doc__
+        setattr(lock, name, profiled)
+
+    for name in ("acquire", "release"):
+        wrap(name)
+    return lock

@@ -58,6 +58,9 @@ class PutRequest:
     #: In ack-mode subsystems (LAPI/VIA) the server acknowledges completion
     #: by succeeding this event; in GM-style confirm mode it is None.
     ack: Optional[Event] = None
+    #: RMCSan operation id (None when no monitor is installed).  Lives on
+    #: the request object, so retransmitted envelopes keep the same id.
+    san_id: Optional[int] = None
 
     def total_cells(self) -> int:
         if self.segments is not None:
@@ -80,6 +83,8 @@ class GetRequest:
     count: int = 0
     segments: Optional[List[Tuple[int, int]]] = None
     reply: Event = field(repr=False, default=None)  # type: ignore[assignment]
+    #: RMCSan operation id (None when no monitor is installed).
+    san_id: Optional[int] = None
 
     def total_cells(self) -> int:
         if self.segments is not None:
@@ -97,6 +102,8 @@ class AccRequest:
     values: List[Any]
     scale: Any = 1
     ack: Optional[Event] = None
+    #: RMCSan operation id (None when no monitor is installed).
+    san_id: Optional[int] = None
 
 
 @dataclass
@@ -109,6 +116,8 @@ class RmwRequest:
     op: str
     args: Tuple[Any, ...] = ()
     reply: Event = field(repr=False, default=None)  # type: ignore[assignment]
+    #: RMCSan operation id (None when no monitor is installed).
+    san_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.op not in RMW_OPS:

@@ -58,8 +58,32 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "locks", "ablations", "app",
-                 "microbench", "fairness", "faults", "validate", "all"],
-        help="which experiment to regenerate",
+                 "microbench", "fairness", "faults", "validate", "check", "all"],
+        help="which experiment to regenerate (or 'check' to run RMCSan)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help=(
+            "for 'check': which workload to sanitize "
+            "(fig7, locks, faultbench; default all)"
+        ),
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="with 'check': run the static lint pass instead of the "
+        "dynamic happens-before checker",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help=(
+            "dump the RMCSan protocol-event trace of every simulated run "
+            "to PATH as JSON lines (enables event collection)"
+        ),
     )
     parser.add_argument(
         "--iterations",
@@ -247,8 +271,51 @@ def _faults(args) -> None:
     print(run_faultbench(cfg).render())
 
 
+def _check(args) -> int:
+    """``repro check [target]``: RMCSan over representative workloads."""
+    if args.lint:
+        from .analysis import run_lint
+        from .analysis.lint import render_findings
+
+        findings = run_lint()
+        print(render_findings(findings))
+        return 1 if findings else 0
+
+    from .analysis import run_sanitized_target
+
+    failed = False
+    for label, report in run_sanitized_target(args.target or "all"):
+        total = sum(report.counts.values())
+        print(
+            f"[{'ok' if report.ok() else 'FAIL'}] {label}: "
+            f"{report.events_analyzed} events, {total} violation(s)"
+        )
+        if not report.ok():
+            print(report.render())
+            failed = True
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.trace_out:
+        from .analysis import capture
+
+        capture.enable(args.trace_out)
+    try:
+        rc = _dispatch(args)
+    finally:
+        if args.trace_out:
+            from .analysis import capture
+
+            flushed = capture.flush()
+            if flushed is not None:
+                path, runs, events = flushed
+                print(f"trace written: {path} ({runs} run(s), {events} event(s))")
+    return rc
+
+
+def _dispatch(args) -> int:
     if args.experiment == "fig7":
         _fig7(args)
     elif args.experiment in ("fig8", "fig9", "fig10"):
@@ -271,6 +338,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         checks, report = run_validation(quick=True)
         print(report)
         return 0 if all(c.passed for c in checks) else 1
+    elif args.experiment == "check":
+        return _check(args)
     elif args.experiment == "all":
         _fig7(args)
         print()

@@ -62,6 +62,9 @@ class BaseLock:
         self.release_sw = Stopwatch(ctx.env, name=f"{name}.release")
         self.total_sw = Stopwatch(ctx.env, name=f"{name}.total")
         self._held = False
+        #: RMCSan monitor (None when no sanitizer is installed).
+        self._monitor = getattr(ctx.env, "_sync_monitor", None)
+        self._san_key = f"{self.kind}:{name}@{home_rank}"
 
     def __repr__(self) -> str:
         return (
@@ -87,12 +90,18 @@ class BaseLock:
             raise RuntimeError(f"{self!r}: recursive acquire")
         if self.params.api_call_us > 0.0:
             yield self.env.timeout(self.params.api_call_us)
+        if self._monitor is not None:
+            self._monitor.emit("lock_req", lock=self._san_key)
         self.acquire_sw.start()
         self.total_sw.start()
         yield from self._acquire()
         self.acquire_sw.stop()
         self._held = True
         self.stats.acquires += 1
+        if self._monitor is not None:
+            self._monitor.emit(
+                "lock_acq", lock=self._san_key, ticket=self._san_ticket()
+            )
 
     def release(self):
         """Sub-generator: release the lock (must be held)."""
@@ -106,6 +115,25 @@ class BaseLock:
         self.release_sw.stop()
         self.total_sw.stop()
         self.stats.releases += 1
+        if self._monitor is not None:
+            # Emitted before any successor can run: the segment from the
+            # end of _release() to here has no yields, and every handoff
+            # path (counter write, MCS flag put, server grant) wakes the
+            # next holder strictly later, so release precedes the matching
+            # acquire in the event stream.
+            self._monitor.emit("lock_rel", lock=self._san_key)
+
+    def _san_ticket(self):
+        """FIFO-checkable grant number, for ticket-based algorithms."""
+        ticket = getattr(self, "_my_ticket", None)
+        if isinstance(ticket, int) and ticket >= 0:
+            return ticket
+        return None
+
+    def _mark_sync_cells(self, region, addr: int, count: int = 1) -> None:
+        """Tag lock protocol words as release/acquire cells for RMCSan."""
+        if self._monitor is not None:
+            self._monitor.mark_sync(region, addr, count)
 
     # -- timing accessors --------------------------------------------------------
 

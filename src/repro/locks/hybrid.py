@@ -39,6 +39,7 @@ class HybridLock(BaseLock):
         region = ctx.regions[home_rank]
         #: [ticket, counter] in the home process's region.
         self.base_addr = region.alloc_named(f"hybrid:{name}", 2, initial=0)
+        self._mark_sync_cells(region, self.base_addr, 2)
         self._home_region = region
         self._my_ticket = -1
 

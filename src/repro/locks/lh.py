@@ -61,6 +61,11 @@ class LHLock(BaseLock):
         self.my_cell = region.alloc_named(
             f"lh:{name}:cell:{ctx.rank}", 1, initial=_GRANTED
         )
+        # Tail, dummy, and every per-process flag cell are protocol words
+        # (cells recycle between processes, so each rank marks its own).
+        self._mark_sync_cells(region, self._tail_addr)
+        self._mark_sync_cells(region, dummy)
+        self._mark_sync_cells(region, self.my_cell)
         self._spin_cell = None
 
     def _acquire(self):

@@ -79,6 +79,10 @@ class MCSLock(BaseLock):
         self.lock_addr = home_region.alloc_named(f"mcs:lock:{name}", 2, initial=-1)
         self.lock_ga = GlobalAddress(home_rank, self.lock_addr)
         self.node_struct = _NodeStruct.for_context(ctx)
+        # The tail pair and the whole node structure (next pair + locked
+        # flag) are protocol words: swap/CAS/handoff-put all synchronize.
+        self._mark_sync_cells(home_region, self.lock_addr, 2)
+        self._mark_sync_cells(ctx.region, self.node_struct.base, _NODE_CELLS)
         self.optimistic_release = optimistic_release
         #: Event tracking an in-flight optimistic release (None when idle).
         self._pending_release = None

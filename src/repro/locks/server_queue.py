@@ -30,6 +30,7 @@ class ServerQueueLock(BaseLock):
         # Shares the [ticket, counter] layout (and server handlers) with the
         # hybrid lock.
         self.base_addr = region.alloc_named(f"hybrid:{name}", 2, initial=0)
+        self._mark_sync_cells(region, self.base_addr, 2)
         self._my_ticket = -1
 
     def _acquire(self):

@@ -34,6 +34,7 @@ class TicketLock(BaseLock):
         region = ctx.regions[home_rank]
         #: [ticket, counter]
         self.base_addr = region.alloc_named(f"ticket:{name}", 2, initial=0)
+        self._mark_sync_cells(region, self.base_addr, 2)
         self._region = region
         self._my_ticket = -1
 

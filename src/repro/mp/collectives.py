@@ -45,6 +45,17 @@ def _next_seq(comm: Comm) -> int:
     return seq
 
 
+def _san_monitor(comm: Comm):
+    """RMCSan monitor, if one is installed on the communicator's env.
+
+    Only collectives with *all-to-all* dependence (every rank's exit
+    transitively depends on every rank's enter) emit enter/exit events —
+    joining all enters at an exit would be unsound for rooted collectives
+    like bcast/gather.
+    """
+    return getattr(comm.env, "_sync_monitor", None)
+
+
 def _tag(base: int, seq: int, round_no: int) -> int:
     return base + (seq % 4096) * _ROUND_STRIDE + round_no
 
@@ -60,6 +71,9 @@ def barrier(comm: Comm):
     if n == 1:
         return
     seq = _next_seq(comm)
+    monitor = _san_monitor(comm)
+    if monitor is not None:
+        monitor.emit("coll_enter", coll="barrier", epoch=seq)
     rank = comm.rank
     distance = 1
     round_no = 0
@@ -70,6 +84,8 @@ def barrier(comm: Comm):
         yield from comm.sendrecv(dst, None, source=src, tag=tag, payload_bytes=0)
         distance *= 2
         round_no += 1
+    if monitor is not None:
+        monitor.emit("coll_exit", coll="barrier", epoch=seq)
 
 
 def allreduce_sum(comm: Comm, values: Sequence[Any]) -> Any:
@@ -88,6 +104,9 @@ def allreduce_sum(comm: Comm, values: Sequence[Any]) -> Any:
     if n == 1:
         return acc
     seq = _next_seq(comm)
+    monitor = _san_monitor(comm)
+    if monitor is not None:
+        monitor.emit("coll_enter", coll="allreduce", epoch=seq)
     rank = comm.rank
     nbytes = 8 * len(acc)
 
@@ -146,6 +165,8 @@ def allreduce_sum(comm: Comm, values: Sequence[Any]) -> Any:
                 source=rank - pof2, tag=_tag(_TAG_ALLREDUCE, seq, round_no)
             )
             acc = list(msg.payload)
+    if monitor is not None:
+        monitor.emit("coll_exit", coll="allreduce", epoch=seq)
     return acc
 
 
@@ -173,6 +194,9 @@ def allreduce_sum_fig2(comm: Comm, values: Sequence[Any]) -> Any:
     if n == 1:
         return acc
     seq = _next_seq(comm)
+    monitor = _san_monitor(comm)
+    if monitor is not None:
+        monitor.emit("coll_enter", coll="allreduce", epoch=seq)
     nbytes = 8 * len(acc)
     x = n // 2
     round_no = 0
@@ -185,6 +209,8 @@ def allreduce_sum_fig2(comm: Comm, values: Sequence[Any]) -> Any:
         acc = [a + b for a, b in zip(acc, msg.payload)]
         x //= 2
         round_no += 1
+    if monitor is not None:
+        monitor.emit("coll_exit", coll="allreduce", epoch=seq)
     return acc
 
 
@@ -253,6 +279,9 @@ def allgather(comm: Comm, value: Any) -> List[Any]:
     if n == 1:
         return result
     seq = _next_seq(comm)
+    monitor = _san_monitor(comm)
+    if monitor is not None:
+        monitor.emit("coll_enter", coll="allgather", epoch=seq)
     right = (comm.rank + 1) % n
     left = (comm.rank - 1) % n
     carried = (comm.rank, value)
@@ -262,6 +291,8 @@ def allgather(comm: Comm, value: Any) -> List[Any]:
         src_rank, src_value = msg.payload
         result[src_rank] = src_value
         carried = (src_rank, src_value)
+    if monitor is not None:
+        monitor.emit("coll_exit", coll="allgather", epoch=seq)
     return result
 
 
@@ -279,6 +310,9 @@ def alltoall(comm: Comm, values: Sequence[Any]) -> List[Any]:
     if n == 1:
         return result
     seq = _next_seq(comm)
+    monitor = _san_monitor(comm)
+    if monitor is not None:
+        monitor.emit("coll_enter", coll="alltoall", epoch=seq)
     for step in range(1, n):
         if n & (n - 1) == 0:
             partner = comm.rank ^ step
@@ -289,4 +323,6 @@ def alltoall(comm: Comm, values: Sequence[Any]) -> List[Any]:
         yield from comm.send(partner, values[partner], tag=tag)
         msg = yield from comm.recv(source=recv_from, tag=tag)
         result[msg.src] = msg.payload
+    if monitor is not None:
+        monitor.emit("coll_exit", coll="alltoall", epoch=seq)
     return result

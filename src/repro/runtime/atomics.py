@@ -17,6 +17,7 @@ implemented here:
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Tuple
 
 from .memory import Region
@@ -35,6 +36,26 @@ __all__ = [
 Pair = Tuple[Any, Any]
 
 
+def _atomic_op(fn):
+    """Tag the accesses of an atomic operation for the RMCSan monitor.
+
+    Two atomic operations on the same cell never race with each other (the
+    event callback runs without preemption); the monitor's ``atomic`` scope
+    records that so the happens-before engine exempts atomic/atomic pairs.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(region: Region, *args: Any, **kwargs: Any):
+        monitor = region._monitor
+        if monitor is None:
+            return fn(region, *args, **kwargs)
+        with monitor.atomic():
+            return fn(region, *args, **kwargs)
+
+    return wrapper
+
+
+@_atomic_op
 def fetch_and_add(region: Region, addr: int, increment: int = 1) -> int:
     """Atomically add ``increment`` to the cell; returns the *old* value."""
     old = region.read(addr)
@@ -42,6 +63,7 @@ def fetch_and_add(region: Region, addr: int, increment: int = 1) -> int:
     return old
 
 
+@_atomic_op
 def swap(region: Region, addr: int, new: Any) -> Any:
     """Atomically replace the cell with ``new``; returns the old value."""
     old = region.read(addr)
@@ -49,6 +71,7 @@ def swap(region: Region, addr: int, new: Any) -> Any:
     return old
 
 
+@_atomic_op
 def compare_and_swap(region: Region, addr: int, expected: Any, new: Any) -> bool:
     """Atomically set the cell to ``new`` iff it equals ``expected``.
 
@@ -62,11 +85,13 @@ def compare_and_swap(region: Region, addr: int, expected: Any, new: Any) -> bool
     return False
 
 
+@_atomic_op
 def read_pair(region: Region, addr: int) -> Pair:
     """Atomically read two consecutive cells."""
     return (region.read(addr), region.read(addr + 1))
 
 
+@_atomic_op
 def write_pair(region: Region, addr: int, pair: Pair) -> None:
     """Atomically write two consecutive cells."""
     first, second = pair
@@ -74,6 +99,7 @@ def write_pair(region: Region, addr: int, pair: Pair) -> None:
     region.write(addr + 1, second)
 
 
+@_atomic_op
 def swap_pair(region: Region, addr: int, new: Pair) -> Pair:
     """Atomic swap on a pair of longs; returns the old pair."""
     old = read_pair(region, addr)
@@ -81,6 +107,7 @@ def swap_pair(region: Region, addr: int, new: Pair) -> Pair:
     return old
 
 
+@_atomic_op
 def compare_and_swap_pair(
     region: Region, addr: int, expected: Pair, new: Pair
 ) -> bool:
@@ -92,6 +119,7 @@ def compare_and_swap_pair(
     return False
 
 
+@_atomic_op
 def accumulate(region: Region, addr: int, values, scale: Any = 1) -> None:
     """ARMCI accumulate: ``mem[addr+i] += scale * values[i]`` atomically."""
     for offset, value in enumerate(values):

@@ -47,9 +47,20 @@ class ClusterRuntime:
         params: Optional[NetworkParams] = None,
         fence_mode: str = "confirm",
         placement: Optional[Iterable[int]] = None,
+        monitor: Optional[Any] = None,
     ):
         self.params = params if params is not None else myrinet2000()
         self.env = Environment()
+        # RMCSan: install the monitor before regions/servers are built so
+        # every layer picks it up; with no explicit monitor, an ambient
+        # trace capture (``repro ... --trace-out``) may attach one.
+        if monitor is not None:
+            monitor.install(self.env)
+        else:
+            from ..analysis import capture
+
+            monitor = capture.attach(self.env)
+        self.monitor = monitor
         self.topology = Topology(
             nprocs,
             procs_per_node=procs_per_node,
@@ -120,6 +131,8 @@ class ClusterRuntime:
         for rank in ranks:
             ctx = self.context(rank)
             proc = self.env.process(main(ctx, *args), name=f"{main.__name__}[{rank}]")
+            if self.monitor is not None:
+                self.monitor.register_process(proc, f"p{rank}")
             procs[rank] = proc
             self._programs.append(proc)
         return procs

@@ -63,6 +63,10 @@ class Region:
         #: Count of individual cell writes (diagnostics / tests).
         self.writes = 0
         self.reads = 0
+        #: RMCSan monitor, when one was installed on the environment before
+        #: this region was built (see repro.analysis.monitor); None keeps
+        #: every access on the uninstrumented fast path.
+        self._monitor = getattr(env, "_sync_monitor", None)
 
     def __repr__(self) -> str:
         return f"<Region {self.name} cells={len(self._cells)}>"
@@ -105,12 +109,16 @@ class Region:
     def read(self, addr: int) -> Any:
         self._check(addr)
         self.reads += 1
+        if self._monitor is not None:
+            self._monitor.on_read(self, addr)
         return self._cells[addr]
 
     def write(self, addr: int, value: Any) -> None:
         self._check(addr)
         self._cells[addr] = value
         self.writes += 1
+        if self._monitor is not None:
+            self._monitor.on_write(self, addr)
         watcher = self._watchers.get(addr)
         if watcher is not None and watcher.waiting:
             watcher.fire(value)
@@ -122,6 +130,8 @@ class Region:
         if count:
             self._check(addr + count - 1)
         self.reads += count
+        if self._monitor is not None and count:
+            self._monitor.on_read(self, addr, count)
         return self._cells[addr : addr + count]
 
     def write_many(self, addr: int, values: Sequence[Any]) -> None:
@@ -129,6 +139,13 @@ class Region:
             return
         self._check(addr)
         self._check(addr + len(values) - 1)
+        if self._monitor is not None:
+            # One ranged event; the per-cell writes below stay silent.
+            self._monitor.on_write(self, addr, len(values))
+            with self._monitor.bulk():
+                for offset, value in enumerate(values):
+                    self.write(addr + offset, value)
+            return
         for offset, value in enumerate(values):
             self.write(addr + offset, value)
 
@@ -162,6 +179,10 @@ class Region:
             if poll_detect_us > 0.0:
                 yield self.env.timeout(poll_detect_us)
             value = self._cells[addr]
+        if self._monitor is not None:
+            # The satisfying poll-loop read (bypasses read() and its
+            # diagnostic counter, so the event is emitted here directly).
+            self._monitor.on_read(self, addr)
         return value
 
     def _index_checked(self, addr: int) -> int:

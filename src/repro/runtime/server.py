@@ -119,6 +119,13 @@ class ServerThread:
         #: combined ARMCI_Barrier.
         self._dedup = params.faults is not None
         self._applied: set = set()
+        #: RMCSan monitor (installed on env before the runtime is wired).
+        self._monitor = getattr(env, "_sync_monitor", None)
+        if self._monitor is not None:
+            # op_done counters have release/acquire semantics: stage 2 of
+            # the combined barrier polls them; they are not data cells.
+            for addr in self._op_done_addr.values():
+                self._monitor.mark_sync(self.counters, addr)
         #: At-most-once reply cache: dedup key -> (src_rank, event, value,
         #: payload_cells), used to re-send a response whose original was
         #: lost on the way back.
@@ -146,7 +153,10 @@ class ServerThread:
 
     def _bump_op_done(self, rank: int) -> None:
         region, addr = self.op_done_cell(rank)
-        region.write(addr, region.read(addr) + 1)
+        value = region.read(addr) + 1
+        region.write(addr, value)
+        if self._monitor is not None:
+            self._monitor.emit("op_done", rank=rank, value=value)
 
     def _hosted_region(self, rank: int) -> Region:
         if self.topology.node_of(rank) != self.node:
@@ -163,6 +173,8 @@ class ServerThread:
         if self._proc is not None:
             raise RuntimeError(f"server {self.node} already started")
         self._proc = self.env.process(self._run(), name=f"server{self.node}")
+        if self._monitor is not None:
+            self._monitor.register_process(self._proc, f"s{self.node}")
         return self._proc
 
     def _run(self):
@@ -220,6 +232,13 @@ class ServerThread:
             self._applied.add(key)
             self._current_key = key
         req = envelope.payload
+        # RMCSan: bracket the application of an identified remote memory
+        # operation — "apply" joins the issuer's clock (program order at
+        # issue time orders the server's writes), "apply_done" snapshots the
+        # server clock for the fence/barrier/completion edges.
+        op_id = getattr(req, "san_id", None)
+        if self._monitor is not None and op_id is not None:
+            self._monitor.emit("apply", op_id=op_id)
         if isinstance(req, PutRequest):
             yield from self._handle_put(req)
         elif isinstance(req, GetRequest):
@@ -236,6 +255,8 @@ class ServerThread:
             yield from self._handle_unlock(req)
         else:
             raise TypeError(f"server {self.node}: unknown request {req!r}")
+        if self._monitor is not None and op_id is not None:
+            self._monitor.emit("apply_done", op_id=op_id)
 
     def _copy_cost(self, ncells: int) -> float:
         return ncells * Region.CELL_BYTES * self.params.mem_copy_per_byte_us

@@ -34,8 +34,14 @@ class SampleStats:
         n = len(samples)
         total = sum(samples)
         mean = total / n
-        var = sum((s - mean) ** 2 for s in samples) / n
-        return cls(n, mean, min(samples), max(samples), math.sqrt(var), total)
+        if n > 1:
+            # Sample (n-1) variance: these are measurements drawn from the
+            # run, not the whole population of possible intervals.
+            var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+            stddev = math.sqrt(var)
+        else:
+            stddev = 0.0
+        return cls(n, mean, min(samples), max(samples), stddev, total)
 
 
 class Stopwatch:
@@ -100,10 +106,18 @@ class Tracer:
     """Records every processed event via ``Environment.on_event``.
 
     Intended for debugging small runs; do not enable for full benchmarks.
+
+    Besides raw kernel events (:class:`TraceRecord`), a tracer can collect
+    *structured protocol events* — objects with ``kind``/``time``/``actor``
+    attributes and a ``to_dict()`` method (see ``repro.analysis.events``) —
+    pushed explicitly via :meth:`emit`.  These feed the RMCSan
+    happens-before engine and the ``--trace-out`` JSONL dump.
     """
 
     records: List[TraceRecord] = field(default_factory=list)
     limit: int = 100_000
+    events: List[Any] = field(default_factory=list)
+    event_limit: int = 2_000_000
 
     def install(self, env: Environment) -> None:
         env.on_event = self._on_event
@@ -120,3 +134,30 @@ class Tracer:
 
     def between(self, t0: float, t1: float) -> List[TraceRecord]:
         return [r for r in self.records if t0 <= r.time <= t1]
+
+    # -- structured protocol events -----------------------------------------
+
+    def emit(self, event: Any) -> None:
+        """Append one structured protocol event (order = emission order)."""
+        if len(self.events) >= self.event_limit:
+            return
+        self.events.append(event)
+
+    def events_of(self, kind: str) -> List[Any]:
+        return [e for e in self.events if e.kind == kind]
+
+    def dump_jsonl(self, path: str, header: Optional[dict] = None) -> int:
+        """Append the structured events to ``path`` as JSON lines.
+
+        Returns the number of event lines written.  ``header``, when given,
+        is written first as its own line (used to delimit runs in a file
+        shared by several experiments).
+        """
+        import json
+
+        with open(path, "a", encoding="utf-8") as fh:
+            if header is not None:
+                fh.write(json.dumps(header) + "\n")
+            for event in self.events:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+        return len(self.events)

@@ -1,0 +1,157 @@
+"""Tests for the RMCSan static lint pass."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.lint import (
+    RULE_OP_DONE,
+    RULE_UNSEEDED,
+    RULE_YIELD_FROM,
+    lint_source,
+    render_findings,
+    run_lint,
+)
+
+
+def _lint(code, **kwargs):
+    return lint_source(textwrap.dedent(code), **kwargs)
+
+
+class TestYieldFrom:
+    def test_bare_call_of_local_generator_flagged(self):
+        findings = _lint(
+            """
+            def stepper():
+                yield 1
+
+            def driver():
+                stepper()
+                yield 2
+            """
+        )
+        assert [f.rule for f in findings] == [RULE_YIELD_FROM]
+        assert findings[0].line == 6
+
+    def test_yield_from_is_clean(self):
+        findings = _lint(
+            """
+            def stepper():
+                yield 1
+
+            def driver():
+                yield from stepper()
+            """
+        )
+        assert findings == []
+
+    def test_known_generator_method_flagged(self):
+        findings = _lint(
+            """
+            def workload(armci):
+                armci.fence(1)
+                yield
+            """,
+            generator_names={"fence"},
+        )
+        assert [f.rule for f in findings] == [RULE_YIELD_FROM]
+
+    def test_ambiguous_name_not_flagged(self):
+        # ``release`` names both a generator (lock) and a plain method
+        # (semaphore) in the tree set, so a bare call stays unflagged.
+        findings = _lint(
+            """
+            def release(self):
+                yield from self._release()
+
+            class Pool:
+                def release(self):
+                    self.count += 1
+
+            def user(lock):
+                lock.release()
+                yield
+            """
+        )
+        assert findings == []
+
+
+class TestUnseededNondeterminism:
+    def test_default_random_flagged(self):
+        findings = _lint(
+            """
+            import random
+
+            def jitter():
+                return random.Random()
+            """
+        )
+        assert [f.rule for f in findings] == [RULE_UNSEEDED]
+
+    def test_seeded_random_is_clean(self):
+        findings = _lint(
+            """
+            import random
+
+            def jitter(seed):
+                return random.Random(seed)
+            """
+        )
+        assert findings == []
+
+    def test_module_level_random_call_flagged(self):
+        findings = _lint("import random\nx = random.randint(0, 9)\n")
+        assert [f.rule for f in findings] == [RULE_UNSEEDED]
+
+    def test_wall_clock_flagged(self):
+        findings = _lint(
+            """
+            import time
+
+            def now():
+                return time.perf_counter()
+            """
+        )
+        assert [f.rule for f in findings] == [RULE_UNSEEDED]
+
+    def test_params_module_exempt(self):
+        findings = _lint(
+            "import random\nx = random.Random()\n",
+            path="src/repro/net/params.py",
+        )
+        assert findings == []
+
+
+class TestOpDoneMutation:
+    def test_bump_outside_server_flagged(self):
+        findings = _lint(
+            """
+            def cheat(server, rank):
+                server._bump_op_done(rank)
+            """
+        )
+        assert [f.rule for f in findings] == [RULE_OP_DONE]
+
+    def test_server_module_exempt(self):
+        findings = _lint(
+            """
+            def dispatch(self, rank):
+                self._bump_op_done(rank)
+            """,
+            path="src/repro/runtime/server.py",
+        )
+        assert findings == []
+
+
+class TestRepoIsClean:
+    def test_run_lint_finds_nothing(self):
+        assert run_lint() == []
+
+    def test_render_no_findings(self):
+        assert render_findings([]) == "lint: no findings"
+
+    def test_render_lists_each_finding(self):
+        findings = _lint("import random\nx = random.random()\n")
+        text = render_findings(findings)
+        assert RULE_UNSEEDED in text
+        assert "1 finding" in text

@@ -1,0 +1,61 @@
+"""Clean-run guarantees: RMCSan finds nothing on the shipped workloads,
+and running with the monitor does not perturb the simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SyncMonitor
+from repro.analysis.sanitize import TARGETS, run_sanitized_target
+from repro.mp import collectives
+from repro.net.params import myrinet2000
+from repro.runtime.cluster import ClusterRuntime
+
+
+class TestCleanTargets:
+    def test_fig7_has_no_violations(self):
+        for label, report in run_sanitized_target("fig7"):
+            assert report.ok(), f"{label}:\n{report.render()}"
+            assert report.events_analyzed > 0
+
+    def test_locks_have_no_violations(self):
+        for label, report in run_sanitized_target("locks"):
+            assert report.ok(), f"{label}:\n{report.render()}"
+
+    def test_faultbench_has_no_violations(self):
+        for label, report in run_sanitized_target("faultbench"):
+            assert report.ok(), f"{label}:\n{report.render()}"
+
+    def test_all_covers_every_target(self):
+        labels = [label for label, _ in run_sanitized_target("all")]
+        for target in TARGETS:
+            assert any(label.startswith(target) for label in labels)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown check target"):
+            run_sanitized_target("fig99")
+
+
+def _workload(ctx):
+    addr = ctx.region.alloc_named("cell", 1, initial=0)
+    yield from collectives.barrier(ctx.comm)
+    peer = (ctx.rank + 1) % ctx.nprocs
+    yield from ctx.armci.put(ctx.ga(peer, addr), [ctx.rank])
+    yield from ctx.armci.barrier()
+    value = yield from ctx.armci.get(ctx.ga(peer, addr), 1)
+    return (ctx.env.now, value)
+
+
+class TestNonPerturbation:
+    def test_monitor_does_not_change_timing_or_results(self):
+        """Sanitizer-off and sanitizer-on runs are behaviorally identical."""
+        plain = ClusterRuntime(4, params=myrinet2000())
+        baseline = plain.run_spmd(_workload)
+
+        monitor = SyncMonitor()
+        watched = ClusterRuntime(4, params=myrinet2000(), monitor=monitor)
+        observed = watched.run_spmd(_workload)
+
+        assert observed == baseline
+        assert watched.env.now == plain.env.now
+        assert monitor.analyze().ok()

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.armci.profile import OpProfile, install, _percentile
+from repro.armci.profile import OpProfile, install, profile_lock, _percentile
 from repro.runtime.memory import GlobalAddress
 
 
@@ -21,6 +21,15 @@ class TestPercentile:
 
     def test_single_sample(self):
         assert _percentile([7.0], 0.95) == 7.0
+
+    @pytest.mark.parametrize("q", [-0.1, 1.5, 2.0])
+    def test_out_of_range_q_rejected(self, q):
+        with pytest.raises(ValueError, match=r"must be in \[0, 1\]"):
+            _percentile([1.0, 2.0], q)
+
+    def test_out_of_range_q_rejected_even_when_empty(self):
+        with pytest.raises(ValueError, match=r"must be in \[0, 1\]"):
+            _percentile([], -1.0)
 
 
 class TestOpProfile:
@@ -120,3 +129,35 @@ class TestInstall:
             pooled.merge(profile)
         assert pooled.count("put_segments") == 4
         assert pooled.count("barrier") == 4
+
+
+class TestProfileLock:
+    def test_records_acquire_and_release(self, make_cluster):
+        from repro.locks.hybrid import HybridLock
+
+        def main(ctx):
+            profile = install(ctx.armci)
+            lock = profile_lock(HybridLock(ctx, home_rank=0), profile)
+            for _ in range(3):
+                yield from lock.acquire()
+                yield ctx.env.timeout(1.0)
+                yield from lock.release()
+            return profile
+
+        rt = make_cluster(nprocs=2)
+        profiles = rt.run_spmd(main)
+        for profile in profiles:
+            assert profile.count("lock.acquire:hybrid") == 3
+            assert profile.count("lock.release:hybrid") == 3
+            assert profile.p95("lock.acquire:hybrid") >= 0.0
+
+    def test_idempotent_per_handle(self, make_cluster):
+        from repro.locks.hybrid import HybridLock
+
+        rt = make_cluster(nprocs=1)
+        ctx = rt.context(0)
+        profile = install(ctx.armci)
+        lock = HybridLock(ctx, home_rank=0)
+        acquire_once = profile_lock(lock, profile).acquire
+        acquire_twice = profile_lock(lock, profile).acquire
+        assert acquire_once is acquire_twice

@@ -31,6 +31,20 @@ class TestStopwatch:
         with pytest.raises(RuntimeError, match="not running"):
             Stopwatch(env).stop()
 
+    def test_stop_after_discard_raises(self, env):
+        sw = Stopwatch(env)
+        sw.start()
+        sw.discard()
+        with pytest.raises(RuntimeError, match="not running"):
+            sw.stop()
+
+    def test_double_stop_raises(self, env):
+        sw = Stopwatch(env)
+        sw.start()
+        sw.stop()
+        with pytest.raises(RuntimeError, match="not running"):
+            sw.stop()
+
     def test_discard_drops_interval(self, env):
         sw = Stopwatch(env)
         sw.start()
@@ -78,11 +92,16 @@ class TestSampleStats:
         assert stats.minimum == 2.0
         assert stats.maximum == 6.0
         assert stats.total == 12.0
-        assert stats.stddev == pytest.approx(math.sqrt(8.0 / 3.0))
+        # Sample (n-1) variance: ((2-4)^2 + 0 + (6-4)^2) / 2 = 4.
+        assert stats.stddev == pytest.approx(2.0)
 
     def test_single_sample(self):
         stats = SampleStats.from_samples([5.0])
         assert stats.stddev == 0.0 and stats.mean == 5.0
+
+    def test_two_samples(self):
+        stats = SampleStats.from_samples([1.0, 3.0])
+        assert stats.stddev == pytest.approx(math.sqrt(2.0))
 
 
 class TestTracer:
@@ -118,3 +137,58 @@ class TestTracer:
             env.timeout(i)
         env.run()
         assert len(tracer.records) == 3
+
+    def test_of_kind_filters_exactly(self):
+        env = Environment()
+        tracer = Tracer()
+        tracer.install(env)
+        env.timeout(1.0)
+        env.run()
+        assert tracer.of_kind("Timeout")
+        assert tracer.of_kind("NoSuchKind") == []
+
+    def test_between_is_inclusive(self):
+        env = Environment()
+        tracer = Tracer()
+        tracer.install(env)
+        for t in (1.0, 2.0, 3.0):
+            env.timeout(t)
+        env.run()
+        assert [r.time for r in tracer.between(1.0, 2.0)] == [1.0, 2.0]
+        assert tracer.between(3.5, 9.0) == []
+
+
+class TestStructuredEvents:
+    def test_events_of_filters_by_kind(self):
+        from repro.analysis.events import ProtoEvent
+
+        tracer = Tracer()
+        tracer.emit(ProtoEvent(kind="issue", time=1.0, actor="p0", data={}))
+        tracer.emit(ProtoEvent(kind="apply", time=2.0, actor="s0", data={}))
+        tracer.emit(ProtoEvent(kind="issue", time=3.0, actor="p1", data={}))
+        assert [e.actor for e in tracer.events_of("issue")] == ["p0", "p1"]
+        assert tracer.events_of("fence_done") == []
+
+    def test_event_limit_caps_events(self):
+        from repro.analysis.events import ProtoEvent
+
+        tracer = Tracer(event_limit=2)
+        for i in range(5):
+            tracer.emit(ProtoEvent(kind="issue", time=float(i), actor="p0", data={}))
+        assert len(tracer.events) == 2
+
+    def test_dump_jsonl(self, tmp_path):
+        import json
+
+        from repro.analysis.events import ProtoEvent
+
+        tracer = Tracer()
+        tracer.emit(
+            ProtoEvent(kind="issue", time=1.5, actor="p0", data={"op": "put"})
+        )
+        path = tmp_path / "trace.jsonl"
+        n = tracer.dump_jsonl(str(path), header={"run": 1})
+        assert n == 1
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {"run": 1}
+        assert lines[1]["kind"] == "issue" and lines[1]["op"] == "put"

@@ -78,3 +78,31 @@ class TestCli:
         assert main(["validate"]) == 0
         out = capsys.readouterr().out
         assert "ALL CHECKS PASSED" in out
+
+
+class TestCheckCommand:
+    def test_check_single_target(self, capsys):
+        assert main(["check", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok] fig7[current]" in out and "[ok] fig7[new]" in out
+        assert "FAIL" not in out
+
+    def test_check_unknown_target(self):
+        with pytest.raises(ValueError, match="unknown check target"):
+            main(["check", "fig99"])
+
+    def test_check_lint_mode(self, capsys):
+        assert main(["check", "--lint"]) == 0
+        assert "lint: no findings" in capsys.readouterr().out
+
+    def test_trace_out_writes_jsonl(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["fig7", "--iterations", "2", "--procs", "2",
+                     "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert any("run" in line for line in lines)
+        assert any(line.get("kind") == "barrier_enter" for line in lines)
