@@ -40,6 +40,10 @@ COLL_EXIT = "coll_exit"
 LOCK_REQ = "lock_req"
 LOCK_ACQ = "lock_acq"
 LOCK_REL = "lock_rel"
+#: Crash-stop failures (emitted by the membership service).
+PROC_CRASHED = "proc_crashed"
+VIEW_CHANGE = "view_change"
+LEASE_REVOKED = "lease_revoked"
 
 KINDS = (
     MEM_READ,
@@ -57,6 +61,9 @@ KINDS = (
     LOCK_REQ,
     LOCK_ACQ,
     LOCK_REL,
+    PROC_CRASHED,
+    VIEW_CHANGE,
+    LEASE_REVOKED,
 )
 
 

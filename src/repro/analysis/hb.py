@@ -152,6 +152,12 @@ class HBAnalyzer:
         self._lock_clock: Dict[str, Dict[str, int]] = {}
         self._lock_ticket: Dict[str, int] = {}
         self._lock_pending: Dict[Tuple[str, str], float] = {}
+        # Crash-stop state (populated only by membership-service events).
+        self._dead_actors: Set[str] = set()
+        self._dead_nodes: Set[int] = set()
+        self._written_off_ops: Set[int] = set()
+        self._lock_revoked: Dict[str, Set[int]] = {}
+        self._view_epoch = 0
         self.report = SanReport()
 
     # -- vector clock helpers ------------------------------------------------
@@ -271,6 +277,13 @@ class HBAnalyzer:
         self._ops[data["op_id"]] = record
         self._issued_to.setdefault((actor, data["node"]), []).append(data["op_id"])
         self._outstanding.setdefault(actor, set()).add(data["op_id"])
+        if data["node"] in self._dead_nodes:
+            # Issued into a declared machine crash: the fabric drops it and
+            # the degraded fence/barrier write it off.
+            record.applied = True
+            record.apply_snap = dict(self._clock(actor))
+            self._written_off_ops.add(data["op_id"])
+            self._outstanding[actor].discard(data["op_id"])
 
     def _on_apply(self, ev, actor, tick, data) -> None:
         record = self._ops.get(data["op_id"])
@@ -291,6 +304,9 @@ class HBAnalyzer:
         record.applied = True
         record.apply_snap = dict(self._clock(actor))
         self._outstanding.get(record.actor, set()).discard(data["op_id"])
+        # A straggler that lands after being written off was applied after
+        # all: it no longer counts toward the dead-credit barrier check.
+        self._written_off_ops.discard(data["op_id"])
 
     def _on_complete(self, ev, actor, tick, data) -> None:
         record = self._ops.get(data["op_id"])
@@ -318,9 +334,14 @@ class HBAnalyzer:
 
     def _on_fence_done(self, ev, actor, tick, data) -> None:
         covered = self._issued_to.pop((actor, data["node"]), [])
+        degraded = bool(data.get("degraded"))
         for op_id in covered:
             record = self._ops[op_id]
             if not record.applied:
+                if degraded:
+                    # Degraded fence to a crashed machine: the write-off is
+                    # explicit in the protocol, not a lost completion.
+                    continue
                 self.report.add(
                     Violation(
                         kind="fence",
@@ -365,6 +386,86 @@ class HBAnalyzer:
                     )
                 else:
                     self._join(actor, record.apply_snap)
+        self._dead_credit_check(ev, actor, epoch, data)
+
+    def _dead_credit_check(self, ev, actor, epoch, data) -> None:
+        """Flag a barrier release still counting a dead rank's credits.
+
+        Operations issued by (or into) crashed processes that the target
+        server never applied must be *written off explicitly*: a resilient
+        barrier reports the write-off in its exit event.  An exit that owes
+        such credits without reporting at least that many written off means
+        the barrier's accounting silently counted a dead rank's operations.
+        """
+        if not self._written_off_ops or not actor.startswith("p"):
+            return
+        me = int(actor[1:])
+        owed = sum(
+            1 for op_id in self._written_off_ops
+            if self._ops[op_id].dst_rank == me
+        )
+        reported = data.get("written_off")
+        if owed and (reported is None or reported < owed):
+            self.report.add(
+                Violation(
+                    kind="barrier",
+                    time=ev.time,
+                    message=(
+                        f"barrier epoch {epoch} released {actor} while still "
+                        f"counting {owed} credit(s) from crashed rank(s) "
+                        f"(written off: {reported if reported is not None else 0})"
+                    ),
+                    details={"epoch": epoch, "owed": owed, "reported": reported},
+                )
+            )
+
+    # -- crash-stop membership events ------------------------------------------
+
+    def _on_proc_crashed(self, ev, actor, tick, data) -> None:
+        rank = data["rank"]
+        dead_actor = f"p{rank}"
+        self._dead_actors.add(dead_actor)
+        if data.get("node_crashed"):
+            self._dead_nodes.add(data["node"])
+        # Write off the dead rank's in-flight operations — and, after a
+        # machine crash, survivors' operations into the dead server — so
+        # fence/barrier completion no longer owes them.  The write-off
+        # joins the membership service's clock (declaration ordering).
+        for op_id, record in self._ops.items():
+            if record.applied:
+                continue
+            into_dead_node = (
+                data.get("node_crashed") and record.node == data["node"]
+            )
+            if record.actor == dead_actor or into_dead_node:
+                record.applied = True
+                record.apply_snap = dict(self._clock(actor))
+                self._written_off_ops.add(op_id)
+                self._outstanding.get(record.actor, set()).discard(op_id)
+        # A dead rank's pending lock requests cannot deadlock anyone.
+        for pending_key in list(self._lock_pending):
+            if pending_key[0] == dead_actor:
+                del self._lock_pending[pending_key]
+
+    def _on_view_change(self, ev, actor, tick, data) -> None:
+        self._view_epoch = data["epoch"]
+
+    def _on_lease_revoked(self, ev, actor, tick, data) -> None:
+        lock = data["lock"]
+        ticket = data.get("ticket")
+        if ticket is not None:
+            self._lock_revoked.setdefault(lock, set()).add(ticket)
+        rank = data.get("rank")
+        if rank is None:
+            return
+        dead_actor = f"p{rank}"
+        holders = self._lock_holders.setdefault(lock, set())
+        if dead_actor in holders:
+            # Revocation is the crash-time release: the successor's grant
+            # joins the membership service's clock at revocation.
+            holders.discard(dead_actor)
+            self._lock_clock[lock] = dict(self._clock(actor))
+        self._lock_pending.pop((dead_actor, lock), None)
 
     # -- message-passing collectives -----------------------------------------
 
@@ -385,6 +486,18 @@ class HBAnalyzer:
     def _on_lock_acq(self, ev, actor, tick, data) -> None:
         lock = data["lock"]
         self._lock_pending.pop((actor, lock), None)
+        if actor in self._dead_actors:
+            self.report.add(
+                Violation(
+                    kind="lock",
+                    time=ev.time,
+                    message=(
+                        f"lock {lock} granted to {actor} after it was "
+                        f"declared crashed (view epoch {self._view_epoch})"
+                    ),
+                    details={"lock": lock, "actor": actor},
+                )
+            )
         holders = self._lock_holders.setdefault(lock, set())
         if holders:
             self.report.add(
@@ -402,6 +515,10 @@ class HBAnalyzer:
         ticket = data.get("ticket")
         if ticket is not None:
             expected = self._lock_ticket.get(lock, -1) + 1
+            revoked = self._lock_revoked.get(lock, ())
+            while expected in revoked:
+                # Crash recovery spliced this ticket out of the queue.
+                expected += 1
             if ticket != expected:
                 self.report.add(
                     Violation(

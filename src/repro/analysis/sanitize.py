@@ -25,7 +25,7 @@ from .monitor import SyncMonitor
 __all__ = ["TARGETS", "run_sanitized_target"]
 
 #: Recognized ``repro check`` targets (``all`` expands to every entry).
-TARGETS = ("fig7", "locks", "faultbench")
+TARGETS = ("fig7", "locks", "faultbench", "chaos")
 
 
 def _sanitized_spmd(nprocs: int, main, *args, **runtime_kwargs):
@@ -92,10 +92,52 @@ def _check_faultbench() -> List[Tuple[str, SanReport]]:
     return out
 
 
+def _check_chaos() -> List[Tuple[str, SanReport]]:
+    """Crash-stop kills during the barrier exchange and inside a lock CS.
+
+    Exercises the crash event vocabulary end to end: ``proc_crashed`` /
+    ``view_change`` / ``lease_revoked`` emissions, write-off accounting on
+    ``barrier_exit``, and the revoked-ticket carve-out of the FIFO rule.
+    """
+    from ..experiments.chaosbench import (
+        ChaosBenchConfig,
+        _make_params,
+        chaos_workload,
+    )
+
+    out = []
+    for kind in ("hybrid", "mcs"):
+        cfg = ChaosBenchConfig(
+            nprocs=6,
+            lock_kind=kind,
+            barrier_kills=((4, 60.0),),
+            lock_kills=((5, 900.0),),
+            lock_iters=2,
+        )
+        shared = {
+            "requests": [],
+            "grants": [],
+            "preemptions": [],
+            "cs_owner": None,
+            "mutex_ok": True,
+        }
+        report = _sanitized_spmd(
+            cfg.nprocs,
+            chaos_workload,
+            cfg,
+            shared,
+            procs_per_node=cfg.procs_per_node,
+            params=_make_params(cfg),
+        )
+        out.append((f"chaos[{kind}]", report))
+    return out
+
+
 _RUNNERS = {
     "fig7": _check_fig7,
     "locks": _check_locks,
     "faultbench": _check_faultbench,
+    "chaos": _check_chaos,
 }
 
 

@@ -97,6 +97,14 @@ class Armci:
         #: Client-side barrier epoch counter for RMCSan (SPMD programs call
         #: barriers collectively, so equal counts identify the same epoch).
         self._san_barrier_epoch = 0
+        #: Crash-stop membership service (None unless the fault plan has
+        #: ProcessCrash events); None keeps barriers/fences construct-free.
+        self.membership = getattr(fabric, "_membership", None)
+        #: Collective-instance counter for crash-aware barriers (SPMD call
+        #: order makes equal counts identify the same instance across ranks).
+        self._chaos_barrier_seq = 0
+        #: Extra barrier_exit event data from the last resilient barrier.
+        self._chaos_barrier_info: Optional[Dict[str, int]] = None
         #: Operation counters (diagnostics / tests).
         self.stats: Dict[str, int] = {
             "puts_local": 0,

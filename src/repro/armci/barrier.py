@@ -89,7 +89,12 @@ def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
         armci._san_barrier_epoch += 1
         epoch = armci._san_barrier_epoch
         monitor.emit("barrier_enter", epoch=epoch)
-    if algorithm == "linear":
+    if armci.membership is not None:
+        # Crash-stop fault plan active: every algorithm routes to the
+        # resilient exchange (the linear path's MPI barrier has no
+        # survivor handling and would wedge on a dead rank).
+        yield from _exchange_resilient(armci)
+    elif algorithm == "linear":
         yield from _linear(armci)
     else:
         yield from _exchange(armci)
@@ -97,7 +102,9 @@ def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
     # state is clean.
     armci.dirty_nodes.clear()
     if monitor is not None:
-        monitor.emit("barrier_exit", epoch=epoch)
+        extra = armci._chaos_barrier_info or {}
+        armci._chaos_barrier_info = None
+        monitor.emit("barrier_exit", epoch=epoch, **extra)
 
 
 def _linear(armci: "Armci"):
@@ -143,6 +150,53 @@ def _exchange(armci: "Armci"):
     # back in stage 2 still join the same collective, so mixed outcomes
     # cannot deadlock.
     yield from collectives.barrier(armci.comm)
+
+
+def _exchange_resilient(armci: "Armci"):
+    """The three-stage barrier under a crash-stop fault plan.
+
+    Stage 1 runs the allreduce compacted over the survivor view (restarting
+    on view changes; the lowest survivor folds in dead ranks' kill-time
+    ``op_init`` snapshots so totals stay cumulative over the original
+    universe).  Stage 2 subtracts dead ranks' issued-but-never-applied
+    operations from the target, re-checking every poll because deaths may
+    be declared while waiting.  Stage 3 is a survivor-only dissemination
+    barrier.  Completed stages are recorded in the membership ledger so a
+    rank that finishes before a view change cannot strand restarted peers.
+    """
+    membership = armci.membership
+    inst = armci._chaos_barrier_seq
+    armci._chaos_barrier_seq = inst + 1
+    totals, result_epoch = yield from collectives.resilient_allreduce_sum(
+        armci.comm, membership, armci.op_init, inst
+    )
+    region, addr = armci.server.op_done_cell(armci.rank)
+    counted = yield from _stage2_wait_resilient(armci, region, addr, totals)
+    yield from collectives.resilient_barrier(armci.comm, membership, inst)
+    armci._chaos_barrier_info = {
+        "view_epoch": membership.epoch,
+        "result_epoch": result_epoch,
+        "counted": counted,
+        "written_off": totals[armci.rank] - counted,
+    }
+
+
+def _stage2_wait_resilient(armci: "Armci", region, addr, totals):
+    """Stage-2 poll with crash write-offs; returns the final target."""
+    env = armci.env
+    membership = armci.membership
+    me = armci.rank
+    poll_detect_us = armci.params.poll_detect_us
+    poll_us = membership.params.membership_poll_us
+    while True:
+        target = totals[me] - membership.written_off(me)
+        if region.read(addr) >= target:
+            return target
+        wake = region.watcher(addr).wait()
+        deadline = env.timeout(poll_us)
+        yield wake | deadline
+        if wake.triggered and poll_detect_us > 0.0:
+            yield env.timeout(poll_detect_us)
 
 
 def _stage2_wait_with_watchdog(armci: "Armci", region, addr, target, watchdog_us):

@@ -44,6 +44,17 @@ def fence_node(armci: "Armci", node: int):
         # synchronously; nothing to fence.
         return
     monitor = armci._monitor
+    membership = armci.membership  # None unless a crash fault plan is active
+    if membership is not None and membership.node_dead(node):
+        # Degraded fence: the target machine crashed, so its server will
+        # never confirm.  The outstanding operations are written off (the
+        # barrier's write-off accounting no longer counts them either) and
+        # the fence reports clean.
+        armci.dirty_nodes.discard(node)
+        armci.stats["fence_writeoffs"] = armci.stats.get("fence_writeoffs", 0) + 1
+        if monitor is not None:
+            monitor.emit("fence_done", node=node, degraded=True)
+        return
     if armci.fence_mode == "ack":
         yield from armci.wait_acks_drained(node)
         armci.dirty_nodes.discard(node)
@@ -73,18 +84,27 @@ def _confirm_with_watchdog(armci: "Armci", node: int, watchdog_us: float):
     triggers with nobody waiting).
     """
     p = armci.params
+    membership = armci.membership
     attempts = 0
     while True:
+        if membership is not None and membership.node_dead(node):
+            # The target machine was declared dead while we were retrying;
+            # the caller's degraded path would have caught this up front.
+            armci.stats["fence_writeoffs"] = (
+                armci.stats.get("fence_writeoffs", 0) + 1
+            )
+            return
         reply = Event(armci.env)
         req = FenceRequest(src_rank=armci.rank, reply=reply)
         yield from armci.fabric.send(armci.rank, server_endpoint(node), req)
-        deadline = armci.env.timeout(watchdog_us * (p.retry_backoff ** attempts))
+        backoff = p.retry_backoff ** min(attempts, p.max_retries)
+        deadline = armci.env.timeout(watchdog_us * backoff)
         yield reply | deadline
         if reply.triggered:
             return
         attempts += 1
         armci.stats["fence_retries"] = armci.stats.get("fence_retries", 0) + 1
-        if attempts > p.max_retries:
+        if attempts > p.max_retries and membership is None:
             raise SimulationError(
                 f"fence to node {node} unanswered after {attempts} attempts "
                 f"(watchdog {watchdog_us}us, max_retries={p.max_retries})"

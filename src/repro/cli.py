@@ -9,15 +9,23 @@ Usage (installed as ``armci-repro``, or ``python -m repro``)::
     armci-repro locks               # Figures 8-10 from one run
     armci-repro ablations           # all five ablation studies
     armci-repro faults              # sync cost + retry volume vs drop rate
+    armci-repro chaos               # crash-stop kills + membership recovery
     armci-repro all                 # everything above
     armci-repro fig7 --iterations 100 --network gige
     armci-repro faults --drop-rate 0.05 --fault-seed 7 --retry-timeout 40
+    armci-repro chaos --kill 5:60 --kill 6:900 --lock mcs --kill-seed 7
 
 Fault options: ``--drop-rate`` enables seeded link-fault injection (with
 the reliable ACK/retransmit layer) on *any* experiment — with the
 ``faults`` experiment it selects the sweep's single non-zero point;
 ``--fault-seed`` pins the fault RNG stream and ``--retry-timeout`` the
 first retransmission timeout.
+
+Chaos options: each ``--kill RANK:AT_US`` schedules a permanent crash-stop
+failure of RANK at AT_US simulated microseconds.  Kills before the barrier
+hold point strike mid-exchange inside ``ARMCI_Barrier()``; later kills
+strike while RANK holds the contended lock (``--lock`` picks the
+algorithm).  ``--kill-seed`` pins the heartbeat/detector RNG stream.
 """
 
 from __future__ import annotations
@@ -58,7 +66,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "locks", "ablations", "app",
-                 "microbench", "fairness", "faults", "validate", "check", "all"],
+                 "microbench", "fairness", "faults", "chaos", "validate",
+                 "check", "all"],
         help="which experiment to regenerate (or 'check' to run RMCSan)",
     )
     parser.add_argument(
@@ -67,7 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "for 'check': which workload to sanitize "
-            "(fig7, locks, faultbench; default all)"
+            "(fig7, locks, faultbench, chaos; default all)"
         ),
     )
     parser.add_argument(
@@ -139,6 +148,33 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="US",
         help="reliable layer: first retransmission timeout in simulated us",
+    )
+    parser.add_argument(
+        "--kill",
+        action="append",
+        default=None,
+        metavar="RANK:AT_US",
+        help=(
+            "chaos: kill RANK at AT_US simulated microseconds (repeatable); "
+            "kills before the barrier hold point hit the barrier exchange, "
+            "later ones hit the lock holder"
+        ),
+    )
+    parser.add_argument(
+        "--kill-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="chaos: seed for the heartbeat/failure-detector RNG stream",
+    )
+    parser.add_argument(
+        "--lock",
+        default=None,
+        metavar="KIND",
+        help=(
+            "chaos: lock algorithm to recover "
+            "(ticket, lh, server, hybrid, mcs, naimi, raymond; default hybrid)"
+        ),
     )
     return parser
 
@@ -271,6 +307,40 @@ def _faults(args) -> None:
     print(run_faultbench(cfg).render())
 
 
+def _chaos(args) -> int:
+    from .experiments.chaosbench import ChaosBenchConfig, run_chaosbench
+
+    defaults = ChaosBenchConfig()
+    overrides = {}
+    if args.procs:
+        overrides["nprocs"] = args.procs[0]
+    if args.ppn != 1:
+        overrides["procs_per_node"] = args.ppn
+    if args.lock:
+        overrides["lock_kind"] = args.lock
+    if args.kill_seed is not None:
+        overrides["kill_seed"] = args.kill_seed
+    if args.kill:
+        barrier_kills, lock_kills = [], []
+        for spec in args.kill:
+            try:
+                rank_s, at_s = spec.split(":", 1)
+                rank, at_us = int(rank_s), float(at_s)
+            except ValueError:
+                print(f"bad --kill spec {spec!r}, expected RANK:AT_US")
+                return 2
+            if at_us < defaults.barrier_hold_us:
+                barrier_kills.append((rank, at_us))
+            else:
+                lock_kills.append((rank, at_us))
+        overrides["barrier_kills"] = tuple(barrier_kills)
+        overrides["lock_kills"] = tuple(lock_kills)
+    overrides["params"] = _preset(args.network)
+    result = run_chaosbench(ChaosBenchConfig(**overrides))
+    print(result.render())
+    return 0 if result.all_ok() else 1
+
+
 def _check(args) -> int:
     """``repro check [target]``: RMCSan over representative workloads."""
     if args.lint:
@@ -332,6 +402,8 @@ def _dispatch(args) -> int:
         _fairness(args)
     elif args.experiment == "faults":
         _faults(args)
+    elif args.experiment == "chaos":
+        return _chaos(args)
     elif args.experiment == "validate":
         from .experiments.validate import run_validation
 

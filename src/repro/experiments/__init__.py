@@ -1,5 +1,6 @@
 """Experiment harness: one module per paper figure, plus ablations."""
 
+from .chaosbench import ChaosBenchConfig, ChaosBenchResult, run_chaosbench
 from .common import Comparison, format_table
 from .faultbench import FaultBenchConfig, run_faultbench
 from .fig7_sync import Fig7Config, run_fig7
@@ -9,12 +10,15 @@ from .fig10_lock_release import run_fig10
 from .lockbench import LockBenchConfig, LockPoint, run_lock_point, run_lock_series
 
 __all__ = [
+    "ChaosBenchConfig",
+    "ChaosBenchResult",
     "Comparison",
     "FaultBenchConfig",
     "Fig7Config",
     "LockBenchConfig",
     "LockPoint",
     "format_table",
+    "run_chaosbench",
     "run_faultbench",
     "run_fig7",
     "run_fig8",

@@ -1,0 +1,386 @@
+"""Chaos benchmark: crash-stop failures under the paper's synchronization.
+
+The paper's protocols assume every participant stays up.  This experiment
+injects seeded :class:`~repro.net.faults.ProcessCrash` events at the worst
+moments — a rank dies *inside* the combined barrier's binary exchange, a
+lock holder dies *inside* its critical section — and measures what the
+crash-stop machinery (:mod:`repro.runtime.membership`) delivers:
+
+* **detection latency** — kill time to the declaration that bumps the
+  membership epoch,
+* **lock-recovery latency** — declaration to the moment the revoked lease's
+  queue is spliced and the next waiter holds the lock,
+* **survivor correctness** — every survivor's barrier completes with every
+  *live* peer's puts applied; mutual exclusion and (for FIFO algorithms)
+  grant order among survivors are preserved across the recovery.
+
+The workload runs two phases over one shared lock:
+
+1. **Barrier phase.**  Every rank puts a known value into every peer's
+   region, then enters ``ARMCI_Barrier()``.  Barrier victims enter
+   immediately and are killed mid-exchange; everyone else holds back until
+   ``barrier_hold_us`` (after the kills, before the declarations) so the
+   survivors demonstrably *restart* the exchange on the view change.
+
+2. **Lock phase.**  Lock victims acquire first and "compute" until their
+   kill fires mid-critical-section; survivors then contend for
+   ``lock_iters`` acquire/compute/release rounds each.  A shared
+   observation dict records request order, grant order, and the
+   critical-section owner cell — a survivor that is granted the lock while
+   the cell still names a dead rank has *evidence* the holder died inside
+   its CS and the lease was revoked (recorded as a preemption, not a
+   violation).
+
+Everything is deterministic: the same ``kill_seed`` yields the same
+detection times, recovery actions, and grant order on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..locks import make_lock
+from ..net.faults import FaultPlan, ProcessCrash
+from ..net.params import NetworkParams
+from ..runtime.cluster import ClusterRuntime
+from ..runtime.memory import GlobalAddress
+from ..sim.core import CRASHED
+from .common import default_params, format_table
+
+__all__ = [
+    "ChaosBenchConfig",
+    "ChaosBenchResult",
+    "chaos_workload",
+    "run_chaosbench",
+    "FIFO_KINDS",
+]
+
+#: Lock algorithms whose grant order is FIFO in request-arrival order (the
+#: token algorithms serve in tree/forwarding order instead).
+FIFO_KINDS = ("ticket", "lh", "server", "hybrid", "mcs")
+
+#: Lock algorithms that require every rank on the lock's home node.
+_LOCAL_KINDS = ("ticket", "lh")
+
+
+@dataclass(frozen=True)
+class ChaosBenchConfig:
+    """One chaos scenario: who dies, when, and around which protocol."""
+
+    nprocs: int = 8
+    procs_per_node: int = 1
+    lock_kind: str = "hybrid"
+    lock_home: int = 0
+    #: ``(rank, at_us)`` kills fired while the rank is inside the combined
+    #: barrier's exchange (all ``at_us`` must precede ``barrier_hold_us``).
+    barrier_kills: Tuple[Tuple[int, float], ...] = ((5, 60.0),)
+    #: ``(rank, at_us)`` kills fired while the rank holds the lock (all
+    #: ``at_us`` must follow ``barrier_hold_us``).
+    lock_kills: Tuple[Tuple[int, float], ...] = ((6, 900.0),)
+    #: Absolute sim time before which no non-victim enters the phase-1
+    #: barrier: late enough that the victims are already dead inside the
+    #: exchange, early enough that they are not yet *declared* dead — so
+    #: survivors provably restart the exchange on the view change.
+    barrier_hold_us: float = 150.0
+    #: Spacing between consecutive lock requests.  Must exceed the
+    #: local/remote transit asymmetry (a local requester reaches the home
+    #: ticket counter in ~2us, a remote one in ~30us) so that request-send
+    #: order equals queue-arrival order and the FIFO check is meaningful.
+    lock_stagger_us: float = 40.0
+    lock_iters: int = 3
+    cs_us: float = 5.0
+    cells: int = 4
+    kill_seed: int = 20030422
+    params: Optional[NetworkParams] = None
+
+    def victims(self) -> Tuple[int, ...]:
+        return tuple(r for r, _t in self.barrier_kills) + tuple(
+            r for r, _t in self.lock_kills
+        )
+
+
+@dataclass
+class ChaosBenchResult:
+    """Everything the scenario measured, plus pass/fail checks."""
+
+    config: ChaosBenchConfig
+    survivors: Tuple[int, ...] = ()
+    dead: Tuple[int, ...] = ()
+    final_epoch: int = 0
+    detections: List[Dict[str, Any]] = field(default_factory=list)
+    recoveries: List[Dict[str, Any]] = field(default_factory=list)
+    preemptions: List[Dict[str, Any]] = field(default_factory=list)
+    survivor_grants: List[Tuple[int, int]] = field(default_factory=list)
+    checks: Dict[str, Optional[bool]] = field(default_factory=dict)
+    finished_us: float = 0.0
+
+    def all_ok(self) -> bool:
+        return all(v is not False for v in self.checks.values())
+
+    def render(self) -> str:
+        cfg = self.config
+        lines = [
+            f"== Chaos: crash-stop failures over {cfg.nprocs} procs, "
+            f"{cfg.lock_kind} lock (kill seed {cfg.kill_seed}) ==",
+            f"survivors: {list(self.survivors)}   dead: {list(self.dead)}   "
+            f"final epoch: {self.final_epoch}   "
+            f"finished at {self.finished_us:.1f}us",
+        ]
+        rows = [["rank", "killed (us)", "declared (us)", "detect latency (us)"]]
+        for d in self.detections:
+            rows.append(
+                [
+                    str(d["rank"]),
+                    f"{d['crashed_at_us']:.1f}",
+                    f"{d['declared_at_us']:.1f}",
+                    f"{d['detect_latency_us']:.1f}",
+                ]
+            )
+        lines.append(format_table(rows))
+        if self.recoveries:
+            rows = [["lock", "kind", "dead", "declared (us)", "recovery (us)"]]
+            for r in self.recoveries:
+                recovered = r.get("recovery_latency_us")
+                rows.append(
+                    [
+                        r["lock"],
+                        r["kind"],
+                        str(r["dead_rank"]),
+                        f"{r['declared_at_us']:.1f}",
+                        "-" if recovered is None else f"{recovered:.1f}",
+                    ]
+                )
+            lines.append(format_table(rows))
+        for p in self.preemptions:
+            lines.append(
+                f"preemption: rank {p['dead_holder']} died in its CS; lease "
+                f"revoked, lock granted to rank {p['granted_to']} "
+                f"at {p['at_us']:.1f}us"
+            )
+        for name, ok in sorted(self.checks.items()):
+            status = "skipped" if ok is None else ("ok" if ok else "FAILED")
+            lines.append(f"check {name}: {status}")
+        lines.append(
+            "ALL CHECKS PASSED" if self.all_ok() else "SOME CHECKS FAILED"
+        )
+        return "\n".join(lines)
+
+
+def chaos_workload(ctx, cfg: ChaosBenchConfig, shared: Dict[str, Any]):
+    """Per-rank program: barrier phase, then lock phase (see module doc)."""
+    env = ctx.env
+    membership = ctx.membership
+    barrier_victims = {r for r, _t in cfg.barrier_kills}
+    lock_victim_order = [r for r, _t in cfg.lock_kills]
+    lock_victims = set(lock_victim_order)
+    # The slot array must be the FIRST allocation so `base` is identical in
+    # every region (lock construction allocates home-side cells and would
+    # skew the home rank's offsets).
+    slot_cells = cfg.cells
+    base = ctx.region.alloc_named("chaos.slots", ctx.nprocs * slot_cells, initial=0)
+    # Every rank constructs its handle up front so recovery can inspect the
+    # dead ranks' lock state (registered with the membership service).
+    lock = make_lock(cfg.lock_kind, ctx, home_rank=cfg.lock_home, name="chaos")
+
+    # -- Phase 1: puts + combined barrier with mid-exchange kills ---------
+    for peer in range(ctx.nprocs):
+        if peer == ctx.rank:
+            continue
+        values = [100 * (ctx.rank + 1)] * slot_cells
+        yield from ctx.armci.put(
+            GlobalAddress(peer, base + ctx.rank * slot_cells), values
+        )
+    if ctx.rank not in barrier_victims and env.now < cfg.barrier_hold_us:
+        # Hold back so the barrier victims are blocked inside the exchange
+        # when their kills fire (a completed barrier can't be disrupted).
+        yield env.timeout(cfg.barrier_hold_us - env.now)
+    yield from ctx.armci.barrier()
+    barrier_done_us = env.now
+
+    # Survivor memory check: every live peer's puts must be applied; a dead
+    # peer's slot holds either its full value or nothing (puts are atomic).
+    slots_ok = True
+    dead_slots_ok = True
+    for peer in range(ctx.nprocs):
+        if peer == ctx.rank:
+            continue
+        cells = ctx.region.read_many(base + peer * slot_cells, slot_cells)
+        want = 100 * (peer + 1)
+        if membership is None or membership.is_alive(peer):
+            slots_ok = slots_ok and all(v == want for v in cells)
+        else:
+            dead_slots_ok = dead_slots_ok and (
+                all(v == want for v in cells) or all(v == 0 for v in cells)
+            )
+
+    # -- Phase 2: lock contention with mid-CS kills -----------------------
+    def note_grant(it: int):
+        prev = shared["cs_owner"]
+        if prev is not None:
+            if prev in lock_victims:
+                # The previous holder died inside its critical section and
+                # recovery revoked the lease — expected, and evidence the
+                # grant really was preempted from a dead holder.
+                shared["preemptions"].append(
+                    {"at_us": env.now, "dead_holder": prev, "granted_to": ctx.rank}
+                )
+            else:
+                shared["mutex_ok"] = False
+        shared["cs_owner"] = ctx.rank
+        shared["grants"].append((env.now, ctx.rank, it))
+
+    if ctx.rank in lock_victims:
+        idx = lock_victim_order.index(ctx.rank)
+        if idx:
+            yield env.timeout(cfg.lock_stagger_us * idx)
+        shared["requests"].append((env.now, ctx.rank, -1))
+        yield from lock.acquire()
+        note_grant(-1)
+        while True:  # "compute" in the CS until the scheduled kill fires
+            yield env.timeout(cfg.cs_us)
+
+    yield env.timeout(cfg.lock_stagger_us * (len(lock_victim_order) + 1 + ctx.rank))
+    for it in range(cfg.lock_iters):
+        shared["requests"].append((env.now, ctx.rank, it))
+        yield from lock.acquire()
+        note_grant(it)
+        yield env.timeout(cfg.cs_us)
+        if shared["cs_owner"] != ctx.rank:
+            shared["mutex_ok"] = False  # someone entered our CS
+        shared["cs_owner"] = None
+        yield from lock.release()
+
+    # -- Final combined barrier over the survivor view --------------------
+    yield from ctx.armci.barrier()
+    return {
+        "rank": ctx.rank,
+        "barrier_done_us": barrier_done_us,
+        "slots_ok": slots_ok,
+        "dead_slots_ok": dead_slots_ok,
+        "finished_us": env.now,
+    }
+
+
+def _make_params(cfg: ChaosBenchConfig) -> NetworkParams:
+    params = default_params(cfg.params)
+    crashes = tuple(
+        ProcessCrash(at_us=at_us, rank=rank)
+        for rank, at_us in tuple(cfg.barrier_kills) + tuple(cfg.lock_kills)
+    )
+    return params.with_(faults=FaultPlan(crashes=crashes, seed=cfg.kill_seed))
+
+
+def _validate(cfg: ChaosBenchConfig) -> None:
+    victims = cfg.victims()
+    if len(set(victims)) != len(victims):
+        raise ValueError(f"victim ranks must be distinct, got {victims}")
+    for rank in victims:
+        if not (0 <= rank < cfg.nprocs):
+            raise ValueError(f"victim rank {rank} out of range 0..{cfg.nprocs - 1}")
+    if len(victims) >= cfg.nprocs - 1:
+        raise ValueError("need at least two survivors")
+    for _rank, at_us in cfg.barrier_kills:
+        if at_us >= cfg.barrier_hold_us:
+            raise ValueError(
+                f"barrier kill at {at_us}us must precede "
+                f"barrier_hold_us={cfg.barrier_hold_us}us"
+            )
+    for _rank, at_us in cfg.lock_kills:
+        if at_us <= cfg.barrier_hold_us:
+            raise ValueError(
+                f"lock kill at {at_us}us must follow "
+                f"barrier_hold_us={cfg.barrier_hold_us}us"
+            )
+
+
+def run_chaosbench(
+    cfg: Optional[ChaosBenchConfig] = None, monitor=None
+) -> ChaosBenchResult:
+    """Run one chaos scenario and evaluate the survivor-correctness checks."""
+    cfg = cfg or ChaosBenchConfig()
+    _validate(cfg)
+    procs_per_node = cfg.procs_per_node
+    if cfg.lock_kind in _LOCAL_KINDS:
+        procs_per_node = cfg.nprocs  # these algorithms need a single node
+    kwargs: Dict[str, Any] = {}
+    if monitor is not None:
+        kwargs["monitor"] = monitor
+    runtime = ClusterRuntime(
+        cfg.nprocs,
+        procs_per_node=procs_per_node,
+        params=_make_params(cfg),
+        **kwargs,
+    )
+    shared: Dict[str, Any] = {
+        "requests": [],
+        "grants": [],
+        "preemptions": [],
+        "cs_owner": None,
+        "mutex_ok": True,
+    }
+    per_rank = runtime.run_spmd(chaos_workload, cfg, shared)
+
+    membership = runtime.membership
+    report = membership.report() if membership is not None else {}
+    victims = set(cfg.victims())
+    survivors = tuple(r for r in range(cfg.nprocs) if r not in victims)
+    lock_victims = {r for r, _t in cfg.lock_kills}
+
+    result = ChaosBenchResult(
+        config=cfg,
+        survivors=tuple(report.get("alive", survivors)),
+        dead=tuple(report.get("dead", sorted(victims))),
+        final_epoch=report.get("epoch", 0),
+        detections=report.get("detections", []),
+        recoveries=report.get("recoveries", []),
+        preemptions=list(shared["preemptions"]),
+        survivor_grants=[
+            (rank, it) for _t, rank, it in shared["grants"] if rank in set(survivors)
+        ],
+        finished_us=runtime.env.now,
+    )
+
+    checks = result.checks
+    checks["victims crashed"] = all(per_rank[r] is CRASHED for r in victims)
+    checks["all victims declared"] = set(report.get("dead", ())) == victims
+    survivor_results = [per_rank[r] for r in survivors]
+    checks["survivors finished"] = all(
+        isinstance(res, dict) for res in survivor_results
+    )
+    checks["survivor memory"] = all(
+        res["slots_ok"] and res["dead_slots_ok"]
+        for res in survivor_results
+        if isinstance(res, dict)
+    )
+    checks["mutual exclusion"] = bool(shared["mutex_ok"])
+    # Every lock victim that actually entered its critical section must be
+    # observed as a preempted holder by a later grantee.  A victim that
+    # died while still *queued* (e.g. the successor in a double-crash)
+    # never held the lock, so no preemption evidence exists for it.
+    granted_victims = {
+        rank for _t, rank, _it in shared["grants"] if rank in lock_victims
+    }
+    checks["dead holders preempted"] = granted_victims <= {
+        p["dead_holder"] for p in shared["preemptions"]
+    }
+    grants_per_survivor = {r: 0 for r in survivors}
+    for rank, _it in result.survivor_grants:
+        grants_per_survivor[rank] += 1
+    checks["every survivor served"] = all(
+        n == cfg.lock_iters for n in grants_per_survivor.values()
+    )
+    if cfg.lock_kind in FIFO_KINDS:
+        survivor_set = set(survivors)
+        request_order = [
+            (rank, it)
+            for _t, rank, it in shared["requests"]
+            if rank in survivor_set
+        ]
+        checks["fifo among survivors"] = request_order == result.survivor_grants
+    else:
+        checks["fifo among survivors"] = None  # token algorithms are not FIFO
+    checks["locks recovered"] = all(
+        r.get("recovery_latency_us") is not None for r in result.recoveries
+    )
+    return result

@@ -65,6 +65,12 @@ class BaseLock:
         #: RMCSan monitor (None when no sanitizer is installed).
         self._monitor = getattr(ctx.env, "_sync_monitor", None)
         self._san_key = f"{self.kind}:{name}@{home_rank}"
+        #: Crash-stop membership service (None on a fault-free runtime):
+        #: registers the handle for lease tracking and holder-death
+        #: recovery.  Every hook below is a single ``is None`` check.
+        self._membership_svc = getattr(ctx, "membership", None)
+        if self._membership_svc is not None:
+            self._membership_svc.register_lock(self)
 
     def __repr__(self) -> str:
         return (
@@ -98,6 +104,10 @@ class BaseLock:
         self.acquire_sw.stop()
         self._held = True
         self.stats.acquires += 1
+        if self._membership_svc is not None:
+            # Lease: record holder + grant ticket so crash recovery can
+            # revoke the acquisition if this process dies in its CS.
+            self._membership_svc.lease_acquire(self, self._san_ticket())
         if self._monitor is not None:
             self._monitor.emit(
                 "lock_acq", lock=self._san_key, ticket=self._san_ticket()
@@ -111,6 +121,8 @@ class BaseLock:
             yield self.env.timeout(self.params.api_call_us)
         self.release_sw.start()
         self._held = False
+        if self._membership_svc is not None:
+            self._membership_svc.lease_release(self)
         yield from self._release()
         self.release_sw.stop()
         self.total_sw.stop()

@@ -67,6 +67,12 @@ class LHLock(BaseLock):
         self._mark_sync_cells(region, dummy)
         self._mark_sync_cells(region, self.my_cell)
         self._spin_cell = None
+        # Crash-recovery bookkeeping: where this handle sits in the queue
+        # ("idle" | "waiting" | "held"), which cell it spins on, and which
+        # cell it published for its successor.
+        self._phase = "idle"
+        self._prev_cell = None
+        self._published_cell = None
 
     def _acquire(self):
         p = self.params
@@ -78,6 +84,9 @@ class LHLock(BaseLock):
         yield self.env.timeout(p.shm_atomic_us)
         prev = region.read(self._tail_addr)
         region.write(self._tail_addr, self.my_cell)
+        self._published_cell = self.my_cell
+        self._prev_cell = prev
+        self._phase = "waiting"
         # 3. spin on the predecessor's cell.
         yield self.env.timeout(p.shm_access_us)
         if region.read(prev) != _GRANTED:
@@ -92,9 +101,11 @@ class LHLock(BaseLock):
         # behind the tail) stays live for my successor.
         self._spin_cell = self.my_cell
         self.my_cell = prev
+        self._phase = "held"
 
     def _release(self):
         # GRANTED into the cell my successor spins on (the one I published).
         yield self.env.timeout(self.params.shm_access_us)
         self._region.write(self._spin_cell, _GRANTED)
+        self._phase = "idle"
         self.stats.handoffs += 1

@@ -86,6 +86,11 @@ class MCSLock(BaseLock):
         self.optimistic_release = optimistic_release
         #: Event tracking an in-flight optimistic release (None when idle).
         self._pending_release = None
+        # Crash-recovery bookkeeping: queue position ("idle" | "waiting" |
+        # "held" | "releasing") and the predecessor this handle enqueued
+        # behind (needed to repair a half-finished enqueue).
+        self._phase = "idle"
+        self._prev_ptr = None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -116,13 +121,17 @@ class MCSLock(BaseLock):
                 "MCS lock at a time (paper: one node structure per process)"
             )
         struct.in_use_by = self.name
+        self._phase = "waiting"
+        self._prev_ptr = None
         armci = self.armci
         # mynode->next = NULL
         yield from armci.store_pair(self._next_ga(), NULL_PTR)
         # prev = swap(Lock, mynode)
         prev = yield from armci.rmw("swap_pair", self.lock_ga, self._my_ptr)
         prev = tuple(prev)
+        self._prev_ptr = prev
         if prev == NULL_PTR:
+            self._phase = "held"
             self.stats.uncontended_acquires += 1
             return
         # Contended: enqueue behind prev and spin on our locked flag.
@@ -137,10 +146,12 @@ class MCSLock(BaseLock):
             lambda v: v == _FALSE,
             poll_detect_us=self.params.poll_detect_us,
         )
+        self._phase = "held"
 
     def _release(self):
         armci = self.armci
         struct = self.node_struct
+        self._phase = "releasing"
         next_ptr = yield from armci.load_pair(self._next_ga())
         if next_ptr == NULL_PTR:
             if self.optimistic_release:
@@ -151,6 +162,7 @@ class MCSLock(BaseLock):
             self.stats.bump("release_cas")
             if ok:
                 struct.in_use_by = None
+                self._phase = "idle"
                 return
             # A requester swapped the Lock but has not linked itself yet;
             # wait for our next pointer, then hand off.
@@ -158,6 +170,7 @@ class MCSLock(BaseLock):
             next_ptr = yield from self._wait_for_successor()
         yield from self._handoff(next_ptr)
         struct.in_use_by = None
+        self._phase = "idle"
 
     def _wait_for_successor(self):
         region = self.ctx.region
@@ -209,6 +222,7 @@ class MCSLock(BaseLock):
                 yield from self._handoff(next_ptr)
         finally:
             struct.in_use_by = None
+            self._phase = "idle"
             if self._pending_release is done:
                 self._pending_release = None
             done.succeed()

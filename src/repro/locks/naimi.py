@@ -56,10 +56,17 @@ class NaimiTrehelLock(TokenLockBase):
                         self._grant_local()
                     # else: token will come to us via next of the holder.
                 else:
-                    yield from self._send(self.last, "request", payload=me)
+                    yield from self._send(
+                        self.last, "request", payload=(me, self._view_epoch)
+                    )
                     self.last = me
             elif msg.kind == "request":
-                requester = msg.payload
+                requester, epoch = msg.payload
+                if epoch < self._view_epoch:
+                    # Sent before a crash reconfiguration: the requester
+                    # re-issues under the new view, so drop the stale copy.
+                    self.stats.bump("stale_requests_dropped")
+                    continue
                 if self.last == me:
                     # We are the current tail of the chain.
                     if self.requesting or self.in_cs:
@@ -76,7 +83,9 @@ class NaimiTrehelLock(TokenLockBase):
                         self.next = requester
                 else:
                     # Forward along the probable-owner chain (compressing).
-                    yield from self._send(self.last, "request", payload=requester)
+                    yield from self._send(
+                        self.last, "request", payload=(requester, epoch)
+                    )
                 self.last = requester
             elif msg.kind == "token":
                 self.has_token = True
@@ -90,5 +99,43 @@ class NaimiTrehelLock(TokenLockBase):
                     self.has_token = False
                     self.stats.bump("token_passes")
                     yield from self._send(successor, "token")
+            elif msg.kind == "view_change":
+                yield from self._apply_view_change(msg.payload)
             else:  # pragma: no cover - protocol bug
                 raise ValueError(f"naimi: unknown message {msg!r}")
+
+    # -- crash recovery ----------------------------------------------------------
+
+    def _apply_view_change(self, info):
+        """Crash reconfiguration injected by the membership service.
+
+        Every survivor resets its probable-owner chain to point at the
+        designated holder (regenerating the token there if it died with
+        the crashed rank) and re-issues its outstanding request under the
+        new epoch; the normal request handling then rebuilds the
+        ``next``-chain in the order the re-requests arrive.
+        """
+        me = self.ctx.rank
+        self._view_epoch = info["epoch"]
+        new_holder = info["holder"]
+        self.stats.bump("view_changes")
+        # Drop the successor pointer wholesale — keeping a pre-crash
+        # ``next`` while survivors re-request builds two inconsistent
+        # chains (the release would feed the stale chain and strand the
+        # holder's own next request).  The epoch-tagged re-requests below
+        # rebuild the entire chain in arrival order.
+        self.next = None
+        if info["token_lost"]:
+            self.has_token = me == new_holder
+        if me == new_holder:
+            self.last = me
+            if self.has_token and self.requesting and not self.in_cs:
+                self.in_cs = True
+                self._grant_local()
+        else:
+            self.last = new_holder
+            if self.requesting and not self.in_cs:
+                yield from self._send(
+                    new_holder, "request", payload=(me, self._view_epoch)
+                )
+                self.last = me

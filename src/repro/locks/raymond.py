@@ -95,7 +95,7 @@ class RaymondLock(TokenLockBase):
     def _make_request(self):
         if self.holder != Self and self.request_q and not self.asked:
             self.asked = True
-            yield from self._send(self.holder, "request")
+            yield from self._send(self.holder, "request", payload=self._view_epoch)
 
     # -- daemon --------------------------------------------------------------------------
 
@@ -105,12 +105,48 @@ class RaymondLock(TokenLockBase):
             if msg.kind == "local_request":
                 self.request_q.append(Self)
             elif msg.kind == "request":
+                if (msg.payload or 0) < self._view_epoch:
+                    # Sent before a crash reconfiguration; the sender
+                    # re-issues under the new (star) topology.
+                    self.stats.bump("stale_requests_dropped")
+                    continue
                 self.request_q.append(msg.src)
             elif msg.kind == "privilege":
                 self.holder = Self
             elif msg.kind == "local_release":
                 self.using = False
+            elif msg.kind == "view_change":
+                self._apply_view_change(msg.payload)
             else:  # pragma: no cover - protocol bug
                 raise ValueError(f"raymond: unknown message {msg!r}")
             yield from self._assign_privilege()
             yield from self._make_request()
+
+    # -- crash recovery ------------------------------------------------------------------
+
+    def _apply_view_change(self, info) -> None:
+        """Crash reconfiguration injected by the membership service.
+
+        The static spanning tree may have lost interior nodes, so survivors
+        abandon it and reform as a *star* rooted at the designated holder —
+        a valid (depth-1) Raymond tree.  Neighbor requests queued on behalf
+        of possibly-dead subtrees are pruned; live requesters re-issue under
+        the new epoch (their pre-crash requests are epoch-filtered).  The
+        daemon loop's trailing ``_assign_privilege``/``_make_request`` pair
+        then regrants or re-requests as needed.
+        """
+        me = self.ctx.rank
+        self._view_epoch = info["epoch"]
+        new_holder = info["holder"]
+        self.stats.bump("view_changes")
+        # Keep only our own outstanding request; neighbor entries may route
+        # through dead subtrees and their owners will re-request directly.
+        self.request_q = deque(x for x in self.request_q if x == Self)
+        self.asked = False
+        if me == new_holder:
+            if info["token_lost"]:
+                self.holder = Self
+            # else: we already hold the token (holder == Self) or it is in
+            # flight to us and "privilege" will arrive; leave holder as-is.
+        else:
+            self.holder = new_holder

@@ -58,5 +58,11 @@ class TicketLock(BaseLock):
     def _release(self):
         # Write ticket+1 into counter, passing the lock to the next waiter.
         yield self.env.timeout(self.params.shm_access_us)
-        self._region.write(self.base_addr + 1, self._my_ticket + 1)
+        new_counter = self._my_ticket + 1
+        if self._membership_svc is not None:
+            # Skip ticket numbers revoked by crash recovery (dead waiters).
+            new_counter = self._membership_svc.skip_revoked(
+                self.home_rank, self.base_addr, new_counter
+            )
+        self._region.write(self.base_addr + 1, new_counter)
         self.stats.handoffs += 1

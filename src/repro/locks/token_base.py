@@ -52,6 +52,11 @@ class TokenLockBase(BaseLock):
         self.tag = _TAG_TOKEN_LOCK + (zlib.crc32(name.encode()) % 65536)
         #: The application-side event fired by the daemon on grant.
         self._pending_grant: Optional[Event] = None
+        #: Crash recovery: membership epoch of the last view change this
+        #: daemon applied (stale pre-crash requests are discarded), and
+        #: when the outstanding local request was made (survivor ordering).
+        self._view_epoch = 0
+        self._requested_at: Optional[float] = None
         self._daemon = ctx.env.process(
             self._daemon_loop(), name=f"{name}.daemon[{ctx.rank}]"
         )
@@ -94,6 +99,7 @@ class TokenLockBase(BaseLock):
     def _acquire(self):
         grant = Event(self.env)
         self._pending_grant = grant
+        self._requested_at = self.env.now
         yield from self._send(self.ctx.rank, "local_request")
         yield grant
 

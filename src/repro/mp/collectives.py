@@ -28,6 +28,8 @@ __all__ = [
     "gather",
     "allgather",
     "alltoall",
+    "resilient_allreduce_sum",
+    "resilient_barrier",
 ]
 
 _TAG_BARRIER = 1 << 24
@@ -326,3 +328,202 @@ def alltoall(comm: Comm, values: Sequence[Any]) -> List[Any]:
     if monitor is not None:
         monitor.emit("coll_exit", coll="alltoall", epoch=seq)
     return result
+
+
+# -- crash-resilient variants ------------------------------------------------------
+#
+# Used only when a crash-stop fault plan installs a MembershipService (see
+# repro.runtime.membership); fault-free runs never construct any of this.
+# The protocol per instance:
+#
+# 1. run the usual recursive exchange, but *compacted over the survivor
+#    view* and with the membership epoch encoded in the tag;
+# 2. every receive is a peek-poll loop, so a partner's death cannot wedge
+#    the collective — when the view changes, all blocked survivors abandon
+#    the exchange and restart it under the new view (stale pre-crash
+#    messages no longer match: different epoch bits in the tag);
+# 3. a survivor that *completes* the instance records the result in the
+#    membership's completion ledger.  Restarting peers adopt the recorded
+#    result instead of waiting for the finished rank to re-participate
+#    (it never will) — the one coordination step that cannot be rebuilt
+#    from messages alone after a failure.
+
+_TAG_CHAOS = 7 << 24
+
+
+class _EpochChanged(Exception):
+    """The membership view moved while blocked in a resilient collective."""
+
+
+def _chaos_tag(inst: int, epoch: int, round_no: int) -> int:
+    """Tag for crash-aware collectives: instance + view epoch + round.
+
+    The epoch bits keep messages from an abandoned pre-crash attempt from
+    matching the restarted exchange's receives.
+    """
+    return _TAG_CHAOS | ((inst % 1024) << 8) | ((epoch % 4) << 6) | (round_no % 64)
+
+
+def _adoption_check(membership, key, epoch0):
+    """True once the instance completed under an epoch older than ours."""
+
+    def check() -> bool:
+        entry = membership.ledger_get(key)
+        return entry is not None and entry[1] < epoch0
+
+    return check
+
+
+def _resilient_recv(comm: Comm, membership, source: int, tag: int, epoch0: int, restart_check):
+    """Receive that polls liveness instead of blocking indefinitely.
+
+    Raises :class:`_EpochChanged` if the membership epoch moves past
+    ``epoch0`` — or if ``restart_check`` reports the whole instance already
+    completed — while no matching message has arrived.
+    """
+    env = comm.env
+    poll_us = membership.params.membership_poll_us
+    while True:
+        for envelope in comm.mailbox.items:
+            msg = envelope.payload
+            if getattr(msg, "tag", None) == tag and getattr(msg, "src", None) == source:
+                received = yield from comm.recv(source=source, tag=tag)
+                return received
+        if membership.epoch != epoch0 or restart_check():
+            raise _EpochChanged()
+        yield env.timeout(poll_us)
+
+
+def resilient_allreduce_sum(comm: Comm, membership, values: Sequence[Any], inst: int):
+    """Crash-aware elementwise-sum allreduce over the survivor view.
+
+    ``inst`` must be agreed across ranks (SPMD call order).  Returns
+    ``(totals, epoch)`` where ``epoch`` is the membership epoch the totals
+    were computed under.  The totals stay cumulative over the *original*
+    universe: the lowest survivor folds in dead ranks' kill-time snapshot
+    contributions, and the caller subtracts their never-applied operations
+    via ``membership.written_off``.
+    """
+    key = ("allreduce", inst)
+    while True:
+        epoch0 = membership.epoch
+        entry = membership.ledger_get(key)
+        if entry is not None and entry[1] < epoch0:
+            return list(entry[0]), entry[1]
+        try:
+            totals = yield from _allreduce_survivors(
+                comm, membership, values, inst, epoch0
+            )
+        except _EpochChanged:
+            continue
+        membership.ledger_put(key, list(totals), epoch=epoch0)
+        return totals, epoch0
+
+
+def _allreduce_survivors(comm: Comm, membership, values, inst: int, epoch0: int):
+    ranks = membership.view(epoch0)
+    me = comm.rank
+    if me not in ranks:  # pragma: no cover - dead ranks' processes are killed
+        raise _EpochChanged()
+    acc = list(values)
+    vrank = ranks.index(me)
+    if vrank == 0:
+        # The lowest survivor contributes the dead ranks' snapshots so the
+        # totals remain comparable with the targets' cumulative op_done.
+        extra = membership.dead_contribution(epoch0)
+        acc = [a + b for a, b in zip(acc, extra)]
+    n = len(ranks)
+    if n == 1:
+        return acc
+    restart = _adoption_check(membership, ("allreduce", inst), epoch0)
+    nbytes = 8 * len(acc)
+    chan = 2 * inst  # distinct tag channel from this instance's barrier
+
+    pof2 = 1
+    while pof2 * 2 <= n:
+        pof2 *= 2
+    rem = n - pof2
+
+    round_no = 0
+    in_core = True
+    if rem:
+        if vrank >= pof2:
+            yield from comm.send(
+                ranks[vrank - pof2], acc,
+                tag=_chaos_tag(chan, epoch0, round_no), payload_bytes=nbytes,
+            )
+            in_core = False
+        elif vrank < rem:
+            msg = yield from _resilient_recv(
+                comm, membership, ranks[vrank + pof2],
+                _chaos_tag(chan, epoch0, round_no), epoch0, restart,
+            )
+            acc = [a + b for a, b in zip(acc, msg.payload)]
+        round_no += 1
+
+    x = 1
+    while x < pof2:
+        if in_core:
+            partner = ranks[vrank ^ x]
+            tag = _chaos_tag(chan, epoch0, round_no)
+            yield from comm.send(partner, acc, tag=tag, payload_bytes=nbytes)
+            msg = yield from _resilient_recv(
+                comm, membership, partner, tag, epoch0, restart
+            )
+            acc = [a + b for a, b in zip(acc, msg.payload)]
+        x *= 2
+        round_no += 1
+
+    if rem:
+        tag = _chaos_tag(chan, epoch0, round_no)
+        if vrank < rem:
+            yield from comm.send(
+                ranks[vrank + pof2], acc, tag=tag, payload_bytes=nbytes
+            )
+        elif vrank >= pof2:
+            msg = yield from _resilient_recv(
+                comm, membership, ranks[vrank - pof2], tag, epoch0, restart
+            )
+            acc = list(msg.payload)
+    return acc
+
+
+def resilient_barrier(comm: Comm, membership, inst: int):
+    """Crash-aware dissemination barrier over the survivor view."""
+    key = ("barrier", inst)
+    while True:
+        epoch0 = membership.epoch
+        entry = membership.ledger_get(key)
+        if entry is not None and entry[1] < epoch0:
+            return
+        try:
+            yield from _barrier_survivors(comm, membership, inst, epoch0)
+        except _EpochChanged:
+            continue
+        membership.ledger_put(key, True, epoch=epoch0)
+        return
+
+
+def _barrier_survivors(comm: Comm, membership, inst: int, epoch0: int):
+    ranks = membership.view(epoch0)
+    me = comm.rank
+    if me not in ranks:  # pragma: no cover - dead ranks' processes are killed
+        raise _EpochChanged()
+    n = len(ranks)
+    if n <= 1:
+        return
+    restart = _adoption_check(membership, ("barrier", inst), epoch0)
+    vrank = ranks.index(me)
+    chan = 2 * inst + 1
+    distance = 1
+    round_no = 0
+    while distance < n:
+        tag = _chaos_tag(chan, epoch0, round_no)
+        yield from comm.send(
+            ranks[(vrank + distance) % n], None, tag=tag, payload_bytes=0
+        )
+        yield from _resilient_recv(
+            comm, membership, ranks[(vrank - distance) % n], tag, epoch0, restart
+        )
+        distance *= 2
+        round_no += 1

@@ -75,6 +75,13 @@ class FabricStats:
     dup_suppressed: int = 0
     #: Acknowledgement frames sent by receivers.
     acks: int = 0
+    #: Reliable layer: channels whose retry budget ran out — the peer was
+    #: declared dead and the channel's backlog discarded (crash-stop
+    #: suspicion; consumed by the membership failure detector).
+    links_declared_dead: int = 0
+    #: Messages refused because their source or destination endpoint
+    #: belongs to a crashed process/server (the mailbox has gone dark).
+    dropped_dead: int = 0
 
     def record(self, envelope: Envelope) -> None:
         self.messages += 1
@@ -123,6 +130,33 @@ class Fabric:
             else None
         )
         self.stats = FabricStats()
+        #: Endpoints of crashed processes/servers: transmissions from and
+        #: to them are silently refused.  Empty unless the fault plan
+        #: schedules ProcessCrash events, so the fast path is one falsy
+        #: check.
+        self._dead_endpoints: set = set()
+        #: Membership failure detector, attached by the runtime when the
+        #: fault plan schedules crashes; every accepted post refreshes the
+        #: sender's liveness (heartbeat piggybacking).
+        self._membership = None
+
+    # -- crash-stop support ----------------------------------------------------
+
+    def attach_membership(self, membership) -> None:
+        self._membership = membership
+
+    def mark_dead(self, endpoint: Endpoint) -> None:
+        """Refuse all future traffic from/to ``endpoint``.
+
+        Frames the reliable layer still holds for the endpoint are
+        abandoned so retransmission timers stop re-arming.
+        """
+        self._dead_endpoints.add(endpoint)
+        if self.reliable is not None:
+            self.reliable.abandon(endpoint)
+
+    def endpoint_dead(self, endpoint: Endpoint) -> bool:
+        return endpoint in self._dead_endpoints
 
     # -- endpoint registry ---------------------------------------------------
 
@@ -190,6 +224,22 @@ class Fabric:
         dst_node = self._dst_node(dst)
         size = payload_bytes + MSG_HEADER_BYTES
         env = self.env
+        if self._dead_endpoints and (
+            dst in self._dead_endpoints or ("mp", src_rank) in self._dead_endpoints
+        ):
+            self.stats.dropped_dead += 1
+            return Envelope(
+                src_rank=src_rank,
+                dst=dst,
+                payload=payload,
+                size_bytes=size,
+                sent_at=env.now,
+                deliver_at=env.now,
+                seq=-1,
+                intra_node=(src_node == dst_node),
+            )
+        if self._membership is not None:
+            self._membership.note_traffic(src_rank)
         envelope = Envelope(
             src_rank=src_rank,
             dst=dst,
@@ -260,6 +310,12 @@ class Fabric:
         dst_node = self.topology.node_of(dst_rank)
         size = payload_bytes + MSG_HEADER_BYTES
         intra_node = src_node == dst_node
+        if self._dead_endpoints and (
+            ("srv", src_node) in self._dead_endpoints
+            or ("mp", dst_rank) in self._dead_endpoints
+        ):
+            self.stats.dropped_dead += 1
+            return
         self.stats.record_reply(size, intra_node)
         if self.reliable is not None and not intra_node:
             self.reliable.send_reply(

@@ -41,6 +41,7 @@ from .message import Endpoint
 __all__ = [
     "LinkFaults",
     "StallWindow",
+    "ProcessCrash",
     "FaultPlan",
     "FaultInjector",
     "FaultStats",
@@ -127,6 +128,35 @@ class StallWindow:
 
 
 @dataclass(frozen=True)
+class ProcessCrash:
+    """A permanent crash-stop failure injected at a point in time.
+
+    Exactly one of ``rank`` / ``node`` must be given:
+
+    * ``rank``: the user process with that rank is killed at ``at_us`` —
+      its in-flight generator processes (program, lock daemons, helpers)
+      are cancelled, the fabric refuses its transmissions, and its
+      mailbox goes dark.
+    * ``node``: the node's server thread *and* every rank placed on the
+      node are killed together (a machine crash rather than a process
+      crash).
+
+    Crashes are permanent: there is no recovery window.  Detection and
+    recovery are the job of :mod:`repro.runtime.membership`.
+    """
+
+    at_us: float
+    rank: Optional[int] = None
+    node: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.rank is None) == (self.node is None):
+            raise ValueError("exactly one of rank / node must be set")
+        if self.at_us < 0.0:
+            raise ValueError(f"at_us must be non-negative, got {self.at_us}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, immutable description of how the network misbehaves.
 
@@ -155,9 +185,15 @@ class FaultPlan:
     default: LinkFaults = LinkFaults()
     links: Tuple[Tuple[Tuple[int, int], LinkFaults], ...] = ()
     stalls: Tuple[StallWindow, ...] = ()
+    crashes: Tuple[ProcessCrash, ...] = ()
     seed: Optional[int] = None
     reliable: bool = True
     apply_to_replies: bool = True
+
+    def __post_init__(self) -> None:
+        for crash in self.crashes:
+            if not isinstance(crash, ProcessCrash):
+                raise TypeError(f"crashes must hold ProcessCrash, got {crash!r}")
 
     @classmethod
     def uniform(
@@ -169,6 +205,7 @@ class FaultPlan:
         reorder_rate: float = 0.0,
         reorder_window_us: float = 0.0,
         stalls: Tuple[StallWindow, ...] = (),
+        crashes: Tuple[ProcessCrash, ...] = (),
         seed: Optional[int] = None,
         reliable: bool = True,
     ) -> "FaultPlan":
@@ -183,6 +220,7 @@ class FaultPlan:
                 reorder_window_us=reorder_window_us,
             ),
             stalls=stalls,
+            crashes=crashes,
             seed=seed,
             reliable=reliable,
         )

@@ -122,6 +122,24 @@ class NetworkParams:
         barrier whose stage-2 ``op_done`` wait makes no progress for a
         full window degrades to the conservative AllFence path (see
         ``docs/fault_model.md``).
+    heartbeat_us:
+        Membership failure detector (active only when the fault plan
+        schedules ``ProcessCrash`` events): interval at which each live
+        rank refreshes its liveness with the detector.  Fabric traffic
+        piggybacks the same refresh, so heartbeats only matter for idle
+        processes.
+    suspect_timeout_us:
+        Silence threshold after which the detector declares a rank dead
+        and bumps the membership epoch.  Must comfortably exceed
+        ``heartbeat_us`` plus its jitter; larger values trade detection
+        latency for immunity to slow paths.
+    membership_check_us:
+        Period of the detector's scan over last-heard timestamps.
+    membership_poll_us:
+        Poll granularity used by epoch-aware (crash-resilient) waits:
+        collective receives and the barrier's stage-2 wait re-check the
+        membership epoch at this interval so survivors notice a view
+        change while blocked.
     """
 
     inter_latency_us: float = 6.5
@@ -148,6 +166,10 @@ class NetworkParams:
     retry_backoff: float = 2.0
     max_retries: int = 12
     watchdog_timeout_us: float = 0.0
+    heartbeat_us: float = 25.0
+    suspect_timeout_us: float = 120.0
+    membership_check_us: float = 20.0
+    membership_poll_us: float = 5.0
 
     def __post_init__(self) -> None:
         for field_name in (
@@ -176,7 +198,14 @@ class NetworkParams:
             raise ValueError(
                 f"send_credits must be non-negative, got {self.send_credits}"
             )
-        for field_name in ("retry_timeout_us", "watchdog_timeout_us"):
+        for field_name in (
+            "retry_timeout_us",
+            "watchdog_timeout_us",
+            "heartbeat_us",
+            "suspect_timeout_us",
+            "membership_check_us",
+            "membership_poll_us",
+        ):
             value = getattr(self, field_name)
             if value < 0:
                 raise ValueError(f"{field_name} must be non-negative, got {value}")

@@ -11,9 +11,12 @@ restores those guarantees the way a GM-like transport would:
   per-``(source, destination endpoint)`` sequence number.  A frame is
   retransmitted on an exponential-backoff timer (``retry_timeout_us``,
   ``retry_backoff``) until the receiver acknowledges it; after
-  ``max_retries`` unanswered attempts the transport declares the link dead
-  and raises :class:`ReliabilityError` (surfacing the hang loudly instead
-  of deadlocking silently).
+  ``max_retries`` unanswered attempts the transport declares the peer
+  dead: the channel's backlog is discarded, the event is counted in
+  ``FabricStats.links_declared_dead``, and the suspicion is reported to
+  the membership failure detector (:mod:`repro.runtime.membership`) when
+  one is attached.  Unrelated survivor traffic keeps flowing — exhaustion
+  no longer raises out of the simulation.
 
 * **Receiver side** — duplicate frames (retransmissions whose original made
   it, or network-duplicated copies) are suppressed and re-acknowledged; a
@@ -55,7 +58,13 @@ ChannelKey = Tuple[Any, Endpoint]
 
 
 class ReliabilityError(SimulationError):
-    """A frame exhausted its retransmission budget (link declared dead)."""
+    """Kept for API compatibility: retry exhaustion used to raise this.
+
+    Since the crash-stop subsystem landed, exhaustion instead declares the
+    peer dead (``FabricStats.links_declared_dead``) and keeps the
+    simulation running; this class remains importable for callers that
+    still reference it.
+    """
 
 
 class _Frame:
@@ -127,6 +136,9 @@ class ReliableDelivery:
         self.params = fabric.params
         self._send_channels: Dict[ChannelKey, _SendChannel] = {}
         self._recv_channels: Dict[ChannelKey, _RecvChannel] = {}
+        #: Destination endpoints declared dead (retry exhaustion or an
+        #: explicit crash): new frames to them are dropped on the floor.
+        self._dead_endpoints: set = set()
 
     def __repr__(self) -> str:
         inflight = sum(len(ch.unacked) for ch in self._send_channels.values())
@@ -146,6 +158,9 @@ class ReliableDelivery:
 
     def send_envelope(self, envelope: Envelope, src_node: int, dst_node: int) -> None:
         """Ship a mailbox-bound envelope reliably and in order."""
+        if envelope.dst in self._dead_endpoints:
+            self.fabric.stats.dropped_dead += 1
+            return
         key: ChannelKey = (envelope.src_rank, envelope.dst)
         channel = self._send_channels.setdefault(key, _SendChannel())
         frame = _Frame(
@@ -171,6 +186,9 @@ class ReliableDelivery:
         size_bytes: int,
     ) -> None:
         """Ship a server response reliably (at-least-once + event dedup)."""
+        if ("mp", dst_rank) in self._dead_endpoints:
+            self.fabric.stats.dropped_dead += 1
+            return
         key: ChannelKey = (("reply", src_node), ("mp", dst_rank))
         channel = self._send_channels.setdefault(key, _SendChannel())
         frame = _Frame(
@@ -227,13 +245,39 @@ class ReliableDelivery:
         stats = self.fabric.stats
         stats.timeouts += 1
         if frame.attempts > self.params.max_retries:
-            raise ReliabilityError(
-                f"frame {frame!r} on channel {key} unacknowledged after "
-                f"{frame.attempts} attempts (max_retries={self.params.max_retries}); "
-                f"link {frame.src_node}->{frame.dst_node} declared dead"
-            )
+            self._declare_dead(key, frame)
+            return
         stats.retransmits += 1
         self._transmit(key, channel, frame)
+
+    def _declare_dead(self, key: ChannelKey, frame: _Frame) -> None:
+        """Retry budget exhausted: give up on the peer instead of raising.
+
+        The destination endpoint is marked dead, every frame still queued
+        for it (on any channel) is discarded so no timer re-arms, and the
+        suspicion is handed to the membership detector if one is attached.
+        """
+        endpoint = key[1]
+        self.fabric.stats.links_declared_dead += 1
+        # mark_dead makes the fabric refuse follow-up posts at the source
+        # and calls back into abandon() to drop the queued backlog.
+        self.fabric.mark_dead(endpoint)
+        membership = self.fabric._membership
+        if membership is not None:
+            membership.suspect(endpoint, reason="retry budget exhausted")
+
+    def abandon(self, endpoint: Endpoint) -> None:
+        """Discard all transport state destined for ``endpoint``."""
+        self._dead_endpoints.add(endpoint)
+        for key, channel in self._send_channels.items():
+            if key[1] != endpoint:
+                continue
+            for frame in channel.unacked.values():
+                frame.acked = True  # disarms any pending retry timer
+            channel.unacked.clear()
+        for key, channel in self._recv_channels.items():
+            if key[1] == endpoint:
+                channel.buffer.clear()
 
     # -- receiver side ---------------------------------------------------------
 

@@ -67,6 +67,17 @@ class ClusterRuntime:
             placement=list(placement) if placement is not None else None,
         )
         self.fabric = Fabric(self.env, self.topology, self.params)
+        # Crash-stop membership: only constructed when the fault plan
+        # schedules ProcessCrash events, so fault-free runs stay
+        # byte-identical ("disabled means absent").
+        self.membership = None
+        plan = self.params.faults
+        if plan is not None and plan.crashes:
+            from .membership import MembershipService
+
+            self.membership = MembershipService(self)
+            self.fabric.attach_membership(self.membership)
+            self.membership.install()
         self.regions: Dict[int, Region] = {
             rank: Region(self.env, rank) for rank in range(nprocs)
         }
@@ -133,6 +144,8 @@ class ClusterRuntime:
             proc = self.env.process(main(ctx, *args), name=f"{main.__name__}[{rank}]")
             if self.monitor is not None:
                 self.monitor.register_process(proc, f"p{rank}")
+            if self.membership is not None:
+                self.membership.adopt(proc, rank)
             procs[rank] = proc
             self._programs.append(proc)
         return procs

@@ -39,6 +39,8 @@ class ProcessContext:
         self.server = runtime.servers[self.node]
         self.comm: "Comm" = runtime.comms[rank]
         self.armci: "Armci" = runtime.armcis[rank]
+        #: Crash-stop membership service (None on a fault-free runtime).
+        self.membership = getattr(runtime, "membership", None)
 
     def __repr__(self) -> str:
         return f"<ProcessContext rank={self.rank}/{self.nprocs} node={self.node}>"

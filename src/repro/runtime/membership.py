@@ -1,0 +1,728 @@
+"""Crash-stop membership: failure detection, epoch views, lock recovery.
+
+The paper's synchronization operations assume every participant stays up:
+a barrier waits for all ranks' credits, a lock queue hands the grant to
+whatever ticket comes next, a token algorithm forwards requests along
+pointers that may name a dead process.  This module adds the machinery a
+crash-stop failure model needs on top of the existing stack:
+
+* **Failure detection.**  Each live rank refreshes a per-rank *last heard*
+  timestamp — implicitly with every fabric transmission it makes
+  (piggybacked, zero-cost) and explicitly through a seeded, jittered
+  heartbeat process that covers idle ranks.  A detector process scans the
+  timestamps every ``membership_check_us`` and declares a rank dead after
+  ``suspect_timeout_us`` of silence.  The reliable transport short-cuts
+  the timeout: exhausting a frame's retry budget reports the peer
+  straight to :meth:`MembershipService.suspect`.
+
+* **Epoch-numbered views.**  Every declaration bumps the membership
+  *epoch* and records the survivor set.  Protocol code tags exchanges
+  with the epoch they started under and re-derives partner schedules from
+  the current view when the epoch moves (see
+  :mod:`repro.mp.collectives` and :mod:`repro.armci.barrier`).
+
+* **Lease-based lock recovery.**  Lock acquisitions are recorded as
+  leases (holder, ticket, epoch).  When the holder — or any queued
+  waiter — dies, a per-algorithm recovery coordinator revokes the lease
+  and splices the queue: ticket/hybrid/server locks skip dead ticket
+  numbers, LH/MCS repair successor pointers (ghost-releasing on behalf
+  of the dead), Naimi/Trehel and Raymond regenerate the token at a
+  deterministic survivor via injected ``view_change`` messages.
+
+* **Write-off accounting.**  A dead rank may have issued ``op_init``
+  credits whose operations never reached the target server.  At kill
+  time the service snapshots the rank's ``op_init`` array; survivors'
+  barrier waits subtract the still-owed portion (snapshot minus the
+  per-pair applied count maintained by :meth:`note_apply`).
+
+**Disabled means absent**: the service is only constructed when the fault
+plan schedules :class:`~repro.net.faults.ProcessCrash` events.  Every
+hook in the fabric, server, locks, and collectives is a single ``is
+None`` check, so fault-free runs are byte-identical to a build without
+this module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from ..net.message import Endpoint
+from ..sim.core import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import ClusterRuntime
+
+__all__ = ["MembershipService", "Lease"]
+
+#: Actor label used for membership events in RMCSan traces.
+MEMBERSHIP_ACTOR = "membership"
+
+
+@dataclass
+class Lease:
+    """One lock acquisition recorded for crash recovery."""
+
+    key: Tuple[str, str, int]  # (kind, name, home_rank)
+    holder: int
+    ticket: Optional[int]
+    acquired_at: float
+    epoch: int
+
+
+class MembershipService:
+    """Per-runtime failure detector, view manager, and recovery engine."""
+
+    def __init__(self, runtime: "ClusterRuntime"):
+        self.runtime = runtime
+        self.env = runtime.env
+        self.params = runtime.params
+        self.topology = runtime.topology
+        self.fabric = runtime.fabric
+        self.monitor = getattr(runtime, "monitor", None)
+        plan = self.params.faults
+        self.plan = plan
+        nprocs = self.topology.nprocs
+        seed = plan.seed if plan.seed is not None else self.params.seed
+        self._seed = seed
+
+        #: Current membership epoch; bumped once per declared death.
+        self.epoch = 0
+        self._alive: Set[int] = set(range(nprocs))
+        self._dead: Set[int] = set()
+        #: Epoch -> survivor view (sorted tuple) at the time it started.
+        self._views: Dict[int, Tuple[int, ...]] = {0: tuple(range(nprocs))}
+        self._last_heard: Dict[int, float] = {r: 0.0 for r in range(nprocs)}
+        #: Actual kill time / declaration time per rank (detection latency).
+        self.crashed_at: Dict[int, float] = {}
+        self.declared_at: Dict[int, float] = {}
+        #: Nodes whose server was killed (machine crashes).
+        self._killed_nodes: Set[int] = set()
+
+        # Which ranks the plan will kill (node crashes expand to all hosted
+        # ranks); heartbeats and the detector retire once every planned
+        # death has been declared, so the event queue can drain.
+        planned: Set[int] = set()
+        for crash in plan.crashes:
+            if crash.rank is not None:
+                planned.add(crash.rank)
+            else:
+                planned.update(self.topology.ranks_on(crash.node))
+        self._planned_ranks = planned
+
+        #: Process ownership: rank -> processes to cancel on its death.
+        self._owned: Dict[int, List[Process]] = {}
+        self._owner_of: Dict[Process, int] = {}
+
+        #: Lock registry: (kind, name, home_rank) -> {"kind", "handles"}.
+        self._locks: Dict[Tuple[str, str, int], Dict[str, Any]] = {}
+        #: Active leases by lock key.
+        self._leases: Dict[Tuple[str, str, int], Lease] = {}
+        #: Revoked (dead) ticket numbers by lock cells (home_rank, base_addr).
+        self._revoked_tickets: Dict[Tuple[int, int], Set[int]] = {}
+
+        #: Per-(src, dst) count of remote write ops applied at the server.
+        self._applied: Dict[Tuple[int, int], int] = {}
+        #: Dead ranks' op_init arrays, snapshotted at kill time.
+        self._op_init_snapshot: Dict[int, List[int]] = {}
+
+        #: Completion ledger for crash-resilient collectives:
+        #: instance key -> (value, epoch the instance completed under).
+        self._ledger: Dict[Any, Tuple[Any, int]] = {}
+
+        #: Recovery trail (chaosbench reporting + tests).
+        self.recovery_log: List[Dict[str, Any]] = []
+        self._subscribers: List[Any] = []
+        self._installed = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<MembershipService epoch={self.epoch} "
+            f"alive={len(self._alive)} dead={sorted(self._dead)}>"
+        )
+
+    # -- wiring ---------------------------------------------------------------
+
+    def install(self) -> None:
+        """Wrap process creation and start executors/heartbeats/detector."""
+        if self._installed:  # pragma: no cover - wired once by the runtime
+            return
+        self._installed = True
+        env = self.env
+        original_process = env.process
+
+        def process_with_ownership(generator, name=None):
+            owner = self._owner_of.get(env.active_process)
+            proc = original_process(generator, name=name)
+            if owner is not None and owner not in self._dead:
+                self._owner_of[proc] = owner
+                self._owned.setdefault(owner, []).append(proc)
+            return proc
+
+        env.process = process_with_ownership
+        for crash in self.plan.crashes:
+            env.process(self._crash_executor(crash), name=f"crash@{crash.at_us}")
+        for rank in sorted(self._alive):
+            proc = env.process(self._heartbeat_loop(rank), name=f"hb[{rank}]")
+            self.adopt(proc, rank)
+        env.process(self._detector_loop(), name="membership.detector")
+
+    def adopt(self, proc: Process, rank: int) -> None:
+        """Record that ``proc`` belongs to ``rank`` (killed with it)."""
+        self._owner_of[proc] = rank
+        self._owned.setdefault(rank, []).append(proc)
+
+    # -- views ----------------------------------------------------------------
+
+    def is_alive(self, rank: int) -> bool:
+        return rank in self._alive
+
+    def alive_ranks(self) -> Tuple[int, ...]:
+        """The current survivor view (sorted)."""
+        return self._views[self.epoch]
+
+    def view(self, epoch: int) -> Tuple[int, ...]:
+        """The survivor view recorded when ``epoch`` began."""
+        return self._views[epoch]
+
+    def node_dead(self, node: int) -> bool:
+        """True once a machine crash of ``node`` has been declared."""
+        if node not in self._killed_nodes:
+            return False
+        return all(r in self._dead for r in self.topology.ranks_on(node))
+
+    def dead_ranks(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._dead))
+
+    def subscribe(self, callback) -> None:
+        """``callback(epoch)`` fires after every view change."""
+        self._subscribers.append(callback)
+
+    # -- liveness inputs -------------------------------------------------------
+
+    def note_traffic(self, src_rank: Any) -> None:
+        """Piggybacked liveness: any accepted fabric post refreshes the rank."""
+        if src_rank in self._alive:
+            self._last_heard[src_rank] = self.env.now
+
+    def heartbeat(self, rank: int, now: float) -> None:
+        if rank in self._alive:
+            self._last_heard[rank] = now
+
+    def suspect(self, endpoint: Endpoint, reason: str = "suspected") -> None:
+        """Transport-level suspicion (retry budget exhausted on a peer)."""
+        kind, which = endpoint
+        if kind == "mp":
+            self._declare_dead(which, reason=reason)
+        elif kind == "srv":
+            # A server that stopped acknowledging is a machine crash: the
+            # node's ranks go with it.
+            self._killed_nodes.add(which)
+            for rank in self.topology.ranks_on(which):
+                self._declare_dead(rank, reason=f"node {which}: {reason}")
+
+    # -- crash execution -------------------------------------------------------
+
+    def _crash_executor(self, crash):
+        yield self.env.timeout(crash.at_us)
+        if crash.rank is not None:
+            self._kill_rank(crash.rank)
+        else:
+            self._kill_node(crash.node)
+
+    def _kill_rank(self, rank: int) -> None:
+        """Fail-stop a user process: cancel generators, silence the fabric."""
+        if rank in self.crashed_at:
+            return
+        self.crashed_at[rank] = self.env.now
+        armci = self.runtime.armcis.get(rank)
+        if armci is not None:
+            self._op_init_snapshot[rank] = list(armci.op_init)
+        self.fabric.mark_dead(("mp", rank))
+        for proc in self._owned.get(rank, ()):
+            if proc.is_alive and proc is not self.env.active_process:
+                proc.kill()
+
+    def _kill_node(self, node: int) -> None:
+        """Machine crash: the server thread and every hosted rank die."""
+        self._killed_nodes.add(node)
+        server = self.runtime.servers.get(node)
+        if server is not None and server._proc is not None and server._proc.is_alive:
+            server._proc.kill()
+        self.fabric.mark_dead(("srv", node))
+        for rank in self.topology.ranks_on(node):
+            self._kill_rank(rank)
+
+    # -- detection -------------------------------------------------------------
+
+    def _all_planned_declared(self) -> bool:
+        return self._planned_ranks <= self._dead
+
+    def _heartbeat_loop(self, rank: int):
+        rng = random.Random(f"membership:{self._seed}:{rank}")
+        interval = self.params.heartbeat_us
+        if interval <= 0.0:  # heartbeats disabled: rely on traffic + retries
+            return
+        while not self._all_planned_declared():
+            yield self.env.timeout(interval * (0.75 + 0.5 * rng.random()))
+            if rank in self._dead:
+                return
+            self.heartbeat(rank, self.env.now)
+
+    def _detector_loop(self):
+        p = self.params
+        check = p.membership_check_us if p.membership_check_us > 0.0 else p.heartbeat_us
+        if check <= 0.0:  # pragma: no cover - degenerate configuration
+            return
+        while not self._all_planned_declared():
+            yield self.env.timeout(check)
+            now = self.env.now
+            for rank in sorted(self._alive):
+                if now - self._last_heard[rank] > p.suspect_timeout_us:
+                    self._declare_dead(rank, reason="heartbeat silence")
+
+    # -- declaration + view change ---------------------------------------------
+
+    def _declare_dead(self, rank: int, reason: str) -> None:
+        if rank not in self._alive:
+            return
+        now = self.env.now
+        if rank not in self.crashed_at:
+            # Suspected without a scheduled kill (e.g. a fully partitioned
+            # link): enforce fail-stop so the suspected rank cannot act on
+            # a view that no longer contains it.
+            self._kill_rank(rank)
+        self._alive.discard(rank)
+        self._dead.add(rank)
+        self.declared_at[rank] = now
+        self.epoch += 1
+        view = tuple(sorted(self._alive))
+        self._views[self.epoch] = view
+        if self.monitor is not None:
+            node = self.topology.node_of(rank)
+            self.monitor.emit(
+                "proc_crashed",
+                actor=MEMBERSHIP_ACTOR,
+                rank=rank,
+                node=node,
+                node_crashed=node in self._killed_nodes,
+                crashed_at=self.crashed_at[rank],
+                declared_at=now,
+                detect_latency_us=now - self.crashed_at[rank],
+                reason=reason,
+            )
+            self.monitor.emit(
+                "view_change",
+                actor=MEMBERSHIP_ACTOR,
+                epoch=self.epoch,
+                alive=list(view),
+                dead=sorted(self._dead),
+            )
+        # Revoke any lease the dead rank held.
+        for key, lease in list(self._leases.items()):
+            if lease.holder == rank:
+                del self._leases[key]
+                if self.monitor is not None:
+                    self.monitor.emit(
+                        "lease_revoked",
+                        actor=MEMBERSHIP_ACTOR,
+                        lock=f"{key[0]}:{key[1]}@{key[2]}",
+                        rank=rank,
+                        ticket=lease.ticket,
+                        epoch=self.epoch,
+                    )
+        # Splice the dead rank out of every lock it participates in.
+        for key in sorted(self._locks):
+            if rank in self._locks[key]["handles"]:
+                self.env.process(
+                    self._recover_lock(key, rank),
+                    name=f"recover:{key[0]}:{key[1]}:{rank}",
+                )
+        for callback in list(self._subscribers):
+            callback(self.epoch)
+
+    # -- lock registry + leases ------------------------------------------------
+
+    def lock_key(self, handle) -> Tuple[str, str, int]:
+        return (handle.kind, handle.name, handle.home_rank)
+
+    def register_lock(self, handle) -> None:
+        """Called by every lock handle constructor (one entry per rank)."""
+        key = self.lock_key(handle)
+        info = self._locks.setdefault(key, {"kind": handle.kind, "handles": {}})
+        info["handles"][handle.ctx.rank] = handle
+
+    def lease_acquire(self, handle, ticket: Optional[int]) -> None:
+        key = self.lock_key(handle)
+        self._leases[key] = Lease(
+            key=key,
+            holder=handle.ctx.rank,
+            ticket=ticket,
+            acquired_at=self.env.now,
+            epoch=self.epoch,
+        )
+
+    def lease_release(self, handle) -> None:
+        key = self.lock_key(handle)
+        lease = self._leases.get(key)
+        if lease is not None and lease.holder == handle.ctx.rank:
+            del self._leases[key]
+
+    def lease_holder(self, key: Tuple[str, str, int]) -> Optional[int]:
+        lease = self._leases.get(key)
+        return lease.holder if lease is not None else None
+
+    def skip_revoked(self, home_rank: int, base_addr: int, value: int) -> int:
+        """Advance a ticket counter value past revoked (dead) tickets."""
+        revoked = self._revoked_tickets.get((home_rank, base_addr))
+        if not revoked:
+            return value
+        while value in revoked:
+            value += 1
+        return value
+
+    # -- write-off accounting ----------------------------------------------------
+
+    def note_apply(self, src_rank: int, dst_rank: int) -> None:
+        """A server applied one remote write op from ``src`` to ``dst``."""
+        pair = (src_rank, dst_rank)
+        self._applied[pair] = self._applied.get(pair, 0) + 1
+
+    def written_off(self, me: int, result_epoch: int = 0) -> int:
+        """Credits owed to ``me`` by dead ranks: operations they issued
+        toward ``me``'s server — counted in the barrier totals either live
+        or through their kill-time snapshot — that the server will never
+        apply.  A straggler op that does land later bumps both ``op_done``
+        and the applied count, so the stage-2 comparison stays monotone.
+        """
+        total = 0
+        for dead, snapshot in self._op_init_snapshot.items():
+            owed = snapshot[me] - self._applied.get((dead, me), 0)
+            if owed > 0:
+                total += owed
+        return total
+
+    def dead_contribution(self, epoch: int) -> List[int]:
+        """Elementwise sum of kill-time ``op_init`` snapshots of ranks dead
+        in ``epoch``'s view.
+
+        The lowest survivor folds this into its stage-1 contribution so the
+        allreduce totals stay cumulative over the *original* universe —
+        the targets' ``op_done`` counters are lifetime-cumulative and
+        already include everything dead ranks completed before crashing.
+        """
+        acc = [0] * self.topology.nprocs
+        view = set(self._views.get(epoch, ()))
+        for dead, snapshot in self._op_init_snapshot.items():
+            if dead in view:
+                continue  # will contribute live (or force a view change)
+            for i, v in enumerate(snapshot):
+                acc[i] += v
+        return acc
+
+    # -- completion ledger -------------------------------------------------------
+
+    def ledger_put(self, inst: Any, value: Any, epoch: Optional[int] = None) -> None:
+        self._ledger[inst] = (value, self.epoch if epoch is None else epoch)
+
+    def ledger_get(self, inst: Any) -> Optional[Tuple[Any, int]]:
+        return self._ledger.get(inst)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        detections = [
+            {
+                "rank": rank,
+                "crashed_at_us": self.crashed_at[rank],
+                "declared_at_us": self.declared_at[rank],
+                "detect_latency_us": self.declared_at[rank] - self.crashed_at[rank],
+            }
+            for rank in sorted(self.declared_at)
+        ]
+        return {
+            "epoch": self.epoch,
+            "alive": list(self.alive_ranks()),
+            "dead": sorted(self._dead),
+            "detections": detections,
+            "recoveries": list(self.recovery_log),
+        }
+
+    # -- lock recovery coordinators ----------------------------------------------
+
+    def _recover_lock(self, key: Tuple[str, str, int], dead: int):
+        kind = self._locks[key]["kind"]
+        started = self.env.now
+        entry = {
+            "lock": f"{key[0]}:{key[1]}@{key[2]}",
+            "kind": kind,
+            "dead_rank": dead,
+            "declared_at_us": started,
+            "recovered_at_us": None,
+        }
+        self.recovery_log.append(entry)
+        if kind in ("ticket", "hybrid", "server"):
+            yield from self._recover_ticket_family(key, dead)
+        elif kind == "lh":
+            yield from self._recover_lh(key, dead)
+        elif kind == "mcs":
+            yield from self._recover_mcs(key, dead)
+        elif kind in ("naimi", "raymond"):
+            yield from self._recover_token(key, dead, kind)
+        entry["recovered_at_us"] = self.env.now
+        entry["recovery_latency_us"] = self.env.now - started
+
+    # .. ticket / hybrid / server ..................................................
+
+    def _recover_ticket_family(self, key: Tuple[str, str, int], dead: int):
+        """Skip dead ticket numbers; ghost-advance if the dead rank held it.
+
+        A ticket from ``counter`` upward that no *live* handle owns and no
+        live waiter is queued for belongs to a dead requester (or to a
+        grant lost on its way to one): it is revoked and skipped.
+        """
+        handles = self._locks[key]["handles"]
+        any_handle = next(iter(handles.values()))
+        home_rank = any_handle.home_rank
+        base_addr = any_handle.base_addr
+        region = self.runtime.regions[home_rank]
+        revoked = self._revoked_tickets.setdefault((home_rank, base_addr), set())
+        server = self.runtime.servers[self.topology.node_of(home_rank)]
+        waiters = server._lock_waiters.get((home_rank, base_addr), {})
+
+        def note_revoked(ticket: int) -> None:
+            revoked.add(ticket)
+            if self.monitor is not None:
+                # The sanitizer's FIFO check must know which ticket numbers
+                # were spliced out of the queue by crash recovery.
+                self.monitor.emit(
+                    "lease_revoked",
+                    actor=MEMBERSHIP_ACTOR,
+                    lock=f"{key[0]}:{key[1]}@{key[2]}",
+                    rank=dead,
+                    ticket=ticket,
+                    epoch=self.epoch,
+                )
+
+        # Drop queued requests from dead ranks.
+        for ticket, req in list(waiters.items()):
+            if req.src_rank in self._dead:
+                note_revoked(ticket)
+                del waiters[ticket]
+        if self.params.server_lock_op_us > 0.0:
+            yield self.env.timeout(self.params.server_lock_op_us)
+        counter_addr = base_addr + 1
+        counter = region.read(counter_addr)
+        next_ticket = region.read(base_addr)
+        live_tickets = {
+            h._my_ticket
+            for rank, h in handles.items()
+            if rank in self._alive and getattr(h, "_my_ticket", -1) >= 0
+        }
+        new = counter
+        while new < next_ticket and new not in live_tickets and new not in waiters:
+            if new not in revoked:
+                note_revoked(new)
+            new += 1
+        if new == counter:
+            return
+        # The counter write wakes local spinners through the region watcher.
+        if self.params.shm_access_us > 0.0:
+            yield self.env.timeout(self.params.shm_access_us)
+        region.write(counter_addr, new)
+        pending = waiters.pop(new, None)
+        if pending is not None:
+            server.stats.grants += 1
+            server._current_key = None
+            yield from server._reply(pending.src_rank, pending.reply, value=new)
+
+    # .. LH ........................................................................
+
+    def _recover_lh(self, key: Tuple[str, str, int], dead: int):
+        """Repair the LH queue: ghost-release for a dead holder, or chain a
+        ghost forwarder for a dead waiter (grant flows through its cell)."""
+        from ..locks.lh import _GRANTED
+
+        handle = self._locks[key]["handles"][dead]
+        region = handle._region
+        p = self.params
+        phase = getattr(handle, "_phase", "idle")
+        if phase == "held":
+            if p.shm_access_us > 0.0:
+                yield self.env.timeout(p.shm_access_us)
+            region.write(handle._spin_cell, _GRANTED)
+        elif phase == "waiting":
+            # When the predecessor eventually grants the dead waiter,
+            # forward the grant to whoever spins on the cell it published.
+            yield from region.wait_until(
+                handle._prev_cell,
+                lambda v: v == _GRANTED,
+                poll_detect_us=p.poll_detect_us,
+            )
+            if p.shm_access_us > 0.0:
+                yield self.env.timeout(p.shm_access_us)
+            region.write(handle._published_cell, _GRANTED)
+
+    # .. MCS .......................................................................
+
+    def _recover_mcs(self, key: Tuple[str, str, int], dead: int):
+        """Splice a dead rank out of the MCS chain by direct region surgery."""
+        from ..locks.mcs import _FALSE, _OFF_LOCKED, _OFF_NEXT, _TRUE
+        from .memory import NULL_PTR
+
+        handle = self._locks[key]["handles"][dead]
+        phase = getattr(handle, "_phase", "idle")
+        p = self.params
+        if phase == "held":
+            yield from self._mcs_ghost_release(handle, dead)
+            return
+        if phase != "waiting":
+            return
+        prev = getattr(handle, "_prev_ptr", None)
+        if prev is None or tuple(prev) == NULL_PTR:
+            return  # died before entering the queue
+        prev_rank, prev_base = prev
+        prev_region = self.runtime.regions[prev_rank]
+        dead_region = self.runtime.regions[dead]
+        nbase = handle.node_struct.base
+        my_ptr = (dead, nbase)
+        if p.shm_access_us > 0.0:
+            yield self.env.timeout(p.shm_access_us)
+        link = (
+            prev_region.read(prev_base + _OFF_NEXT),
+            prev_region.read(prev_base + _OFF_NEXT + 1),
+        )
+        if link != my_ptr:
+            # The dead rank swapped the tail but never finished linking:
+            # complete its enqueue so the predecessor's release can find a
+            # successor (and arm the locked flag the handoff will clear).
+            dead_region.write(nbase + _OFF_LOCKED, _TRUE)
+            prev_region.write(prev_base + _OFF_NEXT, my_ptr[0])
+            prev_region.write(prev_base + _OFF_NEXT + 1, my_ptr[1])
+        # Wait for the predecessor's (eventual) handoff, then pass it on.
+        yield from dead_region.wait_until(
+            nbase + _OFF_LOCKED,
+            lambda v: v == _FALSE,
+            poll_detect_us=p.poll_detect_us,
+        )
+        yield from self._mcs_ghost_release(handle, dead)
+
+    def _mcs_ghost_release(self, handle, dead: int):
+        """Perform the dead rank's release on its behalf."""
+        from ..locks.mcs import _FALSE, _OFF_LOCKED, _OFF_NEXT
+        from .memory import NULL_PTR
+
+        p = self.params
+        dead_region = self.runtime.regions[dead]
+        nbase = handle.node_struct.base
+        my_ptr = (dead, nbase)
+        home_region = self.runtime.regions[handle.home_rank]
+        lock_addr = handle.lock_addr
+        if p.shm_access_us > 0.0:
+            yield self.env.timeout(p.shm_access_us)
+        next_ptr = (
+            dead_region.read(nbase + _OFF_NEXT),
+            dead_region.read(nbase + _OFF_NEXT + 1),
+        )
+        if next_ptr == NULL_PTR:
+            if p.shm_atomic_us > 0.0:
+                yield self.env.timeout(p.shm_atomic_us)
+            tail = (home_region.read(lock_addr), home_region.read(lock_addr + 1))
+            if tail == my_ptr:
+                home_region.write(lock_addr, NULL_PTR[0])
+                home_region.write(lock_addr + 1, NULL_PTR[1])
+                return
+            # A successor swapped in but has not linked itself yet.
+            yield from dead_region.wait_until(
+                nbase + _OFF_NEXT,
+                lambda v: v != NULL_PTR[0],
+                poll_detect_us=p.poll_detect_us,
+            )
+            next_ptr = (
+                dead_region.read(nbase + _OFF_NEXT),
+                dead_region.read(nbase + _OFF_NEXT + 1),
+            )
+        if p.shm_access_us > 0.0:
+            yield self.env.timeout(p.shm_access_us)
+        next_rank, next_base = next_ptr
+        self.runtime.regions[next_rank].write(next_base + _OFF_LOCKED, _FALSE)
+
+    # .. token algorithms (Naimi-Trehel, Raymond) ...................................
+
+    def _recover_token(self, key: Tuple[str, str, int], dead: int, kind: str):
+        """Coordinator-led reconfiguration: regenerate the token at a
+        deterministic survivor and reset every survivor's pointers via
+        injected ``view_change`` messages (star re-request topology)."""
+        handles = self._locks[key]["handles"]
+        alive_handles = {
+            r: h for r, h in handles.items() if r in self._alive
+        }
+        if not alive_handles:
+            return
+        any_handle = next(iter(alive_handles.values()))
+        tag = any_handle.tag
+        token_safe_at = self._find_live_token(alive_handles, tag, kind)
+        if token_safe_at is not None:
+            new_holder = token_safe_at
+            token_lost = False
+        else:
+            requesting = sorted(
+                (getattr(h, "_requested_at", float("inf")), r)
+                for r, h in alive_handles.items()
+                if self._token_requesting(h, kind)
+            )
+            new_holder = requesting[0][1] if requesting else min(alive_handles)
+            token_lost = True
+        payload = {
+            "epoch": self.epoch,
+            "holder": new_holder,
+            "alive": sorted(alive_handles),
+            "token_lost": token_lost,
+        }
+        # Deliver the view change holder-first, then earliest requester
+        # first, so the rebuilt request chain preserves arrival order of
+        # the surviving requests.
+        order = sorted(
+            alive_handles,
+            key=lambda r: (
+                r != new_holder,
+                getattr(alive_handles[r], "_requested_at", float("inf"))
+                if self._token_requesting(alive_handles[r], kind)
+                else float("inf"),
+                r,
+            ),
+        )
+        from ..locks.token_base import LockMessage
+
+        comm = self.runtime.comms[new_holder]
+        for rank in order:
+            yield from comm.send(
+                rank, LockMessage("view_change", new_holder, payload), tag=tag
+            )
+
+    @staticmethod
+    def _token_requesting(handle, kind: str) -> bool:
+        if kind == "naimi":
+            return bool(handle.requesting)
+        return "self" in handle.request_q or handle.using
+
+    def _find_live_token(self, alive_handles, tag, kind) -> Optional[int]:
+        """The survivor that holds (or is about to receive) the token."""
+        token_kind = "token" if kind == "naimi" else "privilege"
+        for rank in sorted(alive_handles):
+            handle = alive_handles[rank]
+            if kind == "naimi" and handle.has_token:
+                return rank
+            if kind == "raymond" and handle.holder == "self":
+                return rank
+            # A token message already delivered to the rank's mailbox but
+            # not yet processed by its daemon still counts as safe.
+            comm = self.runtime.comms[rank]
+            for envelope in comm.mailbox.items:
+                msg = getattr(envelope, "payload", None)
+                if msg is None or getattr(msg, "tag", None) != tag:
+                    continue
+                if getattr(msg.payload, "kind", None) == token_kind:
+                    return rank
+        return None

@@ -119,6 +119,10 @@ class ServerThread:
         #: combined ARMCI_Barrier.
         self._dedup = params.faults is not None
         self._applied: set = set()
+        #: Crash-stop membership service (None unless the fault plan
+        #: schedules ProcessCrash events; attached to the fabric before
+        #: servers are built).
+        self._membership = getattr(fabric, "_membership", None)
         #: RMCSan monitor (installed on env before the runtime is wired).
         self._monitor = getattr(env, "_sync_monitor", None)
         if self._monitor is not None:
@@ -315,6 +319,8 @@ class ServerThread:
         else:
             region.write_many(req.addr, req.values)
         self._bump_op_done(req.dst_rank)
+        if self._membership is not None:
+            self._membership.note_apply(req.src_rank, req.dst_rank)
         self.stats.puts += 1
         if req.ack is not None:
             yield from self._reply(req.src_rank, req.ack, value=ncells)
@@ -344,6 +350,8 @@ class ServerThread:
             yield self.env.timeout(cost)
         atomics.accumulate(region, req.addr, req.values, req.scale)
         self._bump_op_done(req.dst_rank)
+        if self._membership is not None:
+            self._membership.note_apply(req.src_rank, req.dst_rank)
         self.stats.accs += 1
         if req.ack is not None:
             yield from self._reply(req.src_rank, req.ack, value=len(req.values))
@@ -404,6 +412,11 @@ class ServerThread:
             yield self.env.timeout(self.params.server_lock_op_us)
         counter_addr = req.base_addr + 1
         new_counter = region.read(counter_addr) + 1
+        if self._membership is not None:
+            # Skip ticket numbers revoked by crash recovery (dead waiters).
+            new_counter = self._membership.skip_revoked(
+                req.home_rank, req.base_addr, new_counter
+            )
         # The write wakes local pollers through the region watcher.
         region.write(counter_addr, new_counter)
         key = (req.home_rank, req.base_addr)

@@ -39,6 +39,7 @@ __all__ = [
     "ConditionValue",
     "SimulationError",
     "StopProcess",
+    "CRASHED",
     "PRIORITY_URGENT",
     "PRIORITY_NORMAL",
     "PRIORITY_LAZY",
@@ -53,6 +54,24 @@ PRIORITY_NORMAL = 1
 PRIORITY_LAZY = 2
 
 _PENDING = object()
+
+
+class _Crashed:
+    """Sentinel value of a process terminated by :meth:`Process.kill`."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CRASHED"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Result value of a process killed by a crash-stop fault (see
+#: :meth:`Process.kill`).  Falsy, so ``if result:`` treats a crashed rank
+#: like "no result".
+CRASHED = _Crashed()
 
 
 class SimulationError(RuntimeError):
@@ -256,8 +275,35 @@ class Process(Event):
         interrupt_ev.callbacks.append(self._resume)
         self.env.schedule(interrupt_ev, 0.0, PRIORITY_URGENT)
 
+    def kill(self, value: Any = CRASHED) -> None:
+        """Terminate the process immediately (crash-stop semantics).
+
+        Unlike :meth:`interrupt`, the generator is never resumed: it is
+        closed in place (running any ``finally`` blocks) and the process
+        event succeeds with ``value`` so joiners observe a terminated —
+        not failed — process.  Killing a finished process is a no-op.
+        """
+        if not self.is_alive:
+            return
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot kill itself")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._generator.close()
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, 0.0, PRIORITY_URGENT)
+
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
+        if self._value is not _PENDING:
+            # Killed (or otherwise finished) before this wakeup landed:
+            # the generator is closed, there is nothing to advance.
+            return
         env = self.env
         env._active_proc = self
         # Detach from the old target: if we were interrupted while waiting,

@@ -95,13 +95,30 @@ class TestInOrderExactlyOnce:
 
 
 class TestRetryCap:
-    def test_dead_link_raises_reliability_error(self):
+    def test_retry_exhaustion_declares_peer_dead(self):
+        """Exhausting the retry budget no longer raises: the peer is
+        declared dead, the channel backlog is dropped, and the simulation
+        keeps running (the membership detector owns what happens next)."""
         plan = FaultPlan.uniform(drop_rate=1.0, seed=1)
-        env, fabric, _boxes = make_fabric(plan, max_retries=2, retry_timeout_us=10.0)
+        env, fabric, boxes = make_fabric(plan, max_retries=2, retry_timeout_us=10.0)
         fabric.post(0, server_endpoint(1), "doomed")
-        with pytest.raises(ReliabilityError, match="declared dead"):
-            env.run()
+        env.run()  # must complete without ReliabilityError
         assert fabric.stats.timeouts == 3  # 2 retries + the fatal expiry
+        assert fabric.stats.links_declared_dead == 1
+        assert fabric.reliable.in_flight() == 0  # backlog abandoned
+        assert fabric.endpoint_dead(server_endpoint(1))
+        assert len(boxes[("srv", 1)]) == 0
+        # Follow-up traffic to the dead endpoint is refused at post time.
+        fabric.post(0, server_endpoint(1), "late")
+        env.run()
+        assert fabric.stats.dropped_dead >= 1
+        assert len(boxes[("srv", 1)]) == 0
+        # The declaration is per-endpoint, not global.
+        assert not fabric.endpoint_dead(server_endpoint(2))
+
+    def test_reliability_error_still_importable(self):
+        # Kept for API compatibility with pre-crash-model callers.
+        assert issubclass(ReliabilityError, Exception)
 
 
 class TestReliableReplies:

@@ -1,0 +1,221 @@
+"""Crash-stop membership: detection, lock recovery, degraded barriers.
+
+Covers the crash-stop subsystem end to end through small SPMD programs:
+
+* failure detection (heartbeat silence) with deterministic latency,
+* lease-based holder-death recovery on every lock flavor, with FIFO
+  preserved among survivors,
+* the combined barrier completing when a participant dies before
+  entering (stage i) and while blocked inside the exchange (stage ii),
+* a double crash (holder plus its queue successor),
+* chaosbench determinism under a fixed kill seed,
+* the guard property: with no crashes planned the membership service is
+  never constructed and experiment output is byte-identical.
+"""
+
+import pytest
+
+from repro.experiments.chaosbench import (
+    ChaosBenchConfig,
+    FIFO_KINDS,
+    run_chaosbench,
+)
+from repro.net.faults import FaultPlan, ProcessCrash
+from repro.net.params import NetworkParams
+from repro.runtime.cluster import ClusterRuntime
+from repro.runtime.memory import GlobalAddress
+from repro.sim.core import CRASHED
+
+ALL_KINDS = ("ticket", "lh", "server", "hybrid", "mcs", "naimi", "raymond")
+
+
+def crash_params(*crashes, seed=7, **overrides):
+    plan = FaultPlan(
+        crashes=tuple(ProcessCrash(at_us=t, rank=r) for r, t in crashes),
+        seed=seed,
+    )
+    return NetworkParams(faults=plan, **overrides)
+
+
+class TestDetection:
+    def test_idle_rank_declared_by_heartbeat_silence(self):
+        params = crash_params((2, 50.0))
+        runtime = ClusterRuntime(4, params=params)
+
+        def idle(ctx):
+            yield ctx.env.timeout(500.0)
+            return ctx.membership.dead_ranks()
+
+        results = runtime.run_spmd(idle)
+        m = runtime.membership
+        assert m is not None
+        assert m.dead_ranks() == (2,)
+        assert results[2] is CRASHED
+        assert results[0] == (2,)
+        latency = m.declared_at[2] - m.crashed_at[2]
+        assert m.crashed_at[2] == pytest.approx(50.0)
+        # Silence is noticed within the suspect timeout plus one detector
+        # scan plus one heartbeat interval of slack.
+        assert (
+            params.suspect_timeout_us
+            < latency
+            <= params.suspect_timeout_us
+            + params.membership_check_us
+            + params.heartbeat_us
+        )
+
+    def test_view_epochs_record_each_death(self):
+        params = crash_params((1, 40.0), (3, 200.0))
+        runtime = ClusterRuntime(4, params=params)
+
+        def idle(ctx):
+            yield ctx.env.timeout(600.0)
+
+        runtime.run_spmd(idle)
+        m = runtime.membership
+        assert m.epoch == 2
+        assert m.view(0) == (0, 1, 2, 3)
+        assert m.view(1) == (0, 2, 3)
+        assert m.view(2) == (0, 2)
+
+    def test_membership_absent_without_crash_plan(self):
+        runtime = ClusterRuntime(2)
+        assert runtime.membership is None
+
+        def noop(ctx):
+            yield ctx.env.timeout(1.0)
+            return ctx.membership
+
+        assert runtime.run_spmd(noop) == [None, None]
+
+
+def lock_recovery_cfg(kind, **overrides):
+    defaults = dict(
+        nprocs=6,
+        lock_kind=kind,
+        barrier_kills=(),
+        lock_kills=((5, 900.0),),
+        lock_iters=2,
+    )
+    defaults.update(overrides)
+    return ChaosBenchConfig(**defaults)
+
+
+class TestLockRecovery:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_holder_death_recovers_every_flavor(self, kind):
+        res = run_chaosbench(lock_recovery_cfg(kind))
+        failed = {k for k, v in res.checks.items() if v is False}
+        assert not failed, f"{kind}: failed checks {failed}\n{res.render()}"
+        # The dead holder's lease was revoked and observed by a survivor.
+        assert any(p["dead_holder"] == 5 for p in res.preemptions)
+        # Recovery completed for the killed holder.
+        assert all(
+            r["recovery_latency_us"] is not None for r in res.recoveries
+        )
+
+    @pytest.mark.parametrize("kind", FIFO_KINDS)
+    def test_fifo_preserved_among_survivors(self, kind):
+        res = run_chaosbench(lock_recovery_cfg(kind))
+        assert res.checks["fifo among survivors"] is True
+
+    @pytest.mark.parametrize("kind", ("hybrid", "mcs", "naimi"))
+    def test_double_crash_holder_and_successor(self, kind):
+        cfg = lock_recovery_cfg(
+            kind, lock_kills=((4, 900.0), (5, 950.0))
+        )
+        res = run_chaosbench(cfg)
+        failed = {k for k, v in res.checks.items() if v is False}
+        assert not failed, f"{kind}: failed checks {failed}\n{res.render()}"
+        assert set(res.dead) == {4, 5}
+        # The first victim held the lock; the second died queued behind it.
+        assert any(p["dead_holder"] == 4 for p in res.preemptions)
+
+
+class TestBarrierUnderCrash:
+    def _run(self, kill_at_us, hold_us):
+        cfg = ChaosBenchConfig(
+            nprocs=6,
+            barrier_kills=((3, kill_at_us),),
+            lock_kills=(),
+            barrier_hold_us=hold_us,
+            lock_iters=1,
+        )
+        return run_chaosbench(cfg)
+
+    def test_participant_dies_before_entering(self):
+        # Stage (i): the victim is killed at 5us, long before it reaches
+        # the barrier call; survivors enter against an already-stale view.
+        res = self._run(kill_at_us=5.0, hold_us=400.0)
+        assert res.all_ok(), res.render()
+
+    def test_participant_dies_mid_exchange(self):
+        # Stage (ii): the victim enters the exchange first and is killed
+        # while blocked inside it; survivors join before the declaration
+        # and must restart on the view change.
+        res = self._run(kill_at_us=60.0, hold_us=150.0)
+        assert res.all_ok(), res.render()
+
+    def test_survivors_memory_complete(self):
+        res = self._run(kill_at_us=60.0, hold_us=150.0)
+        assert res.checks["survivor memory"] is True
+
+    def test_write_off_when_victim_ops_lost(self):
+        """A rank killed with issued-but-unapplied ops: survivors' stage-2
+        targets are reduced by the written-off credits (no deadlock)."""
+        params = crash_params((1, 1.0), seed=3)
+        runtime = ClusterRuntime(4, params=params)
+
+        def program(ctx):
+            base = ctx.region.alloc_named("wo.slots", ctx.nprocs, initial=0)
+            if ctx.rank == 1:
+                # Issue a put whose completion the crash may strand, then
+                # spin so the kill finds us alive.
+                yield from ctx.armci.put(GlobalAddress(0, base + 1), [11])
+                while True:
+                    yield ctx.env.timeout(1.0)
+            yield ctx.env.timeout(50.0)
+            yield from ctx.armci.put(GlobalAddress((ctx.rank + 1) % 4, base), [7])
+            yield from ctx.armci.barrier()
+            return ctx.env.now
+
+        results = runtime.run_spmd(program)
+        assert results[1] is CRASHED
+        assert all(isinstance(r, float) for i, r in enumerate(results) if i != 1)
+
+
+class TestChaosBenchDeterminism:
+    def test_same_seed_same_report(self):
+        cfg = ChaosBenchConfig(kill_seed=99)
+        first = run_chaosbench(cfg)
+        second = run_chaosbench(cfg)
+        assert first.render() == second.render()
+        assert first.detections == second.detections
+        assert first.survivor_grants == second.survivor_grants
+
+    def test_different_seed_moves_detection(self):
+        a = run_chaosbench(ChaosBenchConfig(kill_seed=1))
+        b = run_chaosbench(ChaosBenchConfig(kill_seed=2))
+        # Same kills, different heartbeat jitter: declarations may shift.
+        assert a.all_ok() and b.all_ok()
+        assert {d["rank"] for d in a.detections} == {
+            d["rank"] for d in b.detections
+        }
+
+
+class TestDisabledMeansAbsent:
+    """With no crashes planned, the crash paths must not even construct."""
+
+    def test_faultbench_output_byte_identical(self):
+        # FaultPlan with faults but no crashes: membership stays None.
+        from repro.experiments.faultbench import FaultBenchConfig, run_faultbench
+
+        cfg = FaultBenchConfig(
+            nprocs=4, epochs=1, puts_per_peer=1, cells=2, drop_rates=(0.0, 0.02)
+        )
+        assert run_faultbench(cfg).render() == run_faultbench(cfg).render()
+
+    def test_empty_crash_plan_keeps_membership_off(self):
+        params = NetworkParams(faults=FaultPlan(seed=5))
+        runtime = ClusterRuntime(2, params=params)
+        assert runtime.membership is None

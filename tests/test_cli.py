@@ -106,3 +106,67 @@ class TestCheckCommand:
         lines = [json.loads(line) for line in path.read_text().splitlines()]
         assert any("run" in line for line in lines)
         assert any(line.get("kind") == "barrier_enter" for line in lines)
+
+
+class TestChaosCommand:
+    def test_chaos_default_scenario(self, capsys):
+        assert main(["chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos: crash-stop failures" in out
+        assert "ALL CHECKS PASSED" in out
+
+    def test_chaos_custom_kills_and_lock(self, capsys):
+        assert main(["chaos", "--procs", "6", "--lock", "mcs",
+                     "--kill", "4:60", "--kill", "5:900",
+                     "--kill-seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "mcs lock" in out and "kill seed 7" in out
+        assert "dead: [4, 5]" in out
+
+    def test_chaos_bad_kill_spec(self, capsys):
+        assert main(["chaos", "--kill", "banana"]) == 2
+        assert "bad --kill spec" in capsys.readouterr().out
+
+    def test_check_chaos_target(self, capsys):
+        assert main(["check", "chaos"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok] chaos[hybrid]" in out and "[ok] chaos[mcs]" in out
+        assert "FAIL" not in out
+
+
+class TestCrashPathsConstructFree:
+    """Guard: with no crash plan, the crash-stop machinery must not even
+    be constructed, and experiment output must be byte-identical run to
+    run (the crash subsystem contributes nothing when disabled)."""
+
+    @pytest.fixture
+    def membership_forbidden(self, monkeypatch):
+        from repro.runtime import membership as m
+
+        def boom(*_a, **_k):  # pragma: no cover - triggers only on a bug
+            raise AssertionError(
+                "MembershipService constructed without a crash plan"
+            )
+
+        monkeypatch.setattr(m.MembershipService, "__init__", boom)
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fig7", "--iterations", "2", "--procs", "2"],
+            ["fig8", "--iterations", "20", "--procs", "2"],
+            ["fig9", "--iterations", "20", "--procs", "2"],
+            ["fig10", "--iterations", "20", "--procs", "2"],
+            ["locks", "--iterations", "20", "--procs", "2"],
+            ["faults", "--procs", "4"],
+        ],
+        ids=["fig7", "fig8", "fig9", "fig10", "locks", "faults"],
+    )
+    def test_output_identical_and_membership_never_built(
+        self, capsys, membership_forbidden, argv
+    ):
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
