@@ -76,7 +76,9 @@ class NaimiTrehelLock(TokenLockBase):
                         # Idle token: hand it straight over.
                         self.has_token = False
                         self.stats.bump("token_passes")
-                        yield from self._send(requester, "token")
+                        yield from self._send(
+                            requester, "token", payload=self._view_epoch
+                        )
                     else:
                         # Tail without token and without interest can only
                         # happen transiently; queue as successor.
@@ -88,6 +90,12 @@ class NaimiTrehelLock(TokenLockBase):
                     )
                 self.last = requester
             elif msg.kind == "token":
+                if (msg.payload or 0) < self._token_epoch_floor:
+                    # A crash reconfiguration regenerated the token while
+                    # this copy was stalled in the fabric; accepting it
+                    # would create a second holder.
+                    self.stats.bump("stale_tokens_dropped")
+                    continue
                 self.has_token = True
                 self.in_cs = True
                 self._grant_local()
@@ -98,7 +106,9 @@ class NaimiTrehelLock(TokenLockBase):
                     successor, self.next = self.next, None
                     self.has_token = False
                     self.stats.bump("token_passes")
-                    yield from self._send(successor, "token")
+                    yield from self._send(
+                        successor, "token", payload=self._view_epoch
+                    )
             elif msg.kind == "view_change":
                 yield from self._apply_view_change(msg.payload)
             else:  # pragma: no cover - protocol bug
@@ -127,6 +137,9 @@ class NaimiTrehelLock(TokenLockBase):
         self.next = None
         if info["token_lost"]:
             self.has_token = me == new_holder
+            # The regenerated token supersedes any copy still in flight;
+            # a stale "token" arriving later is dropped by the epoch floor.
+            self._token_epoch_floor = info["epoch"]
         if me == new_holder:
             self.last = me
             if self.has_token and self.requesting and not self.in_cs:

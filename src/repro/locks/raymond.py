@@ -90,7 +90,9 @@ class RaymondLock(TokenLockBase):
                 self._grant_local()
             else:
                 self.stats.bump("token_passes")
-                yield from self._send(self.holder, "privilege")
+                yield from self._send(
+                    self.holder, "privilege", payload=self._view_epoch
+                )
 
     def _make_request(self):
         if self.holder != Self and self.request_q and not self.asked:
@@ -112,6 +114,11 @@ class RaymondLock(TokenLockBase):
                     continue
                 self.request_q.append(msg.src)
             elif msg.kind == "privilege":
+                if (msg.payload or 0) < self._token_epoch_floor:
+                    # Regenerated after a crash while this copy was still
+                    # in flight; accepting it would create a second holder.
+                    self.stats.bump("stale_privileges_dropped")
+                    continue
                 self.holder = Self
             elif msg.kind == "local_release":
                 self.using = False
@@ -143,6 +150,11 @@ class RaymondLock(TokenLockBase):
         # through dead subtrees and their owners will re-request directly.
         self.request_q = deque(x for x in self.request_q if x == Self)
         self.asked = False
+        if info["token_lost"]:
+            # The regenerated privilege supersedes any copy still in
+            # flight; a stale "privilege" arriving later is dropped by the
+            # epoch floor.
+            self._token_epoch_floor = info["epoch"]
         if me == new_holder:
             if info["token_lost"]:
                 self.holder = Self

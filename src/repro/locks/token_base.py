@@ -57,6 +57,13 @@ class TokenLockBase(BaseLock):
         #: when the outstanding local request was made (survivor ordering).
         self._view_epoch = 0
         self._requested_at: Optional[float] = None
+        #: Tokens tagged with an epoch below this floor are duplicates: a
+        #: view change regenerated the token at this-or-a-later epoch while
+        #: that copy was still in flight, and accepting it would create a
+        #: second holder.  Only bumped when a regeneration actually happens
+        #: (``token_lost``) — an in-flight token the recovery located and
+        #: chose to keep must still be accepted under its old epoch.
+        self._token_epoch_floor = 0
         self._daemon = ctx.env.process(
             self._daemon_loop(), name=f"{name}.daemon[{ctx.rank}]"
         )

@@ -359,9 +359,12 @@ def _chaos_tag(inst: int, epoch: int, round_no: int) -> int:
     """Tag for crash-aware collectives: instance + view epoch + round.
 
     The epoch bits keep messages from an abandoned pre-crash attempt from
-    matching the restarted exchange's receives.
+    matching the restarted exchange's receives.  Eight epoch bits mean a
+    single instance would need 256 view changes (e.g. a node crash taking
+    256 hosted ranks with it) before a stale message's tag could alias the
+    restarted exchange and corrupt its sums.
     """
-    return _TAG_CHAOS | ((inst % 1024) << 8) | ((epoch % 4) << 6) | (round_no % 64)
+    return _TAG_CHAOS | ((inst % 1024) << 14) | ((epoch % 256) << 6) | (round_no % 64)
 
 
 def _adoption_check(membership, key, epoch0):

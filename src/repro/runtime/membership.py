@@ -389,7 +389,7 @@ class MembershipService:
         pair = (src_rank, dst_rank)
         self._applied[pair] = self._applied.get(pair, 0) + 1
 
-    def written_off(self, me: int, result_epoch: int = 0) -> int:
+    def written_off(self, me: int) -> int:
         """Credits owed to ``me`` by dead ranks: operations they issued
         toward ``me``'s server — counted in the barrier totals either live
         or through their kill-time snapshot — that the server will never
@@ -491,7 +491,7 @@ class MembershipService:
         server = self.runtime.servers[self.topology.node_of(home_rank)]
         waiters = server._lock_waiters.get((home_rank, base_addr), {})
 
-        def note_revoked(ticket: int) -> None:
+        def note_revoked(ticket: int, rank: int = dead) -> None:
             revoked.add(ticket)
             if self.monitor is not None:
                 # The sanitizer's FIFO check must know which ticket numbers
@@ -500,7 +500,7 @@ class MembershipService:
                     "lease_revoked",
                     actor=MEMBERSHIP_ACTOR,
                     lock=f"{key[0]}:{key[1]}@{key[2]}",
-                    rank=dead,
+                    rank=rank,
                     ticket=ticket,
                     epoch=self.epoch,
                 )
@@ -508,13 +508,25 @@ class MembershipService:
         # Drop queued requests from dead ranks.
         for ticket, req in list(waiters.items()):
             if req.src_rank in self._dead:
-                note_revoked(ticket)
+                note_revoked(ticket, req.src_rank)
                 del waiters[ticket]
         if self.params.server_lock_op_us > 0.0:
             yield self.env.timeout(self.params.server_lock_op_us)
         counter_addr = base_addr + 1
         counter = region.read(counter_addr)
         next_ticket = region.read(base_addr)
+        # A dead shm-spinner's ticket may sit *behind* a live holder or
+        # waiter, where the contiguous head scan below cannot reach (it
+        # stops at the first live ticket, and no later declaration re-runs
+        # it).  Revoke every not-yet-served ticket owned by a dead rank
+        # here so skip_revoked can hop over it when the survivor ahead of
+        # it eventually releases.
+        for rank, h in handles.items():
+            if rank not in self._dead:
+                continue
+            ticket = getattr(h, "_my_ticket", -1)
+            if ticket >= counter and ticket not in revoked:
+                note_revoked(ticket, rank)
         live_tickets = {
             h._my_ticket
             for rank, h in handles.items()
@@ -574,8 +586,12 @@ class MembershipService:
         handle = self._locks[key]["handles"][dead]
         phase = getattr(handle, "_phase", "idle")
         p = self.params
-        if phase == "held":
-            yield from self._mcs_ghost_release(handle, dead)
+        if phase in ("held", "releasing"):
+            # "releasing": killed mid-release — after entering _release()
+            # but before the handoff put / tail CAS completed.  The ghost
+            # release observes the region first and only repairs what is
+            # still missing, so it is safe for every partial outcome.
+            yield from self._mcs_ghost_release(key, handle, dead)
             return
         if phase != "waiting":
             return
@@ -606,43 +622,87 @@ class MembershipService:
             lambda v: v == _FALSE,
             poll_detect_us=p.poll_detect_us,
         )
-        yield from self._mcs_ghost_release(handle, dead)
+        yield from self._mcs_ghost_release(key, handle, dead)
 
-    def _mcs_ghost_release(self, handle, dead: int):
-        """Perform the dead rank's release on its behalf."""
+    def _mcs_ghost_release(self, key: Tuple[str, str, int], handle, dead: int):
+        """Perform (or finish) the dead rank's release on its behalf.
+
+        Idempotent against a release the dead rank had already begun: every
+        branch observes the region state first and only repairs what is
+        still missing — a handoff put or tail CAS that was applied before
+        the crash is never redone (rewriting a successor's ``locked`` flag
+        after it moved on would grant a later acquisition spuriously).
+        """
         from ..locks.mcs import _FALSE, _OFF_LOCKED, _OFF_NEXT
         from .memory import NULL_PTR
 
         p = self.params
+        handles = self._locks[key]["handles"]
         dead_region = self.runtime.regions[dead]
         nbase = handle.node_struct.base
         my_ptr = (dead, nbase)
         home_region = self.runtime.regions[handle.home_rank]
+        home_node = self.topology.node_of(handle.home_rank)
         lock_addr = handle.lock_addr
+
+        def read_next():
+            return (
+                dead_region.read(nbase + _OFF_NEXT),
+                dead_region.read(nbase + _OFF_NEXT + 1),
+            )
+
+        def linker_pending() -> bool:
+            """Will anyone still write a link into the dead node's next?
+
+            True for a waiter that enqueued directly behind the dead node
+            (its own spin code or crash recovery will complete the link),
+            and for a live waiter whose tail swap has not resolved yet —
+            it may still turn out to have swapped behind the dead node.
+            """
+            for rank, h in handles.items():
+                if h is handle or getattr(h, "_phase", "idle") != "waiting":
+                    continue
+                prev = getattr(h, "_prev_ptr", None)
+                if prev is not None and tuple(prev) == my_ptr:
+                    return True
+                if prev is None and rank in self._alive:
+                    return True
+            return False
+
         if p.shm_access_us > 0.0:
             yield self.env.timeout(p.shm_access_us)
-        next_ptr = (
-            dead_region.read(nbase + _OFF_NEXT),
-            dead_region.read(nbase + _OFF_NEXT + 1),
-        )
+        next_ptr = read_next()
         if next_ptr == NULL_PTR:
             if p.shm_atomic_us > 0.0:
                 yield self.env.timeout(p.shm_atomic_us)
             tail = (home_region.read(lock_addr), home_region.read(lock_addr + 1))
             if tail == my_ptr:
+                # Still the tail with no successor: the dead rank's release
+                # CAS never applied (or was never issued); perform it.
                 home_region.write(lock_addr, NULL_PTR[0])
                 home_region.write(lock_addr + 1, NULL_PTR[1])
                 return
-            # A successor swapped in but has not linked itself yet.
-            yield from dead_region.wait_until(
-                nbase + _OFF_NEXT,
-                lambda v: v != NULL_PTR[0],
-                poll_detect_us=p.poll_detect_us,
-            )
-            next_ptr = (
-                dead_region.read(nbase + _OFF_NEXT),
-                dead_region.read(nbase + _OFF_NEXT + 1),
-            )
+            if tail == NULL_PTR:
+                # The dead rank's own release CAS already applied.
+                return
+            # The tail moved past the dead node.  Either a successor
+            # swapped in behind it and has not linked yet (the link will
+            # come), or the dead rank completed its release CAS before
+            # crashing and the tail belongs to a fresh chain that owes the
+            # dead node nothing.  Resolve by watching the link cell and
+            # the waiting handles until one of the two becomes certain.
+            while True:
+                next_ptr = read_next()
+                if next_ptr != NULL_PTR:
+                    break
+                if not linker_pending() or self.node_dead(home_node):
+                    return  # nobody will ever link: release already done
+                yield self.env.timeout(p.membership_poll_us)
+        # Hand off — unless the dead rank's own handoff already landed and
+        # the successor moved on (its locked flag may since be re-armed).
+        succ = handles.get(next_ptr[0])
+        if succ is not None and getattr(succ, "_phase", "waiting") != "waiting":
+            return
         if p.shm_access_us > 0.0:
             yield self.env.timeout(p.shm_access_us)
         next_rank, next_base = next_ptr

@@ -218,3 +218,24 @@ class TestAlltoall:
 
         with pytest.raises(ValueError, match="items"):
             spmd(3, main)
+
+
+class TestChaosTag:
+    def test_epoch_field_wide_enough_for_node_crash(self):
+        """Regression: the epoch field kept only 2 bits, so a node crash
+        declaring 4+ hosted ranks during one barrier instance aliased the
+        abandoned attempt's tags onto the restarted exchange (stale sums
+        silently folded into the wrong accumulator)."""
+        inst, round_no = 3, 2
+        tags = [collectives._chaos_tag(inst, e, round_no) for e in range(256)]
+        assert len(set(tags)) == 256
+
+    def test_fields_do_not_collide(self):
+        base = collectives._chaos_tag(5, 7, 9)
+        assert collectives._chaos_tag(6, 7, 9) != base
+        assert collectives._chaos_tag(5, 8, 9) != base
+        assert collectives._chaos_tag(5, 7, 10) != base
+        # Distinct instances never share a tag regardless of epoch/round.
+        a = {collectives._chaos_tag(1, e, r) for e in range(256) for r in range(64)}
+        b = {collectives._chaos_tag(2, e, r) for e in range(256) for r in range(64)}
+        assert not (a & b)

@@ -20,7 +20,8 @@ from repro.experiments.chaosbench import (
     FIFO_KINDS,
     run_chaosbench,
 )
-from repro.net.faults import FaultPlan, ProcessCrash
+from repro.locks import make_lock
+from repro.net.faults import FaultPlan, LinkFaults, ProcessCrash
 from repro.net.params import NetworkParams
 from repro.runtime.cluster import ClusterRuntime
 from repro.runtime.memory import GlobalAddress
@@ -130,6 +131,159 @@ class TestLockRecovery:
         assert set(res.dead) == {4, 5}
         # The first victim held the lock; the second died queued behind it.
         assert any(p["dead_holder"] == 4 for p in res.preemptions)
+
+
+class TestDeadWaiterBehindLiveHolder:
+    """Regression: a dead shm-spinning waiter queued *behind* a live holder
+    must have its ticket revoked even though the contiguous head scan stops
+    at the live holder's ticket — otherwise the release passes the counter
+    straight onto the dead ticket and every survivor behind it wedges."""
+
+    @pytest.mark.parametrize("kind", ("ticket", "hybrid"))
+    def test_release_skips_dead_ticket_behind_live_holder(self, kind):
+        params = crash_params((1, 60.0))
+        runtime = ClusterRuntime(4, procs_per_node=4, params=params)
+        grants = []
+
+        def program(ctx):
+            lock = make_lock(kind, ctx, home_rank=0, name="mx")
+            if ctx.rank == 0:
+                yield from lock.acquire()
+                # Hold across the waiter's death, declaration, and recovery.
+                while 1 not in ctx.membership.dead_ranks():
+                    yield ctx.env.timeout(10.0)
+                yield ctx.env.timeout(50.0)
+                yield from lock.release()
+                return "released"
+            if ctx.rank == 1:
+                yield ctx.env.timeout(10.0)
+                yield from lock.acquire()  # killed while spinning
+                return "unreachable"
+            yield ctx.env.timeout(20.0 + ctx.rank)
+            yield from lock.acquire()
+            grants.append((ctx.env.now, ctx.rank))
+            yield from lock.release()
+            return "granted"
+
+        results = runtime.run_spmd(program)
+        assert results[1] is CRASHED
+        assert results[0] == "released"
+        assert results[2] == results[3] == "granted"
+        # Survivor FIFO preserved: rank 2 took its ticket before rank 3.
+        assert [r for _, r in sorted(grants)] == [2, 3]
+        # The dead rank's ticket (1) was revoked even though the head scan
+        # stopped at the live holder's ticket (0).
+        m = runtime.membership
+        revoked = set().union(*m._revoked_tickets.values())
+        assert 1 in revoked
+
+
+class TestMcsMidReleaseRecovery:
+    """Regression: a holder killed in phase 'releasing' (after entering
+    _release() but before the handoff/CAS completed) must still be
+    ghost-released; previously recovery returned without repair."""
+
+    def test_killed_before_handoff_reaches_successor(self):
+        params = crash_params((0, 502.0))
+        runtime = ClusterRuntime(3, params=params)
+
+        def program(ctx):
+            lock = make_lock("mcs", ctx, home_rank=0, name="mx")
+            if ctx.rank == 0:
+                yield from lock.acquire()
+                yield ctx.env.timeout(500.0 - ctx.env.now)
+                yield from lock.release()  # killed inside the release
+                return "unreachable"
+            if ctx.rank == 1:
+                yield ctx.env.timeout(20.0)
+                yield from lock.acquire()  # queued behind rank 0
+                granted = ctx.env.now
+                yield from lock.release()
+                return granted
+            yield ctx.env.timeout(1.0)
+            return None
+
+        results = runtime.run_spmd(program)
+        m = runtime.membership
+        assert results[0] is CRASHED
+        # The victim died inside its release, not while holding or idle.
+        handles = m._locks[("mcs", "mx", 0)]["handles"]
+        assert handles[0]._phase == "releasing"
+        # The successor was granted by crash recovery, after declaration.
+        assert results[1] > m.declared_at[0]
+
+    def test_killed_mid_cas_with_no_successor(self):
+        # Home on rank 1: the uncontended-release CAS is a remote round
+        # trip, so the kill lands between entering _release() and the CAS
+        # taking effect; a later acquirer must find the lock repaired.
+        params = crash_params((0, 502.0))
+        runtime = ClusterRuntime(3, params=params)
+
+        def program(ctx):
+            lock = make_lock("mcs", ctx, home_rank=1, name="mx")
+            if ctx.rank == 0:
+                yield from lock.acquire()
+                yield ctx.env.timeout(500.0 - ctx.env.now)
+                yield from lock.release()  # killed mid-CAS
+                return "unreachable"
+            if ctx.rank == 1:
+                yield ctx.env.timeout(800.0)  # after declaration + recovery
+                yield from lock.acquire()
+                granted = ctx.env.now
+                yield from lock.release()
+                return granted
+            yield ctx.env.timeout(1.0)
+            return None
+
+        results = runtime.run_spmd(program)
+        m = runtime.membership
+        assert results[0] is CRASHED
+        handles = m._locks[("mcs", "mx", 1)]["handles"]
+        assert handles[0]._phase == "releasing"
+        assert isinstance(results[1], float)
+
+
+class TestStaleTokenDropped:
+    """Regression: a token still in flight when recovery regenerates it
+    must be discarded on arrival (it would otherwise create a second
+    holder — or a protocol error granting with no pending request)."""
+
+    def test_naimi_regenerated_token_supersedes_in_flight_copy(self):
+        # The token 0 -> 1 rides a link with a deterministic 600us delay
+        # spike, so it is still in the fabric when an unrelated rank's
+        # death triggers token-lock recovery.
+        plan = FaultPlan(
+            links=(((0, 1), LinkFaults(delay_rate=1.0, delay_spike_us=600.0)),),
+            crashes=(ProcessCrash(at_us=100.0, rank=2),),
+            seed=11,
+        )
+        runtime = ClusterRuntime(4, params=NetworkParams(faults=plan))
+        locks = {}
+
+        def program(ctx):
+            lock = make_lock("naimi", ctx, home_rank=0, name="mx")
+            locks[ctx.rank] = lock
+            if ctx.rank == 1:
+                yield ctx.env.timeout(10.0)
+                yield from lock.acquire()  # granted via regeneration
+                yield ctx.env.timeout(5.0)
+                yield from lock.release()
+            if ctx.rank == 3:
+                yield ctx.env.timeout(900.0)  # after the stale copy landed
+                yield from lock.acquire()  # the lock must still work
+                yield from lock.release()
+            yield ctx.env.timeout(1000.0 - ctx.env.now)
+            return ctx.env.now
+
+        results = runtime.run_spmd(program)
+        assert results[2] is CRASHED
+        # The in-flight pre-crash token arrived after regeneration and was
+        # dropped instead of creating a second holder.
+        assert locks[1].stats.counters.get("stale_tokens_dropped", 0) == 1
+        # Recovery did regenerate (the token was neither held nor queued).
+        assert any(
+            r["kind"] == "naimi" for r in runtime.membership.recovery_log
+        )
 
 
 class TestBarrierUnderCrash:
