@@ -8,7 +8,9 @@ verifies the suggested programmer-selectable policy ("auto") tracks the
 winner.
 """
 
+from repro.armci.barrier import predicted_crossover_targets
 from repro.experiments.ablations import run_crossover
+from repro.net.params import myrinet2000
 
 from conftest import print_report
 
@@ -25,5 +27,10 @@ def test_crossover_sweep(benchmark):
     benchmark.extra_info["crossover_targets"] = crossover_at
     # The paper's heuristic says ~log2(16)/2 = 2.
     assert crossover_at is not None and 1 <= crossover_at <= 4
+    # The calibrated cost model that drives "auto" must predict the
+    # empirical crossover (it is what replaced the fixed threshold).
+    predicted = predicted_crossover_targets(myrinet2000(), 16)
+    benchmark.extra_info["predicted_crossover_targets"] = predicted
+    assert abs(predicted - crossover_at) <= 1
     for targets, row in result.by_targets.items():
         assert row["auto"] <= min(row["linear"], row["exchange"]) * 1.10

@@ -1,0 +1,46 @@
+"""Ablation bench: host binary exchange vs. the NIC-offloaded barrier.
+
+Three-way fig7-style comparison (host-exchange / nic-exchange / nic-tree)
+over the process counts.  The NIC engines run the combined fence+barrier
+without host involvement; under the calibrated ``myrinet2000()`` model the
+NIC exchange must beat the host exchange from 8 processes up (the doorbell
++ DMA overhead amortizes once there are 3+ phases of saved MPI-stack and
+host-latency cost per phase).
+"""
+
+from repro.experiments.nicbench import (
+    NicBenchConfig,
+    VARIANTS,
+    run_nicbench,
+)
+
+from conftest import FIG7_ITERATIONS, print_report
+
+
+def test_nic_ablation(benchmark):
+    cfg = NicBenchConfig(
+        nprocs_list=(2, 4, 8, 16),
+        iterations=FIG7_ITERATIONS,
+        shape=(64, 64),
+        strip_rows=2,
+    )
+    result = benchmark.pedantic(run_nicbench, args=(cfg,), rounds=1)
+    print_report("Ablation: host vs NIC-offloaded barrier", result.render())
+
+    # Shape: every variant has a value for every process count.
+    assert set(result.values) == set(VARIANTS)
+    for variant in VARIANTS:
+        assert sorted(result.values[variant]) == [2, 4, 8, 16]
+        assert all(v > 0.0 for v in result.values[variant].values())
+
+    # The offload pays off at scale.
+    for n in (8, 16):
+        nic = result.get("nic-exchange", n)
+        host = result.get("host-exchange", n)
+        assert nic < host, f"nic {nic:.1f}us >= host {host:.1f}us at {n}"
+        benchmark.extra_info[f"factor_at_{n}"] = round(result.factor(n), 3)
+
+    # The improvement factor grows with the process count.
+    assert result.factor(16) > result.factor(8)
+    # Recursive doubling beats the serialized combining tree at 16 nodes.
+    assert result.get("nic-exchange", 16) < result.get("nic-tree", 16)

@@ -16,7 +16,14 @@ Run:  python scripts/regenerate_results.py [output_dir]
 import pathlib
 import sys
 
-from repro.experiments import Fig7Config, LockBenchConfig, run_fig7, run_lock_series
+from repro.experiments import (
+    Fig7Config,
+    LockBenchConfig,
+    NicBenchConfig,
+    run_fig7,
+    run_lock_series,
+    run_nicbench,
+)
 from repro.experiments.ablations import (
     render_lock_algorithms,
     render_lock_fairness,
@@ -36,6 +43,7 @@ from repro.experiments.microbench import run_microbench
 from repro.experiments.report import (
     comparison_to_csv,
     lock_series_to_csv,
+    nicbench_to_csv,
     write_csv,
 )
 
@@ -75,6 +83,10 @@ def main() -> int:
     save("app_scaling", run_app_scaling(AppScalingConfig()).render())
     save("microbench", run_microbench().render())
 
+    nic = run_nicbench(NicBenchConfig(iterations=100))
+    save("ablation_nic", nic.render())
+    write_csv(nicbench_to_csv(nic), out, "ablation_nic")
+
     summary = [
         "Headline reproduction numbers (see EXPERIMENTS.md for full tables):",
         f"  Figure 7 factor @16 procs: {fig7.factor(16):.2f} (paper: up to 9)",
@@ -83,6 +95,8 @@ def main() -> int:
         " (paper: up to 1.25)",
         f"  Crossover at {crossover.crossover_targets()} put targets "
         "(paper: ~log2(16)/2 = 2)",
+        f"  NIC offload factor @16 procs: {nic.factor(16):.2f} "
+        "(host wins at 2, NIC from 4 up)",
     ]
     save("summary", "\n".join(summary))
     return 0

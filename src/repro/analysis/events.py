@@ -5,7 +5,9 @@ a kind-specific payload.  Actors are logical threads of the model:
 
 * ``p{rank}`` — a user process (the rank's SPMD program and anything it
   spawns, e.g. a lock's optimistic-release helper),
-* ``s{node}`` — the server thread hosting node ``node``'s memory.
+* ``s{node}`` — the server thread hosting node ``node``'s memory,
+* ``n{node}`` — the programmable NIC co-processor on node ``node`` (only
+  present when the NIC-offloaded barrier runs).
 
 The emission order of the events in the tracer *is* the global observation
 order used by the happens-before engine: the simulation is sequential, so
@@ -44,6 +46,10 @@ LOCK_REL = "lock_rel"
 PROC_CRASHED = "proc_crashed"
 VIEW_CHANGE = "view_change"
 LEASE_REVOKED = "lease_revoked"
+#: NIC-offloaded barrier (host doorbell -> NIC combining -> NIC release).
+NIC_DOORBELL = "nic_doorbell"
+NIC_COMBINE = "nic_combine"
+NIC_RELEASE = "nic_release"
 
 KINDS = (
     MEM_READ,
@@ -64,6 +70,9 @@ KINDS = (
     PROC_CRASHED,
     VIEW_CHANGE,
     LEASE_REVOKED,
+    NIC_DOORBELL,
+    NIC_COMBINE,
+    NIC_RELEASE,
 )
 
 

@@ -22,7 +22,13 @@ Happens-before edges (see ``docs/analysis.md`` for the full model):
 * **lock release -> acquire** — an acquire joins the clock stored by the
   previous release of the same lock;
 * **sync cells** — reads of release/acquire cells (lock words, ``op_done``
-  and notify counters) join the clock of their last write.
+  and notify counters) join the clock of their last write;
+* **NIC offload** — a ``nic_combine`` joins what the NIC folded in (the
+  host's doorbell snapshot, the sending NIC's clock at frame injection,
+  or the server's clock at the mirrored ``op_done`` bump), and a
+  ``nic_release`` must *dominate every rank's doorbell* of its epoch —
+  the proof that the NIC protocol cannot release a host early; the host
+  joins the release clock at ``barrier_exit``.
 
 Checks: data races on plain cells (conflicting, HB-unordered, not both
 atomic), fence-counting violations (``op_done`` over/under-credit, fence
@@ -152,6 +158,12 @@ class HBAnalyzer:
         self._lock_clock: Dict[str, Dict[str, int]] = {}
         self._lock_ticket: Dict[str, int] = {}
         self._lock_pending: Dict[Tuple[str, str], float] = {}
+        # NIC-offload state (populated only by NIC-mode barriers).
+        self._nic_doorbells: Dict[int, Dict[int, Dict[str, int]]] = {}
+        self._nic_expected: Dict[int, int] = {}
+        self._nic_frames: Dict[Tuple[int, str, int], Dict[str, int]] = {}
+        self._op_done_clock: Dict[Tuple[int, int], Dict[str, int]] = {}
+        self._nic_release_snap: Dict[Tuple[int, int], Dict[str, int]] = {}
         # Crash-stop state (populated only by membership-service events).
         self._dead_actors: Set[str] = set()
         self._dead_nodes: Set[int] = set()
@@ -317,6 +329,9 @@ class HBAnalyzer:
 
     def _on_op_done(self, ev, actor, tick, data) -> None:
         rank = data["rank"]
+        # Exact-value snapshot for the NIC mirror: a NIC observing mirror
+        # value v joins the server's clock at the bump that produced v.
+        self._op_done_clock[(rank, data["value"])] = dict(self._clock(actor))
         self._op_done_bumps[rank] = self._op_done_bumps.get(rank, 0) + 1
         if self._op_done_bumps[rank] > self._credit_applies.get(rank, 0):
             self.report.add(
@@ -366,6 +381,15 @@ class HBAnalyzer:
 
     def _on_barrier_exit(self, ev, actor, tick, data) -> None:
         epoch = data["epoch"]
+        nic_epoch = data.get("nic_epoch")
+        if nic_epoch is not None and actor.startswith("p"):
+            # NIC-offloaded barrier: the host's release is the NIC's DMA
+            # write-back; join the NIC clock at release so everything the
+            # NIC observed (mirrored op_done bumps included) orders before
+            # the host's post-barrier accesses.
+            self._join(
+                actor, self._nic_release_snap.get((nic_epoch, int(actor[1:])))
+            )
         for snapshot in self._barrier_enters.get(epoch, {}).values():
             self._join(actor, snapshot)
         for issuer, op_ids in self._barrier_pending.get(epoch, {}).items():
@@ -477,6 +501,65 @@ class HBAnalyzer:
         key = (data["coll"], data["epoch"])
         for snapshot in self._coll_enters.get(key, {}).values():
             self._join(actor, snapshot)
+
+    # -- NIC-offloaded barrier -----------------------------------------------
+
+    def _on_nic_doorbell(self, ev, actor, tick, data) -> None:
+        epoch = data["epoch"]
+        self._nic_doorbells.setdefault(epoch, {})[data["rank"]] = dict(
+            self._clock(actor)
+        )
+        self._nic_expected[epoch] = data["n"]
+
+    def _on_nic_combine(self, ev, actor, tick, data) -> None:
+        epoch, src = data["epoch"], data["src"]
+        if src == "doorbell":
+            # The NIC folded a hosted rank's doorbell row.
+            self._join(
+                actor, self._nic_doorbells.get(epoch, {}).get(data["rank"])
+            )
+        elif src == "send":
+            # Frame injection: snapshot the sender NIC's clock; the
+            # receiving NIC joins it.  Emission order is observation
+            # order, so the snapshot exists before the matching recv.
+            key = (epoch, data["phase"], data["node"])
+            self._nic_frames[key] = dict(self._clock(actor))
+        elif src == "recv":
+            key = (epoch, data["phase"], data["peer"])
+            self._join(actor, self._nic_frames.get(key))
+        elif src == "mirror":
+            # Stage 2 satisfied against the op_done mirror: join the
+            # server's clock at the exact bump the mirror carries.
+            self._join(
+                actor, self._op_done_clock.get((data["rank"], data["value"]))
+            )
+
+    def _on_nic_release(self, ev, actor, tick, data) -> None:
+        epoch, rank = data["epoch"], data["rank"]
+        clock = self._clock(actor)
+        self._nic_release_snap[(epoch, rank)] = dict(clock)
+        # No early release: the NIC may only write the completion back
+        # after its clock dominates every participating rank's doorbell —
+        # i.e. every op_init row of the epoch flowed into the totals this
+        # release is based on.
+        doorbells = self._nic_doorbells.get(epoch, {})
+        for peer in range(self._nic_expected.get(epoch, data.get("n", 0))):
+            snap = doorbells.get(peer)
+            if snap is None or any(
+                clock.get(k, 0) < t for k, t in snap.items()
+            ):
+                self.report.add(
+                    Violation(
+                        kind="barrier",
+                        time=ev.time,
+                        message=(
+                            f"nic early release: epoch {epoch} release of "
+                            f"rank {rank} on {actor} does not happen-after "
+                            f"rank {peer}'s doorbell"
+                        ),
+                        details={"epoch": epoch, "rank": rank, "peer": peer},
+                    )
+                )
 
     # -- locks ---------------------------------------------------------------
 

@@ -25,7 +25,7 @@ from .monitor import SyncMonitor
 __all__ = ["TARGETS", "run_sanitized_target"]
 
 #: Recognized ``repro check`` targets (``all`` expands to every entry).
-TARGETS = ("fig7", "locks", "faultbench", "chaos")
+TARGETS = ("fig7", "locks", "faultbench", "chaos", "nic")
 
 
 def _sanitized_spmd(nprocs: int, main, *args, **runtime_kwargs):
@@ -133,11 +133,31 @@ def _check_chaos() -> List[Tuple[str, SanReport]]:
     return out
 
 
+def _check_nic() -> List[Tuple[str, SanReport]]:
+    """GA_Sync via the NIC-offloaded barrier, both NIC algorithms.
+
+    Exercises the ``nic_doorbell``/``nic_combine``/``nic_release`` event
+    vocabulary and the no-early-release rule: every release must
+    happen-after every participating rank's doorbell.
+    """
+    from ..experiments.common import default_params
+    from ..experiments.fig7_sync import Fig7Config, sync_workload
+
+    cfg = Fig7Config(iterations=2, shape=(16, 16), strip_rows=2)
+    out = []
+    for nic_alg in ("exchange", "tree"):
+        params = default_params(cfg.params).with_(nic_algorithm=nic_alg)
+        report = _sanitized_spmd(4, sync_workload, "nic", cfg, params=params)
+        out.append((f"nic[{nic_alg}]", report))
+    return out
+
+
 _RUNNERS = {
     "fig7": _check_fig7,
     "locks": _check_locks,
     "faultbench": _check_faultbench,
     "chaos": _check_chaos,
+    "nic": _check_nic,
 }
 
 

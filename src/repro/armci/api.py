@@ -105,6 +105,8 @@ class Armci:
         self._chaos_barrier_seq = 0
         #: Extra barrier_exit event data from the last resilient barrier.
         self._chaos_barrier_info: Optional[Dict[str, int]] = None
+        #: NIC-offloaded barrier epoch counter (same SPMD-order contract).
+        self._nic_barrier_seq = 0
         #: Operation counters (diagnostics / tests).
         self.stats: Dict[str, int] = {
             "puts_local": 0,

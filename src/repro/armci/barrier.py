@@ -39,23 +39,35 @@ import math
 from typing import TYPE_CHECKING
 
 from ..mp import collectives
+from ..net.params import MSG_HEADER_BYTES, SMALL_MSG_BYTES
+from ..sim.core import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from .api import Armci
 
-__all__ = ["armci_barrier", "ALGORITHMS"]
+__all__ = [
+    "armci_barrier",
+    "ALGORITHMS",
+    "estimate_linear_us",
+    "estimate_exchange_us",
+    "estimate_nic_us",
+    "predicted_crossover_targets",
+]
 
-ALGORITHMS = ("exchange", "linear", "auto")
+ALGORITHMS = ("exchange", "linear", "auto", "nic")
 
 
 def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
     """Run the combined fence+barrier using the selected algorithm.
 
     ``"exchange"`` is the paper's new operation; ``"linear"`` is the
-    original AllFence + message-passing barrier; ``"auto"`` implements the
-    paper's closing suggestion — let the caller (or the library) pick the
-    linear algorithm when puts touched fewer than ``log2(N)/2`` servers,
-    where contacting them directly is cheaper than the full exchange.
+    original AllFence + message-passing barrier; ``"nic"`` offloads all
+    three stages to the programmable NIC co-processors (see
+    :mod:`repro.nic.engine`); ``"auto"`` implements the paper's closing
+    suggestion — compare the calibrated cost-model estimates of the
+    candidate algorithms (see :func:`estimate_linear_us` and friends) and
+    pick the cheapest.  The NIC path joins the comparison only when
+    ``params.nic_offload`` is set; it can always be requested explicitly.
 
     .. warning::
        ``"auto"`` decides from the *local* count of servers touched since
@@ -78,8 +90,7 @@ def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
             "(construct Armci with comm=...)"
         )
     if algorithm == "auto":
-        threshold = math.log2(max(armci.nprocs, 2)) / 2.0
-        algorithm = "linear" if len(armci.dirty_nodes) < threshold else "exchange"
+        algorithm = _auto_select(armci)
 
     monitor = armci._monitor
     epoch = 0
@@ -89,8 +100,12 @@ def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
         armci._san_barrier_epoch += 1
         epoch = armci._san_barrier_epoch
         monitor.emit("barrier_enter", epoch=epoch)
-    if armci.membership is not None:
-        # Crash-stop fault plan active: every algorithm routes to the
+    if algorithm == "nic":
+        # The NIC path owns its crash handling: it degrades to the
+        # resilient host exchange when a view change interrupts it.
+        yield from _nic(armci)
+    elif armci.membership is not None:
+        # Crash-stop fault plan active: every host algorithm routes to the
         # resilient exchange (the linear path's MPI barrier has no
         # survivor handling and would wedge on a dead rank).
         yield from _exchange_resilient(armci)
@@ -105,6 +120,157 @@ def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
         extra = armci._chaos_barrier_info or {}
         armci._chaos_barrier_info = None
         monitor.emit("barrier_exit", epoch=epoch, **extra)
+
+
+def _mp_barrier_estimate_us(params, nprocs: int) -> float:
+    """Handbook cost of the log2(N)-phase message-passing barrier."""
+    if nprocs < 2:
+        return 0.0
+    phases = math.ceil(math.log2(nprocs))
+    return phases * (2 * params.mp_call_us + params.one_way(SMALL_MSG_BYTES))
+
+
+def estimate_linear_us(params, nprocs: int, dirty_count: int) -> float:
+    """Analytic estimate of AllFence + MPI_Barrier (µs).
+
+    One serial confirmation round trip per dirty server (the server pays
+    wake-up + dispatch + per-client fence verification), then the
+    message-passing barrier.  This is the §3.1.2 cost the crossover
+    trades against :func:`estimate_exchange_us`.
+    """
+    fence_rt = (
+        2 * params.api_call_us
+        + 2 * params.one_way(SMALL_MSG_BYTES)
+        + params.server_wake_us
+        + params.server_proc_us
+        + params.server_fence_check_us
+    )
+    return (
+        params.api_call_us
+        + dirty_count * fence_rt
+        + _mp_barrier_estimate_us(params, nprocs)
+    )
+
+
+def estimate_exchange_us(params, nprocs: int) -> float:
+    """Analytic estimate of the host three-stage barrier (µs)."""
+    vec_bytes = 8 * nprocs
+    allreduce = 0.0
+    if nprocs >= 2:
+        phases = math.ceil(math.log2(nprocs))
+        allreduce = phases * (2 * params.mp_call_us + params.one_way(vec_bytes))
+    stage2 = params.poll_detect_us
+    return allreduce + stage2 + _mp_barrier_estimate_us(params, nprocs)
+
+
+def estimate_nic_us(params, nprocs: int, nnodes: int, ppn: int = 1) -> float:
+    """Analytic estimate of the NIC-offloaded barrier (µs).
+
+    Doorbell + DMA down, per-hosted-rank NIC folds, two log2(nnodes)
+    frame waves (sum + barrier) at NIC processing cost instead of host
+    MPI calls, and the completion DMA back up.
+    """
+    vec_bytes = 8 * nprocs
+    doorbell = (
+        params.nic_doorbell_us
+        + params.nic_dma_us
+        + vec_bytes * params.nic_dma_per_byte_us
+    )
+    hop_v = (
+        2 * params.nic_proc_us
+        + params.xfer_time(vec_bytes + MSG_HEADER_BYTES)
+        + params.nic_wire_latency_us
+    )
+    hop_c = (
+        2 * params.nic_proc_us
+        + params.xfer_time(8 + MSG_HEADER_BYTES)
+        + params.nic_wire_latency_us
+    )
+    phases = math.ceil(math.log2(nnodes)) if nnodes >= 2 else 0
+    local = 3 * ppn * params.nic_proc_us  # fold + mirror check + release
+    release = params.nic_dma_us + params.poll_detect_us
+    return doorbell + local + phases * (hop_v + hop_c) + release
+
+
+def predicted_crossover_targets(params, nprocs: int) -> int:
+    """Smallest dirty-server count where the exchange beats AllFence."""
+    exchange = estimate_exchange_us(params, nprocs)
+    for targets in range(nprocs + 1):
+        if estimate_linear_us(params, nprocs, targets) >= exchange:
+            return targets
+    return nprocs
+
+
+def _auto_select(armci: "Armci") -> str:
+    """Pick the cheapest algorithm from the calibrated cost model.
+
+    The exchange and NIC estimates depend only on globally-agreed values
+    (params, nprocs, node layout), and the linear estimate on the local
+    dirty-server count — the same symmetric-pattern contract the previous
+    fixed threshold carried (see the warning on :func:`armci_barrier`).
+    """
+    params = armci.params
+    nprocs = armci.nprocs
+    estimates = {
+        "linear": estimate_linear_us(params, nprocs, len(armci.dirty_nodes)),
+        "exchange": estimate_exchange_us(params, nprocs),
+    }
+    if params.nic_offload:
+        topology = armci.topology
+        ppn = max(len(topology.ranks_on(n)) for n in range(topology.nnodes))
+        estimates["nic"] = estimate_nic_us(params, nprocs, topology.nnodes, ppn)
+    return min(sorted(estimates), key=estimates.get)
+
+
+def _nic(armci: "Armci"):
+    """The NIC-offloaded barrier: doorbell down, completion DMA back up.
+
+    The host posts its ``op_init`` row in a single doorbell and blocks;
+    the per-node NIC engines (built lazily on first use) execute all
+    three stages among themselves — see :mod:`repro.nic.engine`.  Under a
+    crash-stop fault plan the path degrades to the resilient host
+    exchange: immediately once any death has been declared, or on the
+    view change that interrupts an in-flight NIC barrier (crashed nodes'
+    NICs are marked dead by the membership service, so surviving NICs'
+    frames to them are refused rather than wedging the fabric).
+    """
+    from ..nic.engine import ensure_engines
+
+    # The epoch counts this rank's NIC barriers; SPMD programs reach their
+    # N-th barrier together, so it identifies the epoch across ranks.
+    # Bumped before any degrade branch so ranks that race a view change
+    # stay in step for later epochs.
+    epoch = armci._nic_barrier_seq
+    armci._nic_barrier_seq = epoch + 1
+    membership = armci.membership
+    if membership is not None and membership.epoch > 0:
+        armci.stats["nic_degraded"] = armci.stats.get("nic_degraded", 0) + 1
+        yield from _exchange_resilient(armci)
+        return
+    engines = ensure_engines(armci)
+    engine = engines[armci.node]
+    params = armci.params
+    if params.nic_doorbell_us > 0.0:
+        yield armci.env.timeout(params.nic_doorbell_us)
+    release = engine.post_doorbell(epoch, armci.rank, armci.op_init)
+    if membership is None:
+        yield release
+    else:
+        view_changed = Event(armci.env)
+
+        def _on_view(_epoch=None):
+            if not view_changed.triggered:
+                view_changed.succeed()
+
+        membership.subscribe(_on_view)
+        if membership.epoch > 0:  # declared between entry check and here
+            _on_view()
+        yield release | view_changed
+        if not release.triggered:
+            armci.stats["nic_degraded"] = armci.stats.get("nic_degraded", 0) + 1
+            yield from _exchange_resilient(armci)
+            return
+    armci._chaos_barrier_info = {"nic_epoch": epoch}
 
 
 def _linear(armci: "Armci"):

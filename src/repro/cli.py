@@ -10,6 +10,7 @@ Usage (installed as ``armci-repro``, or ``python -m repro``)::
     armci-repro ablations           # all five ablation studies
     armci-repro faults              # sync cost + retry volume vs drop rate
     armci-repro chaos               # crash-stop kills + membership recovery
+    armci-repro nic                 # host vs NIC-offloaded barrier ablation
     armci-repro all                 # everything above
     armci-repro fig7 --iterations 100 --network gige
     armci-repro faults --drop-rate 0.05 --fault-seed 7 --retry-timeout 40
@@ -66,8 +67,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "locks", "ablations", "app",
-                 "microbench", "fairness", "faults", "chaos", "validate",
-                 "check", "all"],
+                 "microbench", "fairness", "faults", "chaos", "nic",
+                 "validate", "check", "all"],
         help="which experiment to regenerate (or 'check' to run RMCSan)",
     )
     parser.add_argument(
@@ -76,7 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "for 'check': which workload to sanitize "
-            "(fig7, locks, faultbench, chaos; default all)"
+            "(fig7, locks, faultbench, chaos, nic; default all)"
         ),
     )
     parser.add_argument(
@@ -341,6 +342,38 @@ def _chaos(args) -> int:
     return 0 if result.all_ok() else 1
 
 
+def _nic(args) -> None:
+    from .experiments.nicbench import NicBenchConfig, run_nicbench
+    from .experiments.report import nicbench_to_csv, write_csv
+
+    cfg = NicBenchConfig(
+        nprocs_list=(
+            tuple(args.procs) if args.procs else NicBenchConfig.nprocs_list
+        ),
+        iterations=args.iterations or 100,
+        procs_per_node=args.ppn,
+        params=_network_params(args),
+    )
+    result = run_nicbench(cfg)
+    print(result.render())
+    if args.csv:
+        path = write_csv(nicbench_to_csv(result), args.csv, "ablation_nic")
+        print(f"csv written: {path}")
+
+
+def _chaos_defaults(args) -> int:
+    """Chaos summary for ``repro all``: stock kills regardless of --procs.
+
+    The default victim ranks assume the default process count, so the
+    sweep flags that resize other experiments are deliberately ignored.
+    """
+    from .experiments.chaosbench import ChaosBenchConfig, run_chaosbench
+
+    result = run_chaosbench(ChaosBenchConfig(params=_preset(args.network)))
+    print(result.render())
+    return 0 if result.all_ok() else 1
+
+
 def _check(args) -> int:
     """``repro check [target]``: RMCSan over representative workloads."""
     if args.lint:
@@ -404,6 +437,8 @@ def _dispatch(args) -> int:
         _faults(args)
     elif args.experiment == "chaos":
         return _chaos(args)
+    elif args.experiment == "nic":
+        _nic(args)
     elif args.experiment == "validate":
         from .experiments.validate import run_validation
 
@@ -419,6 +454,13 @@ def _dispatch(args) -> int:
         _ablations(args)
         print()
         _app(args)
+        print()
+        _faults(args)
+        print()
+        rc = _chaos_defaults(args)
+        print()
+        _nic(args)
+        return rc
     return 0
 
 

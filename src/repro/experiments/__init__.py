@@ -8,6 +8,7 @@ from .fig8_lock_total import run_fig8
 from .fig9_lock_acquire import run_fig9
 from .fig10_lock_release import run_fig10
 from .lockbench import LockBenchConfig, LockPoint, run_lock_point, run_lock_series
+from .nicbench import NicBenchConfig, NicBenchResult, run_nicbench
 
 __all__ = [
     "ChaosBenchConfig",
@@ -17,6 +18,8 @@ __all__ = [
     "Fig7Config",
     "LockBenchConfig",
     "LockPoint",
+    "NicBenchConfig",
+    "NicBenchResult",
     "format_table",
     "run_chaosbench",
     "run_faultbench",
@@ -26,4 +29,5 @@ __all__ = [
     "run_fig10",
     "run_lock_point",
     "run_lock_series",
+    "run_nicbench",
 ]

@@ -1,0 +1,144 @@
+"""NIC ablation: host binary exchange vs. NIC-offloaded barrier.
+
+Three-way comparison of the combined fence+barrier implementations over
+the process counts of the paper's Figure 7 workload:
+
+* ``host-exchange`` — the paper's 3-stage binary exchange run by the host
+  processes (GA_Sync mode ``new``),
+* ``nic-exchange`` — the NIC co-processors run all three stages with the
+  recursive-doubling exchange (``nic_algorithm="exchange"``),
+* ``nic-tree`` — same, with the combining-tree variant
+  (``nic_algorithm="tree"``).
+
+The host posts a single doorbell and sleeps; stage 2 is satisfied against
+the NIC-resident ``op_done`` mirror, so no host is involved between the
+doorbell and the completion write-back.  The NIC wins once the saved
+per-phase host overhead (two ``mp_call_us`` + send/recv ``o_*`` beats)
+exceeds the doorbell + DMA cost of shipping the ``op_init`` row down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.params import NetworkParams
+from ..runtime.cluster import ClusterRuntime
+from .common import DEFAULT_NPROCS, default_params, format_table
+from .fig7_sync import Fig7Config, sync_workload
+
+__all__ = ["NicBenchConfig", "NicBenchResult", "run_nicbench", "VARIANTS"]
+
+#: The three compared implementations, in table-column order.
+VARIANTS: Tuple[str, ...] = ("host-exchange", "nic-exchange", "nic-tree")
+
+
+@dataclass(frozen=True)
+class NicBenchConfig:
+    """Workload parameters for the NIC ablation (Figure 7 workload)."""
+
+    nprocs_list: Tuple[int, ...] = DEFAULT_NPROCS
+    iterations: int = 100
+    shape: Tuple[int, int] = (256, 256)
+    strip_rows: int = 4
+    procs_per_node: int = 1
+    params: Optional[NetworkParams] = None
+
+
+@dataclass
+class NicBenchResult:
+    """``values[variant][nprocs] -> mean GA_Sync time (us)``."""
+
+    title: str
+    metric: str
+    values: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def record(self, variant: str, nprocs: int, value_us: float) -> None:
+        self.values.setdefault(variant, {})[nprocs] = value_us
+
+    def nprocs_list(self) -> List[int]:
+        keys = set()
+        for series in self.values.values():
+            keys.update(series)
+        return sorted(keys)
+
+    def get(self, variant: str, nprocs: int) -> float:
+        return self.values[variant][nprocs]
+
+    def best(self, nprocs: int) -> str:
+        """Winning variant at ``nprocs`` (deterministic tie-break)."""
+        return min(VARIANTS, key=lambda v: (self.get(v, nprocs), v))
+
+    def factor(self, nprocs: int) -> float:
+        """host-exchange / best NIC variant (>1 means offload wins)."""
+        nic_best = min(
+            self.get("nic-exchange", nprocs), self.get("nic-tree", nprocs)
+        )
+        return self.get("host-exchange", nprocs) / nic_best
+
+    def to_rows(self) -> List[List[str]]:
+        header = ["procs"] + [f"{v} (us)" for v in VARIANTS]
+        header += ["best", "factor"]
+        rows = [header]
+        for n in self.nprocs_list():
+            rows.append(
+                [str(n)]
+                + [f"{self.get(v, n):.1f}" for v in VARIANTS]
+                + [self.best(n), f"{self.factor(n):.2f}"]
+            )
+        return rows
+
+    def render(self) -> str:
+        lines = [f"== {self.title} ==", f"metric: {self.metric}"]
+        lines.append(format_table(self.to_rows()))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _mean_sync_us(
+    cfg: NicBenchConfig, nprocs: int, mode: str, params: NetworkParams
+) -> float:
+    fig7_cfg = Fig7Config(
+        nprocs_list=(nprocs,),
+        iterations=cfg.iterations,
+        shape=cfg.shape,
+        strip_rows=cfg.strip_rows,
+        procs_per_node=cfg.procs_per_node,
+        params=params,
+    )
+    runtime = ClusterRuntime(
+        nprocs, procs_per_node=cfg.procs_per_node, params=params
+    )
+    per_rank = runtime.run_spmd(sync_workload, mode, fig7_cfg)
+    pooled = [s for samples in per_rank for s in samples]
+    return sum(pooled) / len(pooled)
+
+
+def run_nicbench(cfg: NicBenchConfig = NicBenchConfig()) -> NicBenchResult:
+    """Run the three-way host vs. NIC barrier comparison."""
+    result = NicBenchResult(
+        title="NIC ablation: GA_Sync() time (host vs NIC offload)",
+        metric="mean GA_Sync time over all iterations and processes (us)",
+    )
+    base = default_params(cfg.params)
+    plans = (
+        ("host-exchange", "new", base),
+        ("nic-exchange", "nic", base.with_(nic_algorithm="exchange")),
+        ("nic-tree", "nic", base.with_(nic_algorithm="tree")),
+    )
+    for variant, mode, params in plans:
+        for nprocs in cfg.nprocs_list:
+            result.record(
+                variant, nprocs, _mean_sync_us(cfg, nprocs, mode, params)
+            )
+    result.notes.append(
+        f"workload: {cfg.shape} array, {cfg.strip_rows}-row strips to every "
+        f"remote block, {cfg.iterations} iterations"
+    )
+    result.notes.append(
+        "nic variants: host posts one doorbell (op_init row DMA'd to the "
+        "NIC); stage 2 satisfied against the NIC-resident op_done mirror"
+    )
+    return result

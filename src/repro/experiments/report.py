@@ -14,8 +14,14 @@ from typing import Dict, Optional, Union
 
 from .common import Comparison
 from .lockbench import LockPoint
+from .nicbench import NicBenchResult
 
-__all__ = ["comparison_to_csv", "lock_series_to_csv", "write_csv"]
+__all__ = [
+    "comparison_to_csv",
+    "lock_series_to_csv",
+    "nicbench_to_csv",
+    "write_csv",
+]
 
 
 def comparison_to_csv(comparison: Comparison) -> str:
@@ -50,6 +56,19 @@ def lock_series_to_csv(series: Dict[str, Dict[int, LockPoint]]) -> str:
                     f"{point.roundtrip_us:.3f}",
                 ]
             )
+    return buffer.getvalue()
+
+
+def nicbench_to_csv(result: NicBenchResult) -> str:
+    """Tidy CSV for the NIC ablation: variant,nprocs,us + factor rows."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["variant", "nprocs", "microseconds"])
+    for variant, series in result.values.items():
+        for nprocs in sorted(series):
+            writer.writerow([variant, nprocs, f"{series[nprocs]:.3f}"])
+    for nprocs in result.nprocs_list():
+        writer.writerow(["factor", nprocs, f"{result.factor(nprocs):.4f}"])
     return buffer.getvalue()
 
 

@@ -10,6 +10,8 @@ system have completed and that all processes have reached the same point.
   exchange).
 * ``auto`` — the paper's §3.1.2 suggestion: choose per communication
   pattern (linear when few servers were touched).
+* ``nic`` — the NIC-offloaded barrier: the programmable NIC co-processors
+  run all three stages without host involvement (``repro.nic``).
 """
 
 from __future__ import annotations
@@ -28,5 +30,9 @@ def ga_sync(ctx, mode: str = "new"):
         yield from ctx.armci.barrier(algorithm="exchange")
     elif mode == "auto":
         yield from ctx.armci.barrier(algorithm="auto")
+    elif mode == "nic":
+        yield from ctx.armci.barrier(algorithm="nic")
     else:
-        raise ValueError(f"unknown GA_Sync mode {mode!r}; use current/new/auto")
+        raise ValueError(
+            f"unknown GA_Sync mode {mode!r}; use current/new/auto/nic"
+        )

@@ -180,15 +180,25 @@ class Fabric:
             return index
         if kind == "mp":
             return self.topology.node_of(index)
+        if kind == "nic":
+            return index
         raise ValueError(f"unknown endpoint kind {kind!r}")
 
     # -- path timing ---------------------------------------------------------
 
-    def _path_delay(self, src_node: int, dst_node: int, size_bytes: int) -> float:
+    def _path_delay(
+        self,
+        src_node: int,
+        dst_node: int,
+        size_bytes: int,
+        latency_us: Optional[float] = None,
+    ) -> float:
         """Delay from "message handed to transport" to "in dst mailbox".
 
         Inter-node sends account NIC availability on the source node
-        (serialization queueing) as part of the delay.
+        (serialization queueing) as part of the delay.  ``latency_us``
+        overrides the wire latency (NIC-to-NIC frames skip the host-side
+        bus crossings folded into ``inter_latency_us``).
         """
         p = self.params
         now = self.env.now
@@ -197,10 +207,22 @@ class Fabric:
         depart = max(now, self._nic_free[src_node])
         xfer = p.xfer_time(size_bytes)
         self._nic_free[src_node] = depart + xfer
-        delay = (depart - now) + xfer + p.inter_latency_us
+        latency = p.inter_latency_us if latency_us is None else latency_us
+        delay = (depart - now) + xfer + latency
         if p.jitter_us > 0.0:
             delay += self._jitter_rng.uniform(0.0, p.jitter_us)
         return delay
+
+    def wire_latency_override(self, src_rank: Any, dst: Endpoint) -> Optional[float]:
+        """Reduced wire latency for NIC-to-NIC frames, else ``None``.
+
+        NIC engines stamp their posts with a ``("nic", node)`` source, so
+        a frame both originating and terminating on a NIC is identified
+        without consulting the topology.
+        """
+        if dst[0] == "nic" and isinstance(src_rank, tuple):
+            return self.params.nic_wire_latency_us
+        return None
 
     # -- sending -------------------------------------------------------------
 
@@ -255,7 +277,12 @@ class Fabric:
         if self.reliable is not None and not envelope.intra_node:
             self.reliable.send_envelope(envelope, src_node, dst_node)
             return envelope
-        delay = self._path_delay(src_node, dst_node, size)
+        delay = self._path_delay(
+            src_node,
+            dst_node,
+            size,
+            latency_us=self.wire_latency_override(src_rank, dst),
+        )
         if self.faults is None:
             envelope.deliver_at = env.now + delay
             deliver = env.timeout(delay)

@@ -4,7 +4,9 @@ An *endpoint* is a ``(kind, index)`` pair under which a mailbox is registered
 with the fabric:
 
 * ``("srv", node)`` — the ARMCI server thread's request queue on ``node``;
-* ``("mp", rank)`` — the MPI-like message queue of user process ``rank``.
+* ``("mp", rank)`` — the MPI-like message queue of user process ``rank``;
+* ``("nic", node)`` — the programmable NIC co-processor's frame queue on
+  ``node`` (registered lazily, only when the NIC-offloaded barrier runs).
 
 The fabric is payload-agnostic; request/response dataclasses live with their
 protocols (:mod:`repro.armci.requests`, :mod:`repro.mp.comm`).
@@ -15,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Tuple
 
-__all__ = ["Endpoint", "Envelope", "server_endpoint", "mp_endpoint"]
+__all__ = ["Endpoint", "Envelope", "server_endpoint", "mp_endpoint", "nic_endpoint"]
 
 Endpoint = Tuple[str, int]
 
@@ -28,6 +30,11 @@ def server_endpoint(node: int) -> Endpoint:
 def mp_endpoint(rank: int) -> Endpoint:
     """Endpoint of the message-passing queue of process ``rank``."""
     return ("mp", rank)
+
+
+def nic_endpoint(node: int) -> Endpoint:
+    """Endpoint of the programmable NIC co-processor on ``node``."""
+    return ("nic", node)
 
 
 @dataclass

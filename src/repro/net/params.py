@@ -140,6 +140,39 @@ class NetworkParams:
         collective receives and the barrier's stage-2 wait re-check the
         membership epoch at this interval so survivors notice a view
         change while blocked.
+    nic_proc_us:
+        NIC co-processor (LANai-style) CPU time per protocol step of the
+        offloaded barrier: folding one contribution vector, building one
+        send descriptor, or dequeuing one NIC-to-NIC frame.  The embedded
+        processor is slower per instruction than the host, but each step
+        skips the MPI stack, kernel wake-ups, and PCI doorbell crossings
+        the host path pays (see ``docs/model.md``).
+    nic_doorbell_us:
+        Host CPU cost of ringing the NIC doorbell: one programmed-I/O
+        write across the PCI bus posting a pre-built descriptor.
+    nic_dma_us:
+        Fixed cost of one host<->NIC DMA transaction (descriptor fetch +
+        PCI bus acquisition), charged on each doorbell payload, each
+        ``op_done`` mirror update, and the final completion write-back.
+    nic_dma_per_byte_us:
+        Per-byte cost of host<->NIC DMA across the PCI bus.
+    nic_wire_latency_us:
+        One-way latency for a NIC-to-NIC frame of the offloaded barrier.
+        Lower than ``inter_latency_us``: the host-to-host figure includes
+        a PIO doorbell + PCI DMA crossing on each end, which frames that
+        originate and terminate in NIC SRAM never make.  On Myrinet-2000
+        the raw fabric contributes only a couple of microseconds of the
+        6.5 us end-to-end host latency.
+    nic_algorithm:
+        Inter-NIC topology for the offloaded barrier: ``"exchange"``
+        (pairwise recursive doubling over nodes, the default) or
+        ``"tree"`` (a binary combining tree — fewer total frames, more
+        serialized depth).
+    nic_offload:
+        When True the ``auto`` barrier algorithm also considers the
+        NIC-offloaded path (``algorithm="nic"`` can always be requested
+        explicitly).  Off by default so existing configurations are
+        byte-identical.
     """
 
     inter_latency_us: float = 6.5
@@ -170,6 +203,13 @@ class NetworkParams:
     suspect_timeout_us: float = 120.0
     membership_check_us: float = 20.0
     membership_poll_us: float = 5.0
+    nic_proc_us: float = 2.2
+    nic_doorbell_us: float = 0.6
+    nic_dma_us: float = 1.5
+    nic_dma_per_byte_us: float = 0.008
+    nic_wire_latency_us: float = 2.6
+    nic_algorithm: str = "exchange"
+    nic_offload: bool = False
 
     def __post_init__(self) -> None:
         for field_name in (
@@ -205,10 +245,20 @@ class NetworkParams:
             "suspect_timeout_us",
             "membership_check_us",
             "membership_poll_us",
+            "nic_proc_us",
+            "nic_doorbell_us",
+            "nic_dma_us",
+            "nic_dma_per_byte_us",
+            "nic_wire_latency_us",
         ):
             value = getattr(self, field_name)
             if value < 0:
                 raise ValueError(f"{field_name} must be non-negative, got {value}")
+        if self.nic_algorithm not in ("exchange", "tree"):
+            raise ValueError(
+                f"nic_algorithm must be 'exchange' or 'tree', got "
+                f"{self.nic_algorithm!r}"
+            )
         if self.retry_backoff < 1.0:
             raise ValueError(
                 f"retry_backoff must be >= 1, got {self.retry_backoff}"

@@ -211,7 +211,14 @@ class ReliableDelivery:
         fabric = self.fabric
         env = self.env
         frame.attempts += 1
-        base = fabric._path_delay(frame.src_node, frame.dst_node, frame.size_bytes)
+        latency = None
+        if frame.kind == "msg" and frame.dst is not None:
+            latency = fabric.wire_latency_override(
+                frame.envelope.src_rank, frame.dst
+            )
+        base = fabric._path_delay(
+            frame.src_node, frame.dst_node, frame.size_bytes, latency_us=latency
+        )
         if frame.kind == "reply":
             # As in Fabric.post_reply, the blocked requester's receive
             # overhead folds into the delivery delay.

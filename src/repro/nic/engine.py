@@ -1,0 +1,385 @@
+"""Per-node programmable NIC co-processor running the offloaded barrier.
+
+One :class:`NicEngine` models the LANai-style embedded processor on a
+node's NIC.  The host side of ``armci.barrier(algorithm="nic")`` posts a
+single *doorbell* carrying its cumulative ``op_init`` row and then blocks
+on a completion event — it never spins on remote progress.  The NICs run
+the three stages of the combined fence+barrier among themselves:
+
+1. each NIC folds the doorbell rows of its hosted ranks and runs an
+   elementwise-sum over nodes (pairwise recursive doubling, or a binary
+   combining tree with ``nic_algorithm="tree"``);
+2. stage 2 is satisfied against a NIC-resident *mirror* of the server's
+   ``op_done`` counters, pushed down over DMA by the server thread on
+   every completion (see :meth:`mirror_push`);
+3. a node-level barrier (dissemination or tree), after which each hosted
+   rank's completion event is written back over DMA.
+
+Every protocol step charges ``nic_proc_us``; host<->NIC crossings charge
+``nic_doorbell_us`` / ``nic_dma_us`` (+ per-byte).  NIC-to-NIC frames ride
+the ordinary fabric — including the fault injector and the reliable
+ACK/retransmit layer when those are configured — addressed to the
+``("nic", node)`` endpoint, so NIC-level retransmit state comes from the
+same transport machinery the host protocols use.
+
+Engines are built lazily by :func:`ensure_engines`; configurations that
+never request the NIC path construct nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..net.message import nic_endpoint
+from ..sim.core import Event
+from ..sim.primitives import Broadcast, FilterStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..armci.api import Armci
+
+__all__ = ["NicEngine", "NicFrame", "ensure_engines"]
+
+#: Bytes per counter slot in a doorbell/frame vector (one long each).
+SLOT_BYTES = 8
+
+
+@dataclass
+class NicFrame:
+    """One NIC-to-NIC protocol frame of the offloaded barrier."""
+
+    epoch: int
+    phase: str
+    src_node: int
+    values: Optional[List[int]] = None
+
+
+class _EpochState:
+    """Per-barrier-epoch NIC state: doorbell rows and release events."""
+
+    __slots__ = ("rows", "release", "all_rows", "proc")
+
+    def __init__(self, env):
+        self.rows: Dict[int, List[int]] = {}
+        self.release: Dict[int, Event] = {}
+        self.all_rows = Event(env)
+        self.proc = None
+
+
+def ensure_engines(armci: "Armci") -> Dict[int, "NicEngine"]:
+    """Build (once) and return the per-node NIC engines for this fabric.
+
+    Construction is synchronous — no virtual time passes — so the op_done
+    mirror seeds and the server hooks cannot race with in-flight bumps.
+    """
+    fabric = armci.fabric
+    engines = getattr(fabric, "_nic_engines", None)
+    if engines is None:
+        engines = {}
+        for node in range(armci.topology.nnodes):
+            engine = NicEngine(
+                armci.env,
+                fabric,
+                armci.topology,
+                armci.params,
+                node,
+                armci.servers[node],
+                monitor=armci._monitor,
+            )
+            # A node that crashed before the first NIC barrier has a dead
+            # NIC from the start: the co-processor never runs an epoch.
+            if fabric.endpoint_dead(nic_endpoint(node)):
+                engine.dead = True
+            engines[node] = engine
+        fabric._nic_engines = engines
+    return engines
+
+
+class NicEngine:
+    """The programmable NIC co-processor of one node."""
+
+    def __init__(self, env, fabric, topology, params, node, server, monitor=None):
+        self.env = env
+        self.fabric = fabric
+        self.topology = topology
+        self.params = params
+        self.node = node
+        self.server = server
+        self.nprocs = topology.nprocs
+        self.hosted = tuple(topology.ranks_on(node))
+        self._monitor = monitor
+        self.dead = False
+        self.mailbox = FilterStore(env, name=f"nic{node}.rx")
+        fabric.register(nic_endpoint(node), self.mailbox)
+        # NIC-resident mirror of the server's op_done counters, seeded from
+        # the live values and pushed forward by the server on every bump.
+        self.mirror: Dict[int, int] = {
+            rank: server.op_done(rank) for rank in self.hosted
+        }
+        self._mirror_signal = Broadcast(env, name=f"nic{node}.mirror")
+        server._nic_engine = self
+        self._epochs: Dict[int, _EpochState] = {}
+        self._procs: list = []
+
+    def __repr__(self) -> str:
+        return f"<NicEngine node={self.node} hosted={self.hosted}>"
+
+    # -- host side -----------------------------------------------------------
+
+    def post_doorbell(self, epoch: int, rank: int, row) -> Event:
+        """Ring the doorbell for ``rank``'s barrier ``epoch``.
+
+        Called from the host process after it charged ``nic_doorbell_us``.
+        The ``op_init`` row crosses the PCI bus by DMA (``nic_dma_us`` +
+        per-byte); the returned event fires when the NIC writes back the
+        barrier completion.  The host never polls remote state.
+        """
+        p = self.params
+        if self._monitor is not None:
+            self._monitor.emit(
+                "nic_doorbell", epoch=epoch, rank=rank, node=self.node,
+                n=self.nprocs,
+            )
+        state = self._epoch_state(epoch)
+        release = Event(self.env)
+        state.release[rank] = release
+        row_copy = list(row)
+        delay = p.nic_dma_us + SLOT_BYTES * len(row_copy) * p.nic_dma_per_byte_us
+        arrive = self.env.timeout(delay)
+        arrive.callbacks.append(
+            lambda _ev, r=rank, v=row_copy: self._row_arrived(epoch, r, v)
+        )
+        if state.proc is None:
+            state.proc = self.env.process(
+                self._run_epoch(epoch, state), name=f"nic{self.node}.e{epoch}"
+            )
+            if self._monitor is not None:
+                self._monitor.register_process(state.proc, f"n{self.node}")
+            self._procs.append(state.proc)
+        return release
+
+    def mirror_push(self, rank: int, value: int) -> None:
+        """Server-side hook: DMA a fresh ``op_done`` value down to the NIC."""
+        if self.dead:
+            return
+        p = self.params
+        delay = p.nic_dma_us + SLOT_BYTES * p.nic_dma_per_byte_us
+        push = self.env.timeout(delay)
+        push.callbacks.append(lambda _ev: self._mirror_arrived(rank, value))
+
+    def shutdown(self) -> None:
+        """Node crash: stop the co-processor and abandon in-flight epochs."""
+        self.dead = True
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.kill()
+        self._procs.clear()
+        self._epochs.clear()
+
+    # -- NIC-internal --------------------------------------------------------
+
+    def _epoch_state(self, epoch: int) -> _EpochState:
+        state = self._epochs.get(epoch)
+        if state is None:
+            state = self._epochs[epoch] = _EpochState(self.env)
+        return state
+
+    def _row_arrived(self, epoch: int, rank: int, row: List[int]) -> None:
+        if self.dead:
+            return
+        state = self._epochs.get(epoch)
+        if state is None:
+            return
+        state.rows[rank] = row
+        if len(state.rows) == len(self.hosted) and not state.all_rows.triggered:
+            state.all_rows.succeed()
+
+    def _mirror_arrived(self, rank: int, value: int) -> None:
+        if self.dead:
+            return
+        if value > self.mirror.get(rank, 0):
+            self.mirror[rank] = value
+            self._mirror_signal.fire((rank, value))
+
+    def _emit(self, kind: str, **data) -> None:
+        if self._monitor is not None:
+            self._monitor.emit(kind, **data)
+
+    def _proc_step(self):
+        if self.params.nic_proc_us > 0.0:
+            yield self.env.timeout(self.params.nic_proc_us)
+
+    def _run_epoch(self, epoch: int, state: _EpochState):
+        """Coordinator for one barrier epoch on this node's NIC."""
+        p = self.params
+        yield state.all_rows
+
+        # Local combine: fold each hosted rank's doorbell row.
+        partial = [0] * self.nprocs
+        for rank in sorted(state.rows):
+            yield from self._proc_step()
+            row = state.rows[rank]
+            for i, v in enumerate(row):
+                partial[i] += v
+            self._emit(
+                "nic_combine", epoch=epoch, node=self.node,
+                src="doorbell", rank=rank,
+            )
+
+        # Stage 1: elementwise sum over nodes.
+        if p.nic_algorithm == "tree":
+            totals = yield from self._tree_sum(epoch, partial)
+        else:
+            totals = yield from self._exchange_sum(epoch, partial)
+
+        # Stage 2: wait on the op_done mirror for every hosted rank.
+        for rank in self.hosted:
+            target = totals[rank]
+            while self.mirror[rank] < target:
+                yield self._mirror_signal.wait()
+            yield from self._proc_step()
+            self._emit(
+                "nic_combine", epoch=epoch, node=self.node,
+                src="mirror", rank=rank, value=self.mirror[rank],
+            )
+
+        # Stage 3: node-level barrier among the NICs.
+        if p.nic_algorithm == "tree":
+            yield from self._tree_barrier(epoch)
+        else:
+            yield from self._dissemination_barrier(epoch)
+
+        # Release: DMA the completion back to each hosted rank.
+        for rank in self.hosted:
+            yield from self._proc_step()
+            self._emit(
+                "nic_release", epoch=epoch, node=self.node, rank=rank,
+                n=self.nprocs,
+            )
+            self._schedule_release(
+                state.release[rank], totals[rank],
+                p.nic_dma_us + p.poll_detect_us,
+            )
+        self._epochs.pop(epoch, None)
+
+    def _schedule_release(self, release: Event, value: int, delay: float) -> None:
+        done = self.env.timeout(delay)
+
+        def _fire(_ev, ev=release, val=value):
+            if not ev.triggered:
+                ev.succeed(val)
+
+        done.callbacks.append(_fire)
+
+    # -- NIC-to-NIC transport ------------------------------------------------
+
+    def _send_frame(self, epoch: int, phase: str, dst_node: int, values=None):
+        """Build a descriptor (``nic_proc_us``) and inject one frame."""
+        yield from self._proc_step()
+        self._emit(
+            "nic_combine", epoch=epoch, node=self.node,
+            src="send", phase=phase, peer=dst_node,
+        )
+        payload = NicFrame(
+            epoch, phase, self.node,
+            list(values) if values is not None else None,
+        )
+        nbytes = SLOT_BYTES * (len(values) if values is not None else 1)
+        # src identity ("nic", node) keeps reliable-delivery channels (and
+        # their retransmit state) distinct per sending NIC, and is invisible
+        # to rank-liveness bookkeeping.
+        self.fabric.post(
+            ("nic", self.node), nic_endpoint(dst_node), payload,
+            payload_bytes=nbytes, src_node=self.node,
+        )
+
+    def _recv_frame(self, epoch: int, phase: str, src_node: int):
+        """Match one frame (MPI-style on epoch/phase/source) and dequeue it."""
+
+        def match(envelope):
+            f = envelope.payload
+            return (
+                isinstance(f, NicFrame)
+                and f.epoch == epoch
+                and f.phase == phase
+                and f.src_node == src_node
+            )
+
+        envelope = yield self.mailbox.get(match)
+        yield from self._proc_step()
+        self._emit(
+            "nic_combine", epoch=epoch, node=self.node,
+            src="recv", phase=phase, peer=src_node,
+        )
+        return envelope.payload
+
+    # -- stage-1 / stage-3 algorithms ----------------------------------------
+
+    def _exchange_sum(self, epoch: int, values: List[int]):
+        """Recursive-doubling elementwise sum over nodes (non-pow2 folds)."""
+        nodes = self.topology.nnodes
+        me = self.node
+        vec = list(values)
+        if nodes == 1:
+            return vec
+        pow2 = 1 << (nodes.bit_length() - 1)
+        rem = nodes - pow2
+        if me >= pow2:
+            yield from self._send_frame(epoch, "s1-fold", me - pow2, vec)
+            frame = yield from self._recv_frame(epoch, "s1-res", me - pow2)
+            return list(frame.values)
+        if me < rem:
+            frame = yield from self._recv_frame(epoch, "s1-fold", me + pow2)
+            vec = [a + b for a, b in zip(vec, frame.values)]
+        dist, phase = 1, 0
+        while dist < pow2:
+            peer = me ^ dist
+            yield from self._send_frame(epoch, f"s1-x{phase}", peer, vec)
+            frame = yield from self._recv_frame(epoch, f"s1-x{phase}", peer)
+            vec = [a + b for a, b in zip(vec, frame.values)]
+            dist <<= 1
+            phase += 1
+        if me < rem:
+            yield from self._send_frame(epoch, "s1-res", me + pow2, vec)
+        return vec
+
+    def _dissemination_barrier(self, epoch: int):
+        nodes = self.topology.nnodes
+        me = self.node
+        dist, phase = 1, 0
+        while dist < nodes:
+            yield from self._send_frame(epoch, f"s3-d{phase}", (me + dist) % nodes)
+            yield from self._recv_frame(epoch, f"s3-d{phase}", (me - dist) % nodes)
+            dist <<= 1
+            phase += 1
+
+    def _children(self) -> List[int]:
+        nodes = self.topology.nnodes
+        return [c for c in (2 * self.node + 1, 2 * self.node + 2) if c < nodes]
+
+    def _tree_sum(self, epoch: int, values: List[int]):
+        """Binary combining tree (heap order, root = node 0): up then down."""
+        me = self.node
+        vec = list(values)
+        for child in self._children():
+            frame = yield from self._recv_frame(epoch, "t-up", child)
+            vec = [a + b for a, b in zip(vec, frame.values)]
+        if me != 0:
+            parent = (me - 1) // 2
+            yield from self._send_frame(epoch, "t-up", parent, vec)
+            frame = yield from self._recv_frame(epoch, "t-dn", parent)
+            vec = list(frame.values)
+        for child in self._children():
+            yield from self._send_frame(epoch, "t-dn", child, vec)
+        return vec
+
+    def _tree_barrier(self, epoch: int):
+        me = self.node
+        for child in self._children():
+            yield from self._recv_frame(epoch, "t-rdy", child)
+        if me != 0:
+            parent = (me - 1) // 2
+            yield from self._send_frame(epoch, "t-rdy", parent)
+            yield from self._recv_frame(epoch, "t-go", parent)
+        for child in self._children():
+            yield from self._send_frame(epoch, "t-go", child)

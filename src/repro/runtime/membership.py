@@ -215,9 +215,9 @@ class MembershipService:
         kind, which = endpoint
         if kind == "mp":
             self._declare_dead(which, reason=reason)
-        elif kind == "srv":
-            # A server that stopped acknowledging is a machine crash: the
-            # node's ranks go with it.
+        elif kind in ("srv", "nic"):
+            # A server (or NIC co-processor) that stopped acknowledging is
+            # a machine crash: the node's ranks go with it.
             self._killed_nodes.add(which)
             for rank in self.topology.ranks_on(which):
                 self._declare_dead(rank, reason=f"node {which}: {reason}")
@@ -251,6 +251,12 @@ class MembershipService:
         if server is not None and server._proc is not None and server._proc.is_alive:
             server._proc.kill()
         self.fabric.mark_dead(("srv", node))
+        # The node's NIC dies with it: refuse frames addressed to it and
+        # stop its co-processor so degraded NIC barriers terminate.
+        self.fabric.mark_dead(("nic", node))
+        engines = getattr(self.fabric, "_nic_engines", None)
+        if engines is not None and node in engines:
+            engines[node].shutdown()
         for rank in self.topology.ranks_on(node):
             self._kill_rank(rank)
 

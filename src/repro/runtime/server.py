@@ -119,6 +119,10 @@ class ServerThread:
         #: combined ARMCI_Barrier.
         self._dedup = params.faults is not None
         self._applied: set = set()
+        #: NIC co-processor on this node (None until the NIC-offloaded
+        #: barrier is first requested; see :mod:`repro.nic.engine`).  When
+        #: attached, every op_done bump is DMA'd down to the NIC's mirror.
+        self._nic_engine = None
         #: Crash-stop membership service (None unless the fault plan
         #: schedules ProcessCrash events; attached to the fabric before
         #: servers are built).
@@ -161,6 +165,8 @@ class ServerThread:
         region.write(addr, value)
         if self._monitor is not None:
             self._monitor.emit("op_done", rank=rank, value=value)
+        if self._nic_engine is not None:
+            self._nic_engine.mirror_push(rank, value)
 
     def _hosted_region(self, rank: int) -> Region:
         if self.topology.node_of(rank) != self.node:

@@ -1,0 +1,91 @@
+"""RMCSan coverage of the NIC-offloaded barrier.
+
+A clean NIC run (both inter-NIC algorithms) reports zero violations; a
+seeded early-release mutation — a NIC firmware that writes the completion
+back before running any of the combining protocol — must be flagged by
+the no-early-release rule (release happens-after every doorbell).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SyncMonitor
+from repro.analysis.sanitize import run_sanitized_target
+from repro.net.params import myrinet2000
+from repro.nic.engine import NicEngine
+from repro.runtime.cluster import ClusterRuntime
+from repro.runtime.memory import GlobalAddress
+
+
+def sanitized_run(nprocs, main, *args, **runtime_kwargs):
+    runtime_kwargs.setdefault("params", myrinet2000())
+    monitor = SyncMonitor()
+    runtime = ClusterRuntime(nprocs, monitor=monitor, **runtime_kwargs)
+    runtime.run_spmd(main, *args)
+    return monitor.analyze()
+
+
+def nic_workload(ctx):
+    base = ctx.region.alloc(ctx.nprocs, initial=0)
+    for _round in range(2):
+        for peer in range(ctx.nprocs):
+            if peer != ctx.rank:
+                yield from ctx.armci.put(
+                    GlobalAddress(peer, base + ctx.rank), [ctx.rank + 1]
+                )
+        yield from ctx.armci.barrier(algorithm="nic")
+    return ctx.region.read_many(base, ctx.nprocs)
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("nic_algorithm", ["exchange", "tree"])
+    def test_nic_barrier_is_clean(self, nic_algorithm):
+        report = sanitized_run(
+            4, nic_workload, params=myrinet2000(nic_algorithm=nic_algorithm)
+        )
+        assert report.ok(), report.render()
+        assert report.events_analyzed > 0
+
+    def test_sanitize_target_nic(self):
+        results = run_sanitized_target("nic")
+        labels = [label for label, _ in results]
+        assert labels == ["nic[exchange]", "nic[tree]"]
+        for label, report in results:
+            assert report.ok(), f"{label}:\n{report.render()}"
+
+
+class TestEarlyReleaseMutation:
+    def test_premature_release_is_caught(self, monkeypatch):
+        """Node 0's NIC releases its ranks before any combining ran.
+
+        The mutated coordinator fires the completion write-back as soon
+        as its own doorbells arrived, then runs the real protocol (so
+        peer NICs do not deadlock).  At the premature ``nic_release``
+        the NIC's clock has not joined any doorbell, so the release
+        dominates none of them.
+        """
+        original = NicEngine._run_epoch
+
+        def hasty(self, epoch, state):
+            if self.node == 0:
+                yield state.all_rows
+                for rank in self.hosted:
+                    self._emit(
+                        "nic_release", epoch=epoch, node=self.node,
+                        rank=rank, n=self.nprocs,
+                    )
+                    self._schedule_release(
+                        state.release[rank], 0,
+                        self.params.nic_dma_us + self.params.poll_detect_us,
+                    )
+            yield from original(self, epoch, state)
+
+        monkeypatch.setattr(NicEngine, "_run_epoch", hasty)
+        report = sanitized_run(4, nic_workload)
+        assert report.counts.get("barrier", 0) >= 1
+        assert any(
+            "nic early release" in v.message
+            for v in report.violations
+            if v.kind == "barrier"
+        )

@@ -133,6 +133,30 @@ class TestChaosCommand:
         assert "[ok] chaos[hybrid]" in out and "[ok] chaos[mcs]" in out
         assert "FAIL" not in out
 
+    def test_chaos_same_kill_seed_byte_identical(self, capsys):
+        argv = ["chaos", "--kill-seed", "7"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "ALL CHECKS PASSED" in first
+
+
+class TestNicCommand:
+    def test_nic_small(self, capsys):
+        assert main(["nic", "--iterations", "3", "--procs", "2", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "NIC ablation" in out
+        for column in ("host-exchange", "nic-exchange", "nic-tree"):
+            assert column in out
+
+    def test_check_nic_target(self, capsys):
+        assert main(["check", "nic"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok] nic[exchange]" in out and "[ok] nic[tree]" in out
+        assert "FAIL" not in out
+
 
 class TestCrashPathsConstructFree:
     """Guard: with no crash plan, the crash-stop machinery must not even
@@ -159,8 +183,9 @@ class TestCrashPathsConstructFree:
             ["fig10", "--iterations", "20", "--procs", "2"],
             ["locks", "--iterations", "20", "--procs", "2"],
             ["faults", "--procs", "4"],
+            ["nic", "--iterations", "2", "--procs", "2", "4"],
         ],
-        ids=["fig7", "fig8", "fig9", "fig10", "locks", "faults"],
+        ids=["fig7", "fig8", "fig9", "fig10", "locks", "faults", "nic"],
     )
     def test_output_identical_and_membership_never_built(
         self, capsys, membership_forbidden, argv
