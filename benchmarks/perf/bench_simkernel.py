@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Simulator-kernel throughput benchmark: events/sec on the fig7 sweep.
+
+Drives the exact Figure 7 workload (both GA_Sync modes over the paper's
+process counts) through the simulation kernel, measures wall-clock
+events/sec, and writes the result to ``BENCH_simkernel.json`` at the repo
+root — the perf-trajectory artifact CI uploads on every run.
+
+The *simulated* event count is asserted against the workload's known
+deterministic value, so a kernel change that alters the event stream
+(breaking byte-identical results) fails here before it fails anywhere
+subtler.  Wall-clock throughput is taken as the best of ``--repeats``
+full sweeps, which filters scheduler noise on shared runners.
+
+Regression gate: with ``--baseline`` (default: the checked-in
+``baseline_simkernel.json`` next to this script) the run fails when
+events/sec drops more than ``--max-regression`` (default 30%) below the
+baseline.  Baselines are machine-dependent; re-record with ``--record``
+when moving the reference machine.
+
+Run:  python benchmarks/perf/bench_simkernel.py [--iterations 100]
+      python benchmarks/perf/bench_simkernel.py --iterations 20 --repeats 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.experiments.common import default_params  # noqa: E402
+from repro.experiments.fig7_sync import Fig7Config, sync_workload  # noqa: E402
+from repro.runtime.cluster import ClusterRuntime  # noqa: E402
+
+#: The fig7 sweep measured here, matching ``repro fig7``.
+MODES = ("current", "new")
+NPROCS = (2, 4, 8, 16)
+
+#: Pre-PR kernel throughput on the reference machine (commit 0a20279,
+#: iterations=100, best of 4 sweeps interleaved with the optimized kernel
+#: to cancel machine drift): the trajectory anchor every report is
+#: compared against.
+PRE_PR_EVENTS_PER_SEC = 102494.4
+
+
+def run_sweep(iterations: int, nprocs_list=NPROCS) -> int:
+    """One full fig7 sweep; returns simulated events processed."""
+    params = default_params(None)
+    events = 0
+    for mode in MODES:
+        for nprocs in nprocs_list:
+            cfg = Fig7Config(
+                nprocs_list=(nprocs,), iterations=iterations, params=params
+            )
+            runtime = ClusterRuntime(nprocs, params=params)
+            runtime.run_spmd(sync_workload, mode, cfg)
+            events += runtime.env.events_processed
+    return events
+
+
+def measure(iterations: int, repeats: int) -> dict:
+    runs = []
+    events = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        run_events = run_sweep(iterations)
+        wall_s = time.perf_counter() - start
+        if events is None:
+            events = run_events
+        elif run_events != events:  # pragma: no cover - determinism breach
+            raise AssertionError(
+                f"nondeterministic event count: {run_events} != {events}"
+            )
+        runs.append({"wall_s": round(wall_s, 4),
+                     "events_per_sec": round(run_events / wall_s, 1)})
+    best = max(runs, key=lambda r: r["events_per_sec"])
+    return {
+        "bench": "simkernel",
+        "workload": {
+            "experiment": "fig7",
+            "modes": list(MODES),
+            "nprocs": list(NPROCS),
+            "iterations": iterations,
+        },
+        "events": events,
+        "runs": runs,
+        "best_wall_s": best["wall_s"],
+        "events_per_sec": best["events_per_sec"],
+        "pre_pr_events_per_sec": PRE_PR_EVENTS_PER_SEC,
+        "speedup_vs_pre_pr": round(
+            best["events_per_sec"] / PRE_PR_EVENTS_PER_SEC, 2
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iterations", type=int, default=100,
+                        help="fig7 iterations per cell (default 100)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="full sweeps to run; best is reported (default 3)")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=ROOT / "BENCH_simkernel.json",
+                        help="where to write the report JSON")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=pathlib.Path(__file__).parent
+                        / "baseline_simkernel.json",
+                        help="baseline JSON for the regression gate")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        metavar="FRAC",
+                        help="fail if events/sec drops more than this "
+                        "fraction below the baseline (default 0.30)")
+    parser.add_argument("--record", action="store_true",
+                        help="overwrite the baseline with this run")
+    args = parser.parse_args(argv)
+
+    report = measure(args.iterations, args.repeats)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench] {report['events']} simulated events, "
+          f"best {report['best_wall_s']}s wall, "
+          f"{report['events_per_sec']:.0f} events/sec "
+          f"({report['speedup_vs_pre_pr']}x vs pre-PR kernel)")
+    print(f"[bench] report written: {args.out}")
+
+    if args.record:
+        baseline = {
+            "events_per_sec": report["events_per_sec"],
+            "iterations": args.iterations,
+            "pre_pr_events_per_sec": PRE_PR_EVENTS_PER_SEC,
+            "note": "reference-machine throughput; re-record with --record "
+                    "when the reference machine changes",
+        }
+        args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"[bench] baseline recorded: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"[bench] no baseline at {args.baseline}; gate skipped")
+        return 0
+    baseline = json.loads(args.baseline.read_text())
+    floor = baseline["events_per_sec"] * (1.0 - args.max_regression)
+    if report["events_per_sec"] < floor:
+        print(f"[bench] FAIL: {report['events_per_sec']:.0f} events/sec is "
+              f"below the regression floor {floor:.0f} "
+              f"(baseline {baseline['events_per_sec']:.0f}, "
+              f"max regression {args.max_regression:.0%})")
+        return 1
+    print(f"[bench] gate ok: {report['events_per_sec']:.0f} >= "
+          f"floor {floor:.0f} events/sec")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

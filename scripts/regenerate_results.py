@@ -8,13 +8,22 @@ Runs the full experiment suite at paper-scale iteration counts and stores:
 * ``results/summary.txt`` — the headline numbers.
 
 Takes a few minutes of wall clock (the simulations are deterministic, so
-output is reproducible bit-for-bit).
+output is reproducible bit-for-bit, with any ``--jobs`` value).
 
-Run:  python scripts/regenerate_results.py [output_dir]
+Run:  python scripts/regenerate_results.py [output_dir] [--jobs N] [--check]
+
+``--jobs N`` shards independent sweep cells over N worker processes (0 =
+one per core); the parallel runner reassembles results in deterministic
+order, so the emitted files are byte-identical to a serial run.
+``--check`` regenerates into a scratch directory and fails if any file
+differs from the checked-in ``results/`` — CI runs ``--check --jobs 2``
+to prove the parallel/serial equivalence on every push.
 """
 
+import argparse
 import pathlib
 import sys
+import tempfile
 
 from repro.experiments import (
     Fig7Config,
@@ -48,15 +57,15 @@ from repro.experiments.report import (
 )
 
 
-def main() -> int:
-    out = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+def generate(out: pathlib.Path, jobs: int = 1) -> None:
+    """Write the full results tree into ``out``."""
     out.mkdir(parents=True, exist_ok=True)
 
     def save(name: str, text: str) -> None:
         (out / f"{name}.txt").write_text(text + "\n")
         print(f"[results] {name}")
 
-    fig7 = run_fig7(Fig7Config(iterations=100))
+    fig7 = run_fig7(Fig7Config(iterations=100), jobs=jobs)
     save("fig7_ga_sync", fig7.render())
     write_csv(comparison_to_csv(fig7), out, "fig7_ga_sync")
 
@@ -83,7 +92,7 @@ def main() -> int:
     save("app_scaling", run_app_scaling(AppScalingConfig()).render())
     save("microbench", run_microbench().render())
 
-    nic = run_nicbench(NicBenchConfig(iterations=100))
+    nic = run_nicbench(NicBenchConfig(iterations=100), jobs=jobs)
     save("ablation_nic", nic.render())
     write_csv(nicbench_to_csv(nic), out, "ablation_nic")
 
@@ -99,6 +108,60 @@ def main() -> int:
         "(host wins at 2, NIC from 4 up)",
     ]
     save("summary", "\n".join(summary))
+
+
+def check(reference: pathlib.Path, jobs: int) -> int:
+    """Regenerate into a scratch dir and diff against ``reference``.
+
+    Returns 0 only when every regenerated file is byte-identical to its
+    checked-in counterpart (and no file is missing on either side).
+    """
+    with tempfile.TemporaryDirectory(prefix="results-check-") as scratch:
+        out = pathlib.Path(scratch)
+        generate(out, jobs=jobs)
+        fresh = {p.name: p for p in sorted(out.iterdir()) if p.is_file()}
+        stale = {p.name: p for p in sorted(reference.iterdir()) if p.is_file()}
+        failures = []
+        for name in sorted(set(fresh) | set(stale)):
+            if name not in fresh:
+                failures.append(f"{name}: in {reference}/ but not regenerated")
+            elif name not in stale:
+                failures.append(f"{name}: regenerated but not in {reference}/")
+            elif fresh[name].read_bytes() != stale[name].read_bytes():
+                failures.append(f"{name}: contents differ")
+        if failures:
+            print(f"[check] FAILED ({len(failures)} file(s)):")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print(
+            f"[check] ok: {len(fresh)} files byte-identical to {reference}/ "
+            f"(jobs={jobs})"
+        )
+        return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "output_dir", nargs="?", default="results",
+        help="where to write the tables (default: results/)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent sweep cells (0 = per core); "
+        "output is byte-identical for any value",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="regenerate into a scratch dir and fail unless every file is "
+        "byte-identical to the checked-in output_dir",
+    )
+    args = parser.parse_args(argv)
+    out = pathlib.Path(args.output_dir)
+    if args.check:
+        return check(out, jobs=args.jobs)
+    generate(out, jobs=args.jobs)
     return 0
 
 

@@ -67,8 +67,12 @@ _WALL_CLOCK: Set[Tuple[str, str]] = {
 #: hazard (the bump helper and the raw counter-address table).
 _OP_DONE_ATTRS = {"_bump_op_done", "_op_done_addr"}
 
-#: Files exempt from the nondeterminism rule (path suffix match).
-_RNG_EXEMPT_SUFFIX = ("net/params.py",)
+#: Files exempt from the nondeterminism rule (path suffix match):
+#: ``net/params.py`` is the one place allowed to mint default seeds, and
+#: ``experiments/scalebench.py`` reads the wall clock only *around* whole
+#: simulation runs to report simulator throughput (its simulated outputs
+#: stay deterministic).
+_RNG_EXEMPT_SUFFIX = ("net/params.py", "experiments/scalebench.py")
 
 #: The only file allowed to touch the op_done machinery.
 _OP_DONE_HOME_SUFFIX = "runtime/server.py"

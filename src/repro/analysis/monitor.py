@@ -46,20 +46,22 @@ class SyncMonitor:
 
     def install(self, env) -> "SyncMonitor":
         """Attach to ``env``.  Must run before regions/servers are built."""
+        from ..sim.core import Process
+
         self.env = env
         setattr(env, MONITOR_ATTR, self)
-        # Wrap process creation so spawned helpers (optimistic-release
+        # Wrap process creation (via the environment's factory hook, since
+        # Environment uses __slots__) so spawned helpers (optimistic-release
         # processes, token daemons) inherit their spawner's actor label.
-        original_process = env.process
 
         def process_with_inheritance(generator, name=None):
             parent = self._actors.get(env.active_process)
-            proc = original_process(generator, name=name)
+            proc = Process(env, generator, name=name)
             if parent is not None:
                 self._actors.setdefault(proc, parent)
             return proc
 
-        env.process = process_with_inheritance
+        env._process_factory = process_with_inheritance
         return self
 
     @classmethod

@@ -184,7 +184,7 @@ class Armci:
 
     def _credit_returning_event(self, node: int) -> Event:
         """An event whose completion returns a send credit."""
-        ev = Event(self.env)
+        ev = self.env.event()
         ev.callbacks.append(lambda _ev: self._return_credit(node))
         return ev
 
@@ -223,7 +223,7 @@ class Armci:
         self._dirty_nodes.add(node)
         if self.fence_mode != "ack":
             return None
-        ack = Event(self.env)
+        ack = self.env.event()
         self._outstanding[node] = self._outstanding.get(node, 0) + 1
 
         def _on_ack(_ev: Event) -> None:
@@ -276,34 +276,57 @@ class Armci:
 
         This is ARMCI's strided-transfer strength — one message, one server
         visit, regardless of the number of runs.
+
+        Ownership of the per-segment value lists transfers to the call (the
+        request ships them as-is; callers build fresh lists, so a defensive
+        copy here would only burn the hot path).
         """
-        segments = [(addr, list(vals)) for addr, vals in segments if len(vals)]
+        # One pass: normalize non-list values, drop empty runs, and total
+        # the cells (vector puts dominate the GA workloads).
+        norm = []
+        total = 0
+        for addr, vals in segments:
+            if type(vals) is not list:
+                vals = list(vals)
+            if vals:
+                norm.append((addr, vals))
+                total += len(vals)
+        segments = norm
         if not segments:
             return
-        yield from self._api()
+        # The paths below are the _api/_shm/_take_credit/fabric.send helpers
+        # inlined: every delegated sub-generator is one more frame each
+        # resume must traverse.
+        env = self.env
         p = self.params
-        total = sum(len(vals) for _a, vals in segments)
-        if self.topology.node_of(dst_rank) == self.node:
+        if p.api_call_us > 0.0:
+            yield env.timeout(p.api_call_us)
+        node = self.topology.node_of(dst_rank)
+        if node == self.node:
             region = self.regions[dst_rank]
             cost = p.shm_access_us + total * Region.CELL_BYTES * p.mem_copy_per_byte_us
-            yield from self._shm(cost)
+            if cost > 0.0:
+                yield env.timeout(cost)
             for addr, vals in segments:
                 region.write_many(addr, vals)
             self.stats["puts_local"] += 1
             return
-        node = self.topology.node_of(dst_rank)
-        yield from self._take_credit(node)
+        if p.send_credits > 0:
+            yield from self._take_credit(node)
         ack = self._attach_credit_return(node, self._account_remote_op(dst_rank, node))
         req = PutRequest(
             src_rank=self.rank, dst_rank=dst_rank, segments=segments, ack=ack
         )
         self._san_issue("put", req, dst_rank, node)
         self.stats["puts_remote"] += 1
-        yield from self.fabric.send(
+        if p.o_send_us > 0.0:
+            yield env.timeout(p.o_send_us)
+        self.fabric.post(
             self.rank,
             server_endpoint(node),
             req,
             payload_bytes=total * Region.CELL_BYTES,
+            src_node=self.node,
         )
 
     def get(self, src: GlobalAddress, count: int = 1):
@@ -320,7 +343,7 @@ class Armci:
             return region.read_many(src.addr, count)
         node = self.topology.node_of(src.rank)
         yield from self._take_credit(node)
-        reply = Event(self.env)
+        reply = self.env.event()
         req = GetRequest(
             src_rank=self.rank, dst_rank=src.rank, addr=src.addr, count=count, reply=reply
         )
@@ -354,7 +377,7 @@ class Armci:
             return values
         node = self.topology.node_of(src_rank)
         yield from self._take_credit(node)
-        reply = Event(self.env)
+        reply = self.env.event()
         req = GetRequest(
             src_rank=self.rank, dst_rank=src_rank, segments=segments, reply=reply
         )
@@ -421,7 +444,7 @@ class Armci:
             return _apply_rmw(region, dst.addr, op, args)
         node = self.topology.node_of(dst.rank)
         yield from self._take_credit(node)
-        reply = Event(self.env)
+        reply = self.env.event()
         req = RmwRequest(
             src_rank=self.rank, dst_rank=dst.rank, addr=dst.addr, op=op, args=args, reply=reply
         )

@@ -256,7 +256,7 @@ def _nic(armci: "Armci"):
     if membership is None:
         yield release
     else:
-        view_changed = Event(armci.env)
+        view_changed = armci.env.event()
 
         def _on_view(_epoch=None):
             if not view_changed.triggered:

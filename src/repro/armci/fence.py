@@ -67,9 +67,16 @@ def fence_node(armci: "Armci", node: int):
     if watchdog_us > 0.0:
         yield from _confirm_with_watchdog(armci, node, watchdog_us)
     else:
-        reply = Event(armci.env)
+        reply = armci.env.event()
         req = FenceRequest(src_rank=armci.rank, reply=reply)
-        yield from armci.fabric.send(armci.rank, server_endpoint(node), req)
+        # fabric.send, inlined (fences are a per-sync hot path; the target
+        # node is remote here, so the sender pays o_send_us).
+        p = armci.params
+        if p.o_send_us > 0.0:
+            yield armci.env.timeout(p.o_send_us)
+        armci.fabric.post(
+            armci.rank, server_endpoint(node), req, src_node=armci.node
+        )
         yield reply
     armci.dirty_nodes.discard(node)
     if monitor is not None:
@@ -94,7 +101,7 @@ def _confirm_with_watchdog(armci: "Armci", node: int, watchdog_us: float):
                 armci.stats.get("fence_writeoffs", 0) + 1
             )
             return
-        reply = Event(armci.env)
+        reply = armci.env.event()
         req = FenceRequest(src_rank=armci.rank, reply=reply)
         yield from armci.fabric.send(armci.rank, server_endpoint(node), req)
         backoff = p.retry_backoff ** min(attempts, p.max_retries)

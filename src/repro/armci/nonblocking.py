@@ -91,7 +91,7 @@ def nb_put(armci: "Armci", dst: GlobalAddress, values) -> Any:
     # bookkeeping callback was registered first, so by the time a waiter
     # resumes, the outstanding-ack counter is already settled).
     implicit_ack = armci._account_remote_op(dst.rank, node)
-    handle_ev = implicit_ack if implicit_ack is not None else Event(armci.env)
+    handle_ev = implicit_ack if implicit_ack is not None else armci.env.event()
     handle_ev = armci._attach_credit_return(node, handle_ev)
     req = PutRequest(
         src_rank=armci.rank, dst_rank=dst.rank, addr=dst.addr,
@@ -124,7 +124,7 @@ def nb_get(armci: "Armci", src: GlobalAddress, count: int = 1) -> Any:
         return handle
     node = armci.topology.node_of(src.rank)
     yield from armci._take_credit(node)
-    reply = Event(armci.env)
+    reply = armci.env.event()
     reply.callbacks.append(lambda _ev: armci._return_credit(node))
     req = GetRequest(
         src_rank=armci.rank, dst_rank=src.rank, addr=src.addr,

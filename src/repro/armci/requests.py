@@ -40,7 +40,7 @@ RMW_OPS = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class PutRequest:
     """Non-blocking put: write ``values`` at ``(dst_rank, addr)``.
 
@@ -68,7 +68,7 @@ class PutRequest:
         return len(self.values)
 
 
-@dataclass
+@dataclass(slots=True)
 class GetRequest:
     """Blocking get from ``(dst_rank, addr)``.
 
@@ -92,7 +92,7 @@ class GetRequest:
         return self.count
 
 
-@dataclass
+@dataclass(slots=True)
 class AccRequest:
     """Atomic accumulate: ``mem[addr+i] += scale * values[i]``."""
 
@@ -106,7 +106,7 @@ class AccRequest:
     san_id: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class RmwRequest:
     """Atomic read-modify-write executed by the server on local memory."""
 
@@ -124,7 +124,7 @@ class RmwRequest:
             raise ValueError(f"unknown rmw op {self.op!r}; known: {RMW_OPS}")
 
 
-@dataclass
+@dataclass(slots=True)
 class FenceRequest:
     """GM-style fence confirmation request (paper §3.1.1).
 
@@ -137,7 +137,7 @@ class FenceRequest:
     reply: Event = field(repr=False, default=None)  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class LockRequest:
     """Hybrid-algorithm remote lock request (server takes a ticket for us)."""
 
@@ -149,7 +149,7 @@ class LockRequest:
     reply: Event = field(repr=False, default=None)  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class UnlockRequest:
     """Hybrid-algorithm unlock: server increments counter, grants next.
 

@@ -11,8 +11,10 @@ Usage (installed as ``armci-repro``, or ``python -m repro``)::
     armci-repro faults              # sync cost + retry volume vs drop rate
     armci-repro chaos               # crash-stop kills + membership recovery
     armci-repro nic                 # host vs NIC-offloaded barrier ablation
+    armci-repro scalebench          # barrier scaling to 1024 processes
     armci-repro all                 # everything above
     armci-repro fig7 --iterations 100 --network gige
+    armci-repro fig7 --jobs 4       # shard sweep cells over 4 workers
     armci-repro faults --drop-rate 0.05 --fault-seed 7 --retry-timeout 40
     armci-repro chaos --kill 5:60 --kill 6:900 --lock mcs --kill-seed 7
 
@@ -68,7 +70,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "locks", "ablations", "app",
                  "microbench", "fairness", "faults", "chaos", "nic",
-                 "validate", "check", "all"],
+                 "scalebench", "validate", "check", "all"],
         help="which experiment to regenerate (or 'check' to run RMCSan)",
     )
     parser.add_argument(
@@ -118,6 +120,17 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="processes per SMP node (default 1, as in the paper's runs)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "shard independent sweep cells over N worker processes "
+            "(0 = one per core); simulated results are identical to a "
+            "serial run (applies to fig7, nic, scalebench)"
+        ),
     )
     parser.add_argument(
         "--csv",
@@ -206,7 +219,7 @@ def _fig7(args) -> None:
         procs_per_node=args.ppn,
         params=_network_params(args),
     )
-    comparison = run_fig7(cfg)
+    comparison = run_fig7(cfg, jobs=args.jobs)
     print(comparison.render())
     if args.csv:
         path = write_csv(comparison_to_csv(comparison), args.csv, "fig7_ga_sync")
@@ -354,11 +367,25 @@ def _nic(args) -> None:
         procs_per_node=args.ppn,
         params=_network_params(args),
     )
-    result = run_nicbench(cfg)
+    result = run_nicbench(cfg, jobs=args.jobs)
     print(result.render())
     if args.csv:
         path = write_csv(nicbench_to_csv(result), args.csv, "ablation_nic")
         print(f"csv written: {path}")
+
+
+def _scalebench(args) -> None:
+    from .experiments.scalebench import ScaleBenchConfig, run_scalebench
+
+    cfg = ScaleBenchConfig(
+        nprocs_list=(
+            tuple(args.procs) if args.procs else ScaleBenchConfig.nprocs_list
+        ),
+        iterations=args.iterations or ScaleBenchConfig.iterations,
+        procs_per_node=args.ppn,
+        params=_network_params(args),
+    )
+    print(run_scalebench(cfg, jobs=args.jobs).render())
 
 
 def _chaos_defaults(args) -> int:
@@ -439,6 +466,8 @@ def _dispatch(args) -> int:
         return _chaos(args)
     elif args.experiment == "nic":
         _nic(args)
+    elif args.experiment == "scalebench":
+        _scalebench(args)
     elif args.experiment == "validate":
         from .experiments.validate import run_validation
 

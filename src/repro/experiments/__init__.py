@@ -9,6 +9,8 @@ from .fig9_lock_acquire import run_fig9
 from .fig10_lock_release import run_fig10
 from .lockbench import LockBenchConfig, LockPoint, run_lock_point, run_lock_series
 from .nicbench import NicBenchConfig, NicBenchResult, run_nicbench
+from .parallel import cell_seed, default_jobs, run_cells
+from .scalebench import ScaleBenchConfig, ScaleBenchResult, run_scalebench
 
 __all__ = [
     "ChaosBenchConfig",
@@ -20,6 +22,10 @@ __all__ = [
     "LockPoint",
     "NicBenchConfig",
     "NicBenchResult",
+    "ScaleBenchConfig",
+    "ScaleBenchResult",
+    "cell_seed",
+    "default_jobs",
     "format_table",
     "run_chaosbench",
     "run_faultbench",
@@ -27,7 +33,9 @@ __all__ = [
     "run_fig8",
     "run_fig9",
     "run_fig10",
+    "run_cells",
     "run_lock_point",
     "run_lock_series",
     "run_nicbench",
+    "run_scalebench",
 ]

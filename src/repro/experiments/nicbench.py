@@ -26,6 +26,7 @@ from ..net.params import NetworkParams
 from ..runtime.cluster import ClusterRuntime
 from .common import DEFAULT_NPROCS, default_params, format_table
 from .fig7_sync import Fig7Config, sync_workload
+from .parallel import run_cells
 
 __all__ = ["NicBenchConfig", "NicBenchResult", "run_nicbench", "VARIANTS"]
 
@@ -116,8 +117,21 @@ def _mean_sync_us(
     return sum(pooled) / len(pooled)
 
 
-def run_nicbench(cfg: NicBenchConfig = NicBenchConfig()) -> NicBenchResult:
-    """Run the three-way host vs. NIC barrier comparison."""
+def _nic_cell(cell) -> float:
+    """One (variant, nprocs) point (picklable sweep cell)."""
+    cfg, nprocs, mode, params = cell
+    return _mean_sync_us(cfg, nprocs, mode, params)
+
+
+def run_nicbench(
+    cfg: NicBenchConfig = NicBenchConfig(), jobs: int = 1
+) -> NicBenchResult:
+    """Run the three-way host vs. NIC barrier comparison.
+
+    ``jobs > 1`` shards the (variant, nprocs) cells over worker processes;
+    results are identical to a serial run (each cell is an independent
+    simulation — see :mod:`repro.experiments.parallel`).
+    """
     result = NicBenchResult(
         title="NIC ablation: GA_Sync() time (host vs NIC offload)",
         metric="mean GA_Sync time over all iterations and processes (us)",
@@ -128,11 +142,16 @@ def run_nicbench(cfg: NicBenchConfig = NicBenchConfig()) -> NicBenchResult:
         ("nic-exchange", "nic", base.with_(nic_algorithm="exchange")),
         ("nic-tree", "nic", base.with_(nic_algorithm="tree")),
     )
-    for variant, mode, params in plans:
+    cells = [
+        (cfg, nprocs, mode, params)
+        for _variant, mode, params in plans
+        for nprocs in cfg.nprocs_list
+    ]
+    means = run_cells(_nic_cell, cells, jobs=jobs)
+    flat = iter(means)
+    for variant, _mode, _params in plans:
         for nprocs in cfg.nprocs_list:
-            result.record(
-                variant, nprocs, _mean_sync_us(cfg, nprocs, mode, params)
-            )
+            result.record(variant, nprocs, next(flat))
     result.notes.append(
         f"workload: {cfg.shape} array, {cfg.strip_rows}-row strips to every "
         f"remote block, {cfg.iterations} iterations"

@@ -1,0 +1,218 @@
+"""Barrier scaling study: GA_Sync variants at up to 1024 processes.
+
+The paper evaluates on 2–16 processes; related NIC-collective work
+(Yu et al. on Quadrics/Myrinet, and the 1024-core RISC-V barrier study)
+pushes barrier synchronization to 1024 participants.  This experiment runs
+the repo's three combined fence+barrier implementations —
+
+* ``host-exchange`` — the paper's 3-stage binary exchange on the hosts
+  (GA_Sync mode ``new``),
+* ``nic-exchange`` — NIC-offloaded recursive-doubling exchange,
+* ``nic-tree`` — NIC-offloaded combining tree,
+
+at N ∈ {64, 128, 256, 512, 1024} simulated processes and reports both the
+*simulated* mean GA_Sync time and the *wall-clock* simulator throughput
+(events/sec) of each cell, so the table doubles as a kernel perf probe.
+
+Unlike the Figure 7 workload (every rank writes a strip into every remote
+block — O(N²) puts per iteration, infeasible at N=1024), each rank here
+issues one small put to its ring neighbor before synchronizing: the put
+keeps the fence half of GA_Sync honest (there is always an outstanding
+operation to complete) while the cost under study stays the barrier's
+O(log N) exchange.
+
+Wall-clock numbers are machine-dependent; only the simulated µs column is
+reproducible bit-for-bit.  This experiment is therefore *not* part of
+``scripts/regenerate_results.py`` — it is reached via ``repro scalebench``
+and the perf harness in ``benchmarks/perf/``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.params import NetworkParams
+from ..runtime.cluster import ClusterRuntime
+from .common import default_params, format_table
+from .parallel import run_cells
+
+__all__ = [
+    "ScaleBenchConfig",
+    "ScaleBenchResult",
+    "ScaleCell",
+    "run_scalebench",
+    "SCALE_VARIANTS",
+]
+
+#: The compared barrier implementations, in table-column order.
+SCALE_VARIANTS: Tuple[str, ...] = ("host-exchange", "nic-exchange", "nic-tree")
+
+#: Default process counts (matches the 1024-participant related work).
+SCALE_NPROCS: Tuple[int, ...] = (64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class ScaleBenchConfig:
+    """Workload parameters for the barrier scaling study."""
+
+    nprocs_list: Tuple[int, ...] = SCALE_NPROCS
+    #: Timed GA_Sync iterations per cell (kept small: one iteration at
+    #: N=1024 is ~100k simulated events).
+    iterations: int = 5
+    #: Cells each rank puts to its ring neighbor before every sync.
+    put_cells: int = 8
+    procs_per_node: int = 1
+    params: Optional[NetworkParams] = None
+
+
+@dataclass(frozen=True)
+class ScaleCell:
+    """Measured outcome of one (variant, nprocs) cell."""
+
+    variant: str
+    nprocs: int
+    #: Mean GA_Sync time over all iterations and ranks (simulated µs).
+    sync_us: float
+    #: Simulated events processed by the cell's run.
+    events: int
+    #: Wall-clock seconds for the cell (machine-dependent).
+    wall_s: float
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else float("inf")
+
+
+@dataclass
+class ScaleBenchResult:
+    """``cells[variant][nprocs] -> ScaleCell``."""
+
+    title: str
+    cells: Dict[str, Dict[int, ScaleCell]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def record(self, cell: ScaleCell) -> None:
+        self.cells.setdefault(cell.variant, {})[cell.nprocs] = cell
+
+    def get(self, variant: str, nprocs: int) -> ScaleCell:
+        return self.cells[variant][nprocs]
+
+    def nprocs_list(self) -> List[int]:
+        keys = set()
+        for series in self.cells.values():
+            keys.update(series)
+        return sorted(keys)
+
+    def total_events(self) -> int:
+        return sum(
+            c.events for series in self.cells.values() for c in series.values()
+        )
+
+    def total_wall_s(self) -> float:
+        return sum(
+            c.wall_s for series in self.cells.values() for c in series.values()
+        )
+
+    def to_rows(self) -> List[List[str]]:
+        header = ["procs"]
+        header += [f"{v} (us)" for v in SCALE_VARIANTS]
+        header += ["events", "kev/s"]
+        rows = [header]
+        for n in self.nprocs_list():
+            row_cells = [self.get(v, n) for v in SCALE_VARIANTS]
+            events = sum(c.events for c in row_cells)
+            wall = sum(c.wall_s for c in row_cells)
+            rows.append(
+                [str(n)]
+                + [f"{c.sync_us:.1f}" for c in row_cells]
+                + [str(events), f"{events / wall / 1e3:.0f}" if wall else "-"]
+            )
+        return rows
+
+    def render(self) -> str:
+        lines = [
+            f"== {self.title} ==",
+            "metric: mean GA_Sync time (simulated us) per variant; "
+            "events + wall-clock kev/s per row (machine-dependent)",
+        ]
+        lines.append(format_table(self.to_rows()))
+        total_wall = self.total_wall_s()
+        if total_wall > 0:
+            lines.append(
+                f"total: {self.total_events()} events in {total_wall:.2f}s "
+                f"wall ({self.total_events() / total_wall / 1e3:.0f} kev/s)"
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def scale_workload(ctx, mode: str, cfg: ScaleBenchConfig):
+    """Per-rank scaling program: small neighbor put, then timed GA_Sync."""
+    from ..ga.sync import ga_sync
+
+    right = (ctx.rank + 1) % ctx.nprocs
+    addr = ctx.regions[right].alloc_named(
+        "scalebench", max(cfg.put_cells, 1), initial=0.0
+    )
+    values = [float(ctx.rank)] * cfg.put_cells
+    sw = ctx.stopwatch("ga_sync")
+    for _iteration in range(cfg.iterations):
+        if cfg.put_cells > 0:
+            yield from ctx.armci.put_segments(right, [(addr, values)])
+        sw.start()
+        yield from ga_sync(ctx, mode)
+        sw.stop()
+    return sw.samples
+
+
+def _scale_cell(cell) -> ScaleCell:
+    """One (variant, nprocs) point (picklable sweep cell)."""
+    cfg, variant, mode, params, nprocs = cell
+    runtime = ClusterRuntime(
+        nprocs, procs_per_node=cfg.procs_per_node, params=params
+    )
+    start = time.perf_counter()
+    per_rank = runtime.run_spmd(scale_workload, mode, cfg)
+    wall_s = time.perf_counter() - start
+    pooled = [s for samples in per_rank for s in samples]
+    return ScaleCell(
+        variant=variant,
+        nprocs=nprocs,
+        sync_us=sum(pooled) / len(pooled),
+        events=runtime.env.events_processed,
+        wall_s=wall_s,
+    )
+
+
+def run_scalebench(
+    cfg: ScaleBenchConfig = ScaleBenchConfig(), jobs: int = 1
+) -> ScaleBenchResult:
+    """Run the barrier scaling study over all variants and process counts."""
+    result = ScaleBenchResult(
+        title="Barrier scaling: GA_Sync() time, host vs NIC, N up to 1024"
+    )
+    base = default_params(cfg.params)
+    plans = (
+        ("host-exchange", "new", base),
+        ("nic-exchange", "nic", base.with_(nic_algorithm="exchange")),
+        ("nic-tree", "nic", base.with_(nic_algorithm="tree")),
+    )
+    cells = [
+        (cfg, variant, mode, params, nprocs)
+        for variant, mode, params in plans
+        for nprocs in cfg.nprocs_list
+    ]
+    for measured in run_cells(_scale_cell, cells, jobs=jobs):
+        result.record(measured)
+    result.notes.append(
+        f"workload: {cfg.put_cells}-cell put to the ring neighbor, then "
+        f"GA_Sync, x{cfg.iterations} iterations per cell"
+    )
+    result.notes.append(
+        "simulated us columns are deterministic; events/sec is wall-clock "
+        "and varies by machine (see docs/performance.md)"
+    )
+    return result

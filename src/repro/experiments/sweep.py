@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..net.params import NetworkParams, myrinet2000
 from .common import format_table
+from .parallel import run_cells
 
 __all__ = ["SweepResult", "sweep", "best", "calibration_loss"]
 
@@ -47,24 +48,40 @@ class SweepResult:
         return format_table(rows)
 
 
+def _sweep_cell(cell) -> Dict[str, float]:
+    """One grid point (picklable when ``evaluate`` is a top-level function)."""
+    evaluate, params = cell
+    return evaluate(params)
+
+
 def sweep(
     grid: Grid,
     evaluate: Callable[[NetworkParams], Dict[str, float]],
     base: NetworkParams | None = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """Evaluate ``evaluate(params)`` at every point of the grid.
 
     ``grid`` maps :class:`NetworkParams` field names to candidate values;
-    the cartesian product is explored in deterministic order.
+    the cartesian product is explored in deterministic order.  ``jobs > 1``
+    shards grid points over worker processes (``evaluate`` must then be a
+    module-level function so it pickles); point order and values are
+    identical to a serial run.
     """
     if base is None:
         base = myrinet2000()
     result = SweepResult(grid=grid)
     names = sorted(grid)
-    for combo in itertools.product(*(grid[name] for name in names)):
-        overrides: Point = dict(zip(names, combo))
-        params = base.with_(**overrides)
-        result.points.append((overrides, evaluate(params)))
+    points: List[Point] = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(grid[name] for name in names))
+    ]
+    outputs = run_cells(
+        _sweep_cell,
+        [(evaluate, base.with_(**overrides)) for overrides in points],
+        jobs=jobs,
+    )
+    result.points.extend(zip(points, outputs))
     return result
 
 

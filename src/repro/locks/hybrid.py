@@ -68,7 +68,7 @@ class HybridLock(BaseLock):
 
     def _acquire_remote(self):
         """Figure 3, right: the server takes a ticket on our behalf."""
-        reply = Event(self.env)
+        reply = self.env.event()
         req = LockRequest(
             src_rank=self.ctx.rank,
             home_rank=self.home_rank,

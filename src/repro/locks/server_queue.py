@@ -34,7 +34,7 @@ class ServerQueueLock(BaseLock):
         self._my_ticket = -1
 
     def _acquire(self):
-        reply = Event(self.env)
+        reply = self.env.event()
         req = LockRequest(
             src_rank=self.ctx.rank,
             home_rank=self.home_rank,

@@ -104,7 +104,7 @@ class TokenLockBase(BaseLock):
     # -- app <-> daemon handshake ---------------------------------------------------
 
     def _acquire(self):
-        grant = Event(self.env)
+        grant = self.env.event()
         self._pending_grant = grant
         self._requested_at = self.env.now
         yield from self._send(self.ctx.rank, "local_request")

@@ -29,7 +29,7 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class MPMessage:
     """A two-sided message."""
 
@@ -82,10 +82,20 @@ class Comm:
             payload_bytes = _estimate_bytes(payload)
         msg = MPMessage(src=self.rank, dst=dst, tag=tag, payload=payload)
         self.sent += 1
-        if self.params.mp_call_us > 0.0:
-            yield self.env.timeout(self.params.mp_call_us)
-        yield from self.fabric.send(
-            self.rank, mp_endpoint(dst), msg, payload_bytes=payload_bytes
+        p = self.params
+        if p.mp_call_us > 0.0:
+            yield self.env.timeout(p.mp_call_us)
+        # fabric.send, inlined (sends sit under every collective phase and
+        # each delegated frame taxes every later resume of the caller).
+        fabric = self.fabric
+        rank_node = fabric._rank_node
+        src_node = rank_node[self.rank]
+        overhead = p.shm_access_us if src_node == rank_node[dst] else p.o_send_us
+        if overhead > 0.0:
+            yield self.env.timeout(overhead)
+        fabric.post(
+            self.rank, mp_endpoint(dst), msg,
+            payload_bytes=payload_bytes, src_node=src_node,
         )
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):

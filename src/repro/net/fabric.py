@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from itertools import count
 from typing import Any, Dict, Optional
 
 from ..sim.core import Environment, Event
@@ -114,7 +113,10 @@ class Fabric:
         self.params = params
         self._mailboxes: Dict[Endpoint, Any] = {}
         self._nic_free = [0.0] * topology.nnodes
-        self._seq = count()
+        self._seq = 0
+        # Hot-path alias of the topology's rank->node table (post/send
+        # resolve nodes once per message; a list index beats a method call).
+        self._rank_node = topology._node_of
         #: Jitter stream.  Seeded exactly as the historical single RNG so
         #: jitter sequences are unchanged; the fault injector draws from
         #: its own independent stream (see repro.net.faults).
@@ -179,7 +181,7 @@ class Fabric:
         if kind == "srv":
             return index
         if kind == "mp":
-            return self.topology.node_of(index)
+            return self._rank_node[index]
         if kind == "nic":
             return index
         raise ValueError(f"unknown endpoint kind {kind!r}")
@@ -201,7 +203,7 @@ class Fabric:
         bus crossings folded into ``inter_latency_us``).
         """
         p = self.params
-        now = self.env.now
+        now = self.env._now
         if src_node == dst_node:
             return p.intra_latency_us
         depart = max(now, self._nic_free[src_node])
@@ -242,7 +244,7 @@ class Fabric:
         cost).
         """
         if src_node is None:
-            src_node = self.topology.node_of(src_rank)
+            src_node = self._rank_node[src_rank]
         dst_node = self._dst_node(dst)
         size = payload_bytes + MSG_HEADER_BYTES
         env = self.env
@@ -255,25 +257,24 @@ class Fabric:
                 dst=dst,
                 payload=payload,
                 size_bytes=size,
-                sent_at=env.now,
-                deliver_at=env.now,
+                sent_at=env._now,
+                deliver_at=env._now,
                 seq=-1,
                 intra_node=(src_node == dst_node),
             )
         if self._membership is not None:
             self._membership.note_traffic(src_rank)
+        seq = self._seq
+        self._seq = seq + 1
+        now = env._now
+        # Positional construction: post() runs once per message.
         envelope = Envelope(
-            src_rank=src_rank,
-            dst=dst,
-            payload=payload,
-            size_bytes=size,
-            sent_at=env.now,
-            deliver_at=env.now,
-            seq=next(self._seq),
-            intra_node=(src_node == dst_node),
+            src_rank, dst, payload, size, now, now, seq, src_node == dst_node
         )
         self.stats.record(envelope)
-        mailbox = self.mailbox(dst)
+        mailbox = self._mailboxes.get(dst)
+        if mailbox is None:
+            raise KeyError(f"no mailbox registered for endpoint {dst}")
         if self.reliable is not None and not envelope.intra_node:
             self.reliable.send_envelope(envelope, src_node, dst_node)
             return envelope
@@ -284,16 +285,16 @@ class Fabric:
             latency_us=self.wire_latency_override(src_rank, dst),
         )
         if self.faults is None:
-            envelope.deliver_at = env.now + delay
+            envelope.deliver_at = env._now + delay
             deliver = env.timeout(delay)
             deliver.callbacks.append(lambda _ev: mailbox.put(envelope))
             return envelope
         offsets = self.faults.delivery_offsets(
-            src_node, dst_node, dst, env.now, delay, intra_node=envelope.intra_node
+            src_node, dst_node, dst, env._now, delay, intra_node=envelope.intra_node
         )
         for i, offset in enumerate(offsets):
             copy = envelope if i == 0 else replace(envelope)
-            copy.deliver_at = env.now + offset
+            copy.deliver_at = env._now + offset
             deliver = env.timeout(offset)
             deliver.callbacks.append(lambda _ev, c=copy: mailbox.put(c))
         return envelope
@@ -310,7 +311,7 @@ class Fabric:
         Usage: ``env_msg = yield from fabric.send(rank, dst, payload)``.
         Returns the :class:`Envelope`.
         """
-        src_node = self.topology.node_of(src_rank)
+        src_node = self._rank_node[src_rank]
         dst_node = self._dst_node(dst)
         p = self.params
         overhead = p.shm_access_us if src_node == dst_node else p.o_send_us
@@ -334,7 +335,7 @@ class Fabric:
         charge its own send CPU before calling.
         """
         p = self.params
-        dst_node = self.topology.node_of(dst_rank)
+        dst_node = self._rank_node[dst_rank]
         size = payload_bytes + MSG_HEADER_BYTES
         intra_node = src_node == dst_node
         if self._dead_endpoints and (

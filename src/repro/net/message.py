@@ -37,7 +37,7 @@ def nic_endpoint(node: int) -> Endpoint:
     return ("nic", node)
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """A message in flight (or delivered) on the fabric."""
 

@@ -62,7 +62,7 @@ class _EpochState:
     def __init__(self, env):
         self.rows: Dict[int, List[int]] = {}
         self.release: Dict[int, Event] = {}
-        self.all_rows = Event(env)
+        self.all_rows = env.event()
         self.proc = None
 
 
@@ -141,7 +141,7 @@ class NicEngine:
                 n=self.nprocs,
             )
         state = self._epoch_state(epoch)
-        release = Event(self.env)
+        release = self.env.event()
         state.release[rank] = release
         row_copy = list(row)
         delay = p.nic_dma_us + SLOT_BYTES * len(row_copy) * p.nic_dma_per_byte_us

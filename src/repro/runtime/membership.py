@@ -150,17 +150,23 @@ class MembershipService:
             return
         self._installed = True
         env = self.env
-        original_process = env.process
+        # Chain through the environment's factory hook (Environment uses
+        # __slots__); an already-installed factory (e.g. the RMCSan
+        # monitor's actor inheritance) keeps working underneath ours.
+        base_factory = env._process_factory
 
         def process_with_ownership(generator, name=None):
             owner = self._owner_of.get(env.active_process)
-            proc = original_process(generator, name=name)
+            if base_factory is not None:
+                proc = base_factory(generator, name=name)
+            else:
+                proc = Process(env, generator, name=name)
             if owner is not None and owner not in self._dead:
                 self._owner_of[proc] = owner
                 self._owned.setdefault(owner, []).append(proc)
             return proc
 
-        env.process = process_with_ownership
+        env._process_factory = process_with_ownership
         for crash in self.plan.crashes:
             env.process(self._crash_executor(crash), name=f"crash@{crash.at_us}")
         for rank in sorted(self._alive):

@@ -126,9 +126,10 @@ class Region:
     def read_many(self, addr: int, count: int) -> List[Any]:
         if count < 0:
             raise ValueError("count must be >= 0")
-        self._check(addr)
-        if count:
-            self._check(addr + count - 1)
+        if addr < 0 or addr + max(count, 1) > len(self._cells):
+            self._check(addr)
+            if count:
+                self._check(addr + count - 1)
         self.reads += count
         if self._monitor is not None and count:
             self._monitor.on_read(self, addr, count)
@@ -137,17 +138,34 @@ class Region:
     def write_many(self, addr: int, values: Sequence[Any]) -> None:
         if not values:
             return
-        self._check(addr)
-        self._check(addr + len(values) - 1)
+        n = len(values)
+        if addr < 0 or addr + n > len(self._cells):
+            self._check(addr)
+            self._check(addr + n - 1)
         if self._monitor is not None:
             # One ranged event; the per-cell writes below stay silent.
-            self._monitor.on_write(self, addr, len(values))
+            self._monitor.on_write(self, addr, n)
             with self._monitor.bulk():
                 for offset, value in enumerate(values):
                     self.write(addr + offset, value)
             return
-        for offset, value in enumerate(values):
-            self.write(addr + offset, value)
+        # Bulk fast path: one slice assignment instead of n write() calls,
+        # then watcher wake-ups in the same ascending-address order the
+        # per-cell loop produced (so schedule sequence numbers — and thus
+        # simulated results — are byte-identical).
+        self._cells[addr : addr + n] = values
+        self.writes += n
+        watchers = self._watchers
+        if watchers:
+            end = addr + n
+            if len(watchers) < n:
+                watched = sorted(a for a in watchers if addr <= a < end)
+            else:
+                watched = range(addr, end)
+            for a in watched:
+                watcher = watchers.get(a)
+                if watcher is not None and watcher.waiting:
+                    watcher.fire(values[a - addr])
 
     # -- polling -------------------------------------------------------------
 

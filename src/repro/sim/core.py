@@ -17,6 +17,12 @@ the ARMCI reproduction:
   with ``yield from`` sub-generators, which keeps protocol code (fence,
   barrier, lock algorithms) readable and close to the paper's pseudocode.
 
+* **A fast hot path.** ``Environment.run`` drives an inlined pop/dispatch
+  loop (no per-event ``peek()``/``step()`` call pair), keeps the schedule
+  sequence as a plain int, skips the ``on_event`` trace branch entirely when
+  no tracer is attached, and recycles :class:`Event`/:class:`Timeout`
+  objects through per-environment free lists (see ``docs/performance.md``).
+
 The kernel knows nothing about networks, servers, or ARMCI; those live in
 :mod:`repro.net` and :mod:`repro.runtime`.
 """
@@ -24,7 +30,7 @@ The kernel knows nothing about networks, servers, or ARMCI; those live in
 from __future__ import annotations
 
 import heapq
-from itertools import count
+import sys
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -54,6 +60,17 @@ PRIORITY_NORMAL = 1
 PRIORITY_LAZY = 2
 
 _PENDING = object()
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+# CPython exposes reference counts; the run loop uses them to prove that a
+# just-processed Event/Timeout is unreachable and can be recycled.  On other
+# interpreters recycling is simply disabled.
+_getrefcount = getattr(sys, "getrefcount", None)
+
+#: Cap on each per-environment free list (slab) of recycled events.
+_POOL_LIMIT = 1024
 
 
 class _Crashed:
@@ -160,7 +177,12 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, 0.0, priority)
+        # env.schedule(self, 0.0, priority), inlined: succeed() triggers
+        # nearly every non-timeout event in a run.
+        env = self.env
+        seq = env._seq
+        env._seq = seq + 1
+        _heappush(env._queue, (env._now, priority, seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
@@ -200,11 +222,17 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Field-by-field init (no super() chain): Timeouts are the single
+        # most allocated object in a simulation.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay, PRIORITY_NORMAL)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        seq = env._seq
+        env._seq = seq + 1
+        _heappush(env._queue, (env._now + delay, PRIORITY_NORMAL, seq, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
@@ -268,7 +296,7 @@ class Process(Event):
             raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
         if self is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
-        interrupt_ev = Event(self.env)
+        interrupt_ev = self.env.event()
         interrupt_ev._ok = False
         interrupt_ev._value = Interrupt(cause)
         interrupt_ev._defused = True
@@ -299,80 +327,85 @@ class Process(Event):
         self.env.schedule(self, 0.0, PRIORITY_URGENT)
 
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the outcome of ``event``."""
+        """Advance the generator with the outcome of ``event``.
+
+        Runs a loop rather than a single step: when the generator yields an
+        *already-processed* event, the process continues immediately with
+        that event's outcome instead of allocating a shim event and paying
+        an extra PRIORITY_URGENT queue round trip per occurrence.
+        """
         if self._value is not _PENDING:
             # Killed (or otherwise finished) before this wakeup landed:
             # the generator is closed, there is nothing to advance.
             return
         env = self.env
-        env._active_proc = self
-        # Detach from the old target: if we were interrupted while waiting,
-        # the original target may still fire later; drop our callback.
-        if (
-            self._target is not None
-            and self._target is not event
-            and self._target.callbacks is not None
-        ):
+        generator = self._generator
+        send = generator.send
+        while True:
+            env._active_proc = self
+            # Detach from the old target: if we were interrupted while
+            # waiting, the original target may still fire later; drop our
+            # callback.
+            target = self._target
+            if (
+                target is not event
+                and target is not None
+                and target.callbacks is not None
+            ):
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
             try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        self._target = None
-        try:
-            if event._ok:
-                next_ev = self._generator.send(event._value)
-            else:
-                event._defused = True
-                next_ev = self._generator.throw(event._value)
-        except StopIteration as exc:
+                if event._ok:
+                    next_ev = send(event._value)
+                else:
+                    event._defused = True
+                    next_ev = generator.throw(event._value)
+            except StopIteration as exc:
+                env._active_proc = None
+                self._ok = True
+                self._value = getattr(exc, "value", None)
+                env.schedule(self, 0.0, PRIORITY_NORMAL)
+                return
+            except StopProcess as exc:
+                env._active_proc = None
+                generator.close()
+                self._ok = True
+                self._value = exc.value
+                env.schedule(self, 0.0, PRIORITY_NORMAL)
+                return
+            except BaseException as exc:
+                env._active_proc = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self, 0.0, PRIORITY_NORMAL)
+                return
             env._active_proc = None
-            self._ok = True
-            self._value = getattr(exc, "value", None)
-            env.schedule(self, 0.0, PRIORITY_NORMAL)
-            return
-        except StopProcess as exc:
-            env._active_proc = None
-            self._generator.close()
-            self._ok = True
-            self._value = exc.value
-            env.schedule(self, 0.0, PRIORITY_NORMAL)
-            return
-        except BaseException as exc:
-            env._active_proc = None
-            self._ok = False
-            self._value = exc
-            env.schedule(self, 0.0, PRIORITY_NORMAL)
-            return
-        env._active_proc = None
 
-        if not isinstance(next_ev, Event):
-            self._generator.throw(
-                SimulationError(
-                    f"process {self.name!r} yielded {next_ev!r}, which is not "
-                    "an Event; protocol helpers must be delegated to with "
-                    "'yield from'"
+            if not isinstance(next_ev, Event):
+                generator.throw(
+                    SimulationError(
+                        f"process {self.name!r} yielded {next_ev!r}, which is not "
+                        "an Event; protocol helpers must be delegated to with "
+                        "'yield from'"
+                    )
                 )
-            )
-            return
-        if next_ev.env is not env:
-            self._generator.throw(
-                SimulationError("yielded an event from a different environment")
-            )
-            return
-        if next_ev.callbacks is not None:
-            next_ev.callbacks.append(self._resume)
-            self._target = next_ev
-        else:
-            # Already processed: resume immediately at the current time.
-            resume_ev = Event(env)
-            resume_ev._ok = next_ev._ok
-            resume_ev._value = next_ev._value
-            if not next_ev._ok:
-                next_ev._defused = True
-                resume_ev._defused = True
-            resume_ev.callbacks.append(self._resume)
-            env.schedule(resume_ev, 0.0, PRIORITY_URGENT)
-            self._target = resume_ev
+                return
+            if next_ev.env is not env:
+                generator.throw(
+                    SimulationError("yielded an event from a different environment")
+                )
+                return
+            callbacks = next_ev.callbacks
+            if callbacks is not None:
+                callbacks.append(self._resume)
+                self._target = next_ev
+                return
+            # Already processed: continue immediately at the current time
+            # with that event's outcome (the fast resume path).
+            event = next_ev
 
 
 class ConditionValue:
@@ -417,12 +450,15 @@ class ConditionValue:
 class Condition(Event):
     """Composite event over a list of sub-events.
 
-    Succeeds (with a :class:`ConditionValue` of the *triggered* sub-events)
-    when ``evaluate(events, n_done)`` returns True; fails immediately if any
-    sub-event fails.
+    Succeeds (with a :class:`ConditionValue` of the *processed* sub-events,
+    in completion order) when ``evaluate(events, n_done)`` returns True;
+    fails immediately if any sub-event fails.  Completion tracking is O(1)
+    per sub-event: done events are appended incrementally instead of
+    rescanning ``self._events`` on every callback, which kept wide
+    :class:`AllOf` barriers linear instead of quadratic.
     """
 
-    __slots__ = ("_evaluate", "_events", "_count")
+    __slots__ = ("_evaluate", "_events", "_count", "_done")
 
     def __init__(
         self,
@@ -434,6 +470,11 @@ class Condition(Event):
         self._evaluate = evaluate
         self._events = list(events)
         self._count = 0
+        #: Sub-events that have been *processed* (callbacks ran) and
+        #: succeeded, in completion order.  "Done" means processed, not
+        #: merely triggered: a Timeout is triggered at creation but has not
+        #: happened yet.
+        self._done: list = []
         for ev in self._events:
             if ev.env is not env:
                 raise SimulationError("events from different environments")
@@ -453,11 +494,10 @@ class Condition(Event):
         if not event._ok:
             event._defused = True
             self.fail(event._value)
-        elif self._evaluate(self._events, self._count):
-            # "Done" means *processed* (callbacks ran), not merely triggered:
-            # a Timeout is triggered at creation but has not happened yet.
-            done = [ev for ev in self._events if ev.callbacks is None and ev._ok]
-            self.succeed(ConditionValue(done))
+        else:
+            self._done.append(event)
+            if self._evaluate(self._events, self._count):
+                self.succeed(ConditionValue(self._done))
 
     @staticmethod
     def all_done(events: list, count: int) -> bool:
@@ -489,16 +529,39 @@ class AnyOf(Condition):
 class Environment:
     """The simulation environment: a clock and a priority event queue."""
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_active_proc",
+        "on_event",
+        "events_processed",
+        "_sync_monitor",
+        "_process_factory",
+        "_event_pool",
+        "_timeout_pool",
+    )
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []
-        self._seq = count()
+        self._seq = 0
         self._active_proc: Optional[Process] = None
         #: Optional callable ``(time, event)`` invoked on every processed
-        #: event; used by :mod:`repro.sim.trace`.
+        #: event; used by :mod:`repro.sim.trace`.  Sampled at the top of
+        #: :meth:`run`: attach tracers before calling ``run``.
         self.on_event: Optional[Callable[[float, Event], None]] = None
         #: Count of processed events (cheap global progress metric).
         self.events_processed = 0
+        #: RMCSan monitor hook (see :mod:`repro.analysis.monitor`).
+        self._sync_monitor = None
+        #: Optional override for :meth:`process` (monitors wrap process
+        #: creation to inherit actor labels).
+        self._process_factory: Optional[Callable] = None
+        # Free lists of recycled plain Events / Timeouts (slab reuse; see
+        # the run loop).
+        self._event_pool: list = []
+        self._timeout_pool: list = []
 
     # -- clock & queue -----------------------------------------------------
 
@@ -516,9 +579,9 @@ class Environment:
         self, event: Event, delay: float = 0.0, priority: int = PRIORITY_NORMAL
     ) -> None:
         """Enqueue a triggered event ``delay`` time units from now."""
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._seq), event)
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -527,7 +590,7 @@ class Environment:
     def step(self) -> None:
         """Process one event; raises :class:`EmptySchedule` if none left."""
         try:
-            when, _prio, _seq, event = heapq.heappop(self._queue)
+            when, _prio, _seq, event = _heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
         self._now = when
@@ -540,6 +603,27 @@ class Environment:
         if not event._ok and not event._defused:
             exc = event._value
             raise exc
+
+    def _recycle(self, event: Event, callbacks: list) -> None:
+        """Return a processed, provably unreferenced event to its free list.
+
+        Only called from the run loop, and only for plain ``Event`` /
+        ``Timeout`` instances whose refcount proves nothing else can ever
+        observe them again.  The detached callbacks list is cleared and
+        reattached so the recycled event is indistinguishable from a fresh
+        pending one.
+        """
+        if event.__class__ is Timeout:
+            pool = self._timeout_pool
+        else:
+            pool = self._event_pool
+        if len(pool) < _POOL_LIMIT:
+            callbacks.clear()
+            event.callbacks = callbacks
+            event._value = _PENDING
+            event._ok = True
+            event._defused = False
+            pool.append(event)
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -554,6 +638,8 @@ class Environment:
             if isinstance(until, Event):
                 stop_ev = until
                 if stop_ev.callbacks is None:
+                    if not stop_ev._ok:
+                        raise stop_ev._value
                     return stop_ev._value
             else:
                 stop_at = float(until)
@@ -561,29 +647,83 @@ class Environment:
                     raise ValueError(
                         f"until={stop_at} is in the past (now={self._now})"
                     )
-        hit = []
+
+        queue = self._queue
+        pop = _heappop
+        on_event = self.on_event
+        refcount = _getrefcount
+
+        if stop_ev is None and stop_at is None and on_event is None:
+            # No-trace fast path: drain the queue with an inlined step loop
+            # (no peek()/step() call pair, no on_event branch) and recycle
+            # unreachable Event/Timeout objects through the free lists.
+            event_pool = self._event_pool
+            timeout_pool = self._timeout_pool
+            processed = 0
+            try:
+                while queue:
+                    when, _prio, _seq, event = pop(queue)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    processed += 1
+                    for cb in callbacks:
+                        cb(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    cls = event.__class__
+                    if (
+                        (cls is Timeout or cls is Event)
+                        and refcount is not None
+                        # 2 == the loop local + getrefcount's argument:
+                        # nothing else references the event, so it is safe
+                        # to reuse.
+                        and refcount(event) == 2
+                    ):
+                        # _recycle(), inlined: this runs once per event.
+                        pool = timeout_pool if cls is Timeout else event_pool
+                        if len(pool) < _POOL_LIMIT:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            event._value = _PENDING
+                            event._ok = True
+                            event._defused = False
+                            pool.append(event)
+            finally:
+                # The counter is only observed between run() calls; batching
+                # the per-event increment out of the loop is measurable.
+                self.events_processed += processed
+            return None
+
+        hit: list = []
         if stop_ev is not None:
             stop_ev.callbacks.append(hit.append)
-        try:
-            while True:
-                if stop_ev is not None and hit:
-                    break
-                nxt = self.peek()
-                if nxt == float("inf"):
-                    if stop_ev is not None:
-                        raise SimulationError(
-                            "simulation queue drained before the awaited event "
-                            f"{stop_ev!r} triggered (deadlock?)"
-                        )
-                    if stop_at is not None:
-                        self._now = stop_at
-                    break
-                if stop_at is not None and nxt > stop_at:
+        while True:
+            if stop_ev is not None and hit:
+                break
+            if not queue:
+                if stop_ev is not None:
+                    raise SimulationError(
+                        "simulation queue drained before the awaited event "
+                        f"{stop_ev!r} triggered (deadlock?)"
+                    )
+                if stop_at is not None:
                     self._now = stop_at
-                    break
-                self.step()
-        except EmptySchedule:
-            pass
+                break
+            if stop_at is not None and queue[0][0] > stop_at:
+                self._now = stop_at
+                break
+            when, _prio, _seq, event = pop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            self.events_processed += 1
+            if on_event is not None:
+                on_event(when, event)
+            for cb in callbacks:
+                cb(event)
+            if not event._ok and not event._defused:
+                raise event._value
         if stop_ev is not None:
             if not stop_ev.triggered:
                 return None
@@ -595,15 +735,32 @@ class Environment:
     # -- factories ---------------------------------------------------------
 
     def event(self) -> Event:
-        """Create a fresh pending event."""
+        """Create a fresh pending event (recycled from the slab if possible)."""
+        pool = self._event_pool
+        if pool:
+            return pool.pop()
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` time units from now."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            t = pool.pop()
+            t.delay = delay
+            t._value = value
+            seq = self._seq
+            self._seq = seq + 1
+            _heappush(self._queue, (self._now + delay, PRIORITY_NORMAL, seq, t))
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         """Start a new process driving ``generator``."""
+        factory = self._process_factory
+        if factory is not None:
+            return factory(generator, name=name)
         return Process(self, generator, name=name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:

@@ -61,7 +61,7 @@ class Store:
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        ev = Event(self.env)
+        ev = self.env.event()
         if self.items:
             ev.succeed(self.items.popleft())
         else:
@@ -122,7 +122,7 @@ class FilterStore:
         self.items.append(item)
 
     def get(self, predicate: Callable[[Any], bool]) -> Event:
-        ev = Event(self.env)
+        ev = self.env.event()
         for i, item in enumerate(self.items):
             if predicate(item):
                 del self.items[i]
@@ -171,7 +171,7 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self) -> Event:
-        ev = Event(self.env)
+        ev = self.env.event()
         if self.in_use < self.capacity:
             self.in_use += 1
             ev.succeed()
@@ -225,7 +225,7 @@ class Broadcast:
         return len(self._waiters)
 
     def wait(self) -> Event:
-        ev = Event(self.env)
+        ev = self.env.event()
         self._waiters.append(ev)
         return ev
 
