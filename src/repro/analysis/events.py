@@ -49,6 +49,7 @@ LEASE_REVOKED = "lease_revoked"
 #: NIC-offloaded barrier (host doorbell -> NIC combining -> NIC release).
 NIC_DOORBELL = "nic_doorbell"
 NIC_COMBINE = "nic_combine"
+NIC_COMMIT = "nic_commit"
 NIC_RELEASE = "nic_release"
 
 KINDS = (
@@ -72,6 +73,7 @@ KINDS = (
     LEASE_REVOKED,
     NIC_DOORBELL,
     NIC_COMBINE,
+    NIC_COMMIT,
     NIC_RELEASE,
 )
 

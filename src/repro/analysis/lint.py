@@ -68,11 +68,15 @@ _WALL_CLOCK: Set[Tuple[str, str]] = {
 _OP_DONE_ATTRS = {"_bump_op_done", "_op_done_addr"}
 
 #: Files exempt from the nondeterminism rule (path suffix match):
-#: ``net/params.py`` is the one place allowed to mint default seeds, and
-#: ``experiments/scalebench.py`` reads the wall clock only *around* whole
-#: simulation runs to report simulator throughput (its simulated outputs
-#: stay deterministic).
-_RNG_EXEMPT_SUFFIX = ("net/params.py", "experiments/scalebench.py")
+#: ``net/params.py`` is the one place allowed to mint default seeds;
+#: ``experiments/scalebench.py`` and ``fuzz/campaign.py`` read the wall
+#: clock only *around* whole simulation runs (throughput reporting and
+#: the campaign time budget — their simulated outputs stay deterministic).
+_RNG_EXEMPT_SUFFIX = (
+    "net/params.py",
+    "experiments/scalebench.py",
+    "fuzz/campaign.py",
+)
 
 #: The only file allowed to touch the op_done machinery.
 _OP_DONE_HOME_SUFFIX = "runtime/server.py"

@@ -139,9 +139,16 @@ def _check_nic() -> List[Tuple[str, SanReport]]:
     Exercises the ``nic_doorbell``/``nic_combine``/``nic_release`` event
     vocabulary and the no-early-release rule: every release must
     happen-after every participating rank's doorbell.
+
+    The crashed variants kill a NIC (hosts survive on a dead device) and
+    a whole node mid-run, covering the commit-or-abort protocol: a
+    committed epoch is force-released at the view change, an uncommitted
+    one degrades every host to the resilient exchange together.
     """
     from ..experiments.common import default_params
     from ..experiments.fig7_sync import Fig7Config, sync_workload
+    from ..fuzz.runner import _fuzz_workload, _make_params
+    from ..fuzz.scenario import Scenario
 
     cfg = Fig7Config(iterations=2, shape=(16, 16), strip_rows=2)
     out = []
@@ -149,6 +156,37 @@ def _check_nic() -> List[Tuple[str, SanReport]]:
         params = default_params(cfg.params).with_(nic_algorithm=nic_alg)
         report = _sanitized_spmd(4, sync_workload, "nic", cfg, params=params)
         out.append((f"nic[{nic_alg}]", report))
+    for kind, target, label in (
+        ("nic", 1, "nic[crash=nic]"),
+        ("node", 2, "nic[crash=node]"),
+    ):
+        scenario = Scenario(
+            seed=0,
+            nprocs=6,
+            procs_per_node=2,
+            workload="strips",
+            barrier_algorithm="nic",
+            nic_algorithm="exchange",
+            phases=("puts", "barrier", "puts", "barrier"),
+            cells=4,
+            crashes=((kind, target, 40.0),),
+        )
+        shared = {
+            "requests": [],
+            "grants": [],
+            "preemptions": [],
+            "cs_owner": None,
+            "mutex_ok": True,
+        }
+        report = _sanitized_spmd(
+            scenario.nprocs,
+            _fuzz_workload,
+            scenario,
+            shared,
+            procs_per_node=scenario.procs_per_node,
+            params=_make_params(scenario),
+        )
+        out.append((label, report))
     return out
 
 

@@ -249,6 +249,14 @@ def _nic(armci: "Armci"):
         return
     engines = ensure_engines(armci)
     engine = engines[armci.node]
+    if engine.dead:
+        # NIC-only crash of the local co-processor: the doorbell PIO has
+        # nowhere to land, so the host notices immediately and falls back
+        # to the resilient host exchange.  Peers with live NICs discover
+        # the silence through retry exhaustion (-> view change) instead.
+        armci.stats["nic_degraded"] = armci.stats.get("nic_degraded", 0) + 1
+        yield from _exchange_resilient(armci)
+        return
     params = armci.params
     if params.nic_doorbell_us > 0.0:
         yield armci.env.timeout(params.nic_doorbell_us)

@@ -13,10 +13,14 @@ Usage (installed as ``armci-repro``, or ``python -m repro``)::
     armci-repro nic                 # host vs NIC-offloaded barrier ablation
     armci-repro scalebench          # barrier scaling to 1024 processes
     armci-repro all                 # everything above
+    armci-repro fuzz                # randomized fault/crash scenario fuzzing
     armci-repro fig7 --iterations 100 --network gige
     armci-repro fig7 --jobs 4       # shard sweep cells over 4 workers
     armci-repro faults --drop-rate 0.05 --fault-seed 7 --retry-timeout 40
     armci-repro chaos --kill 5:60 --kill 6:900 --lock mcs --kill-seed 7
+    armci-repro fuzz --seeds 200 --json-out fuzz.json
+    armci-repro fuzz --replay 20    # deterministic re-run of one seed
+    armci-repro fuzz --self-test    # validate the oracle on seeded mutants
 
 Fault options: ``--drop-rate`` enables seeded link-fault injection (with
 the reliable ACK/retransmit layer) on *any* experiment — with the
@@ -57,6 +61,10 @@ from .net.params import _preset
 __all__ = ["main"]
 
 
+class _CliError(Exception):
+    """A user-input problem: reported as one line on stderr, exit 2."""
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="armci-repro",
@@ -70,8 +78,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "locks", "ablations", "app",
                  "microbench", "fairness", "faults", "chaos", "nic",
-                 "scalebench", "validate", "check", "all"],
-        help="which experiment to regenerate (or 'check' to run RMCSan)",
+                 "scalebench", "fuzz", "validate", "check", "all"],
+        help="which experiment to regenerate (or 'check' to run RMCSan, "
+        "'fuzz' to run the scenario fuzzer)",
     )
     parser.add_argument(
         "target",
@@ -190,13 +199,110 @@ def _build_parser() -> argparse.ArgumentParser:
             "(ticket, lh, server, hybrid, mcs, naimi, raymond; default hybrid)"
         ),
     )
+    fuzz = parser.add_argument_group("fuzz options")
+    fuzz.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fuzz: number of consecutive seeds to run (default 50, or "
+        "unlimited when --time-budget is given)",
+    )
+    fuzz.add_argument(
+        "--start-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="fuzz: first seed of the campaign (default 0)",
+    )
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fuzz: stop starting new seeds after S wall-clock seconds",
+    )
+    fuzz.add_argument(
+        "--replay",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="fuzz: re-expand and run one seed (byte-identical, nonzero "
+        "exit iff it reports violations)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="fuzz: report the first failure without shrinking it",
+    )
+    fuzz.add_argument(
+        "--self-test",
+        action="store_true",
+        help="fuzz: plant the three seeded bug mutants and require the "
+        "oracle to catch each within the seed budget",
+    )
+    fuzz.add_argument(
+        "--self-test-budget",
+        type=int,
+        default=12,
+        metavar="N",
+        help="fuzz: seeds tried per mutant in --self-test (default 12)",
+    )
+    fuzz.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="fuzz: replay every corpus schedule in DIR instead of "
+        "generating seeds (nonzero exit iff any entry fails)",
+    )
+    fuzz.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="fuzz: also write the campaign/replay result as JSON to PATH",
+    )
     return parser
+
+
+def _validate_fault_args(args) -> None:
+    """Reject nonsense fault options with a one-line error (satellites).
+
+    argparse already type-checks ``--drop-rate``/``--fault-seed``; value
+    *ranges* are checked here so a typo like ``--drop-rate 15`` fails up
+    front instead of as a mid-simulation traceback.
+    """
+    drop = getattr(args, "drop_rate", None)
+    if drop is not None and not (0.0 <= drop < 1.0):
+        raise _CliError(
+            f"--drop-rate must be a probability in [0, 1), got {drop!r}"
+        )
+    retry = getattr(args, "retry_timeout", None)
+    if retry is not None and not retry > 0.0:
+        raise _CliError(f"--retry-timeout must be > 0 us, got {retry!r}")
+
+
+def _parse_kill(spec: str):
+    """Parse one ``--kill RANK:AT_US`` spec or raise :class:`_CliError`."""
+    try:
+        rank_s, at_s = spec.split(":", 1)
+        rank, at_us = int(rank_s), float(at_s)
+    except ValueError:
+        raise _CliError(f"bad --kill spec {spec!r}: expected RANK:AT_US")
+    if rank < 0:
+        raise _CliError(f"bad --kill spec {spec!r}: RANK must be >= 0")
+    if not at_us > 0.0:
+        raise _CliError(
+            f"bad --kill spec {spec!r}: AT_US must be > 0 (a process "
+            "cannot crash before the run starts)"
+        )
+    return rank, at_us
 
 
 def _network_params(args):
     """Resolve the preset plus any fault/reliability options."""
     from .net.faults import FaultPlan
 
+    _validate_fault_args(args)
     params = _preset(args.network)
     overrides = {}
     if args.retry_timeout is not None:
@@ -302,6 +408,7 @@ def _app(args) -> None:
 def _faults(args) -> None:
     from .experiments.faultbench import FaultBenchConfig, run_faultbench
 
+    _validate_fault_args(args)
     cfg = FaultBenchConfig(
         nprocs=(args.procs[0] if args.procs else FaultBenchConfig.nprocs),
         procs_per_node=args.ppn,
@@ -337,12 +444,7 @@ def _chaos(args) -> int:
     if args.kill:
         barrier_kills, lock_kills = [], []
         for spec in args.kill:
-            try:
-                rank_s, at_s = spec.split(":", 1)
-                rank, at_us = int(rank_s), float(at_s)
-            except ValueError:
-                print(f"bad --kill spec {spec!r}, expected RANK:AT_US")
-                return 2
+            rank, at_us = _parse_kill(spec)
             if at_us < defaults.barrier_hold_us:
                 barrier_kills.append((rank, at_us))
             else:
@@ -401,6 +503,57 @@ def _chaos_defaults(args) -> int:
     return 0 if result.all_ok() else 1
 
 
+def _fuzz(args) -> int:
+    """``repro fuzz``: campaigns, replay, corpus replay, oracle self-test."""
+    from pathlib import Path
+
+    from .fuzz import replay_corpus, replay_seed, run_campaign
+    from .fuzz.selftest import run_self_test
+
+    if args.self_test:
+        result = run_self_test(budget=args.self_test_budget)
+        print(result.render())
+        return 0 if result.all_caught() else 1
+
+    if args.corpus is not None:
+        corpus_dir = Path(args.corpus)
+        if not corpus_dir.is_dir():
+            raise _CliError(f"--corpus {args.corpus!r} is not a directory")
+        results = replay_corpus(corpus_dir)
+        if not results:
+            raise _CliError(f"--corpus {args.corpus!r} holds no *.json entries")
+        failed = False
+        for name, outcome in results:
+            print(f"[{'ok' if outcome.ok() else 'FAIL'}] {name}")
+            if not outcome.ok():
+                print(outcome.render())
+                failed = True
+        return 1 if failed else 0
+
+    if args.replay is not None:
+        outcome = replay_seed(args.replay)
+        print(outcome.render())
+        if args.json_out:
+            Path(args.json_out).write_text(outcome.to_json() + "\n")
+            print(f"json written: {args.json_out}")
+        return 0 if outcome.ok() else 1
+
+    num_seeds = args.seeds
+    if num_seeds is None:
+        num_seeds = None if args.time_budget is not None else 50
+    campaign = run_campaign(
+        start_seed=args.start_seed,
+        num_seeds=num_seeds,
+        time_budget_s=args.time_budget,
+        do_shrink=not args.no_shrink,
+    )
+    print(campaign.render())
+    if args.json_out:
+        Path(args.json_out).write_text(campaign.to_json() + "\n")
+        print(f"json written: {args.json_out}")
+    return 0 if campaign.ok() else 1
+
+
 def _check(args) -> int:
     """``repro check [target]``: RMCSan over representative workloads."""
     if args.lint:
@@ -434,6 +587,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         capture.enable(args.trace_out)
     try:
         rc = _dispatch(args)
+    except _CliError as exc:
+        print(f"armci-repro: error: {exc}", file=sys.stderr)
+        rc = 2
     finally:
         if args.trace_out:
             from .analysis import capture
@@ -468,6 +624,8 @@ def _dispatch(args) -> int:
         _nic(args)
     elif args.experiment == "scalebench":
         _scalebench(args)
+    elif args.experiment == "fuzz":
+        return _fuzz(args)
     elif args.experiment == "validate":
         from .experiments.validate import run_validation
 

@@ -129,6 +129,32 @@ def run_validation(quick: bool = True) -> Tuple[List[ValidationCheck], str]:
         )
     )
 
+    # The fuzzer's oracle must not be vacuous: every seeded mutant caught
+    # within a short budget, and a small seed window runs clean.
+    from ..fuzz.campaign import run_campaign
+    from ..fuzz.selftest import MUTANTS, run_self_test
+
+    self_test = run_self_test(budget=4 if quick else 12)
+    checks.append(
+        ValidationCheck(
+            "fuzz oracle mutants",
+            "self-test catches every seeded bug",
+            float(sum(r.caught for r in self_test.results)),
+            float(len(MUTANTS)),
+            float(len(MUTANTS)),
+        )
+    )
+    campaign = run_campaign(num_seeds=4 if quick else 25, do_shrink=False)
+    checks.append(
+        ValidationCheck(
+            "fuzz seed window",
+            "random schedules expose no invariant violation",
+            0.0 if campaign.ok() else 1.0,
+            0.0,
+            0.0,
+        )
+    )
+
     rows = [["check", "paper claim", "measured", "accept range", "status"]]
     for check in checks:
         rows.append(

@@ -1,0 +1,398 @@
+"""Execute one fuzz scenario and collect every invariant violation.
+
+The oracle layers two kinds of checks over a monitored run:
+
+* **RMCSan** — the happens-before engine's own verdict: data races,
+  fence violations (a read that can observe a lost put), early barrier
+  or NIC release, lock protocol violations, deadlock cycles.
+* **Workload invariants** — end-state checks the event stream cannot
+  express: every survivor finishes within the simulated-time cap (a
+  stuck survivor is a lost wakeup or deadlock), every *live* peer's
+  final puts are applied after the closing barrier, dead peers' slots
+  are atomic (whole put or nothing), at most one rank ever sits in the
+  lock's critical section among live holders, grant order is FIFO among
+  survivors when the algorithm promises it *and* no fault can reorder
+  request arrival, and every scheduled rank/node death is eventually
+  declared by the membership service.
+
+Everything is deterministic: the scenario seeds the fault RNG, so one
+seed reproduces one outcome byte-for-byte (see
+:meth:`FuzzOutcome.to_json`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..net.faults import FaultPlan, LinkFaults, ProcessCrash
+from ..net.params import NetworkParams, myrinet2000
+from ..sim.core import CRASHED
+from .scenario import Scenario
+
+__all__ = ["FuzzOutcome", "SIM_CAP_US", "run_scenario"]
+
+#: Hard simulated-time cap: generously above any legitimate completion
+#: (crash times max out at 1.5ms; detection + recovery + the workload
+#: finish within a few ms).  A program still running at the cap is hung.
+SIM_CAP_US = 50_000.0
+
+#: Lock algorithms whose grant order is FIFO in request-arrival order.
+_FIFO_LOCKS = ("ticket", "lh", "server", "hybrid", "mcs")
+
+#: Spacing between lock requests so request-send order equals
+#: queue-arrival order on a fault-free network (see chaosbench).
+_LOCK_STAGGER_US = 40.0
+_CS_US = 5.0
+
+
+@dataclass
+class FuzzOutcome:
+    """Everything one scenario run produced, violations first."""
+
+    scenario: Scenario
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    survivors: Tuple[int, ...] = ()
+    dead: Tuple[int, ...] = ()
+    finished_us: float = 0.0
+    events_analyzed: int = 0
+
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, kind: str, message: str, **details: Any) -> None:
+        entry: Dict[str, Any] = {"kind": kind, "message": message}
+        if details:
+            entry["details"] = {k: details[k] for k in sorted(details)}
+        self.violations.append(entry)
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({v["kind"] for v in self.violations}))
+
+    def to_json(self) -> str:
+        """Canonical JSON: identical text for identical replays."""
+        from .scenario import scenario_to_json
+
+        return json.dumps(
+            {
+                "scenario": json.loads(scenario_to_json(self.scenario)),
+                "violations": self.violations,
+                "survivors": list(self.survivors),
+                "dead": list(self.dead),
+                "finished_us": round(self.finished_us, 3),
+                "events_analyzed": self.events_analyzed,
+            },
+            sort_keys=True,
+        )
+
+    def render(self) -> str:
+        sc = self.scenario
+        head = (
+            f"seed {sc.seed}: {sc.workload} x{len(sc.phases)} phases, "
+            f"{sc.nprocs} procs ({sc.procs_per_node}/node), "
+            f"barrier={sc.barrier_algorithm}"
+            + (f", lock={sc.lock_kind}" if sc.lock_kind else "")
+            + (f", crashes={list(sc.crashes)}" if sc.crashes else "")
+            + (
+                f", faults(drop={sc.drop_rate} dup={sc.dup_rate} "
+                f"delay={sc.delay_rate})"
+                if sc.has_faults()
+                else ""
+            )
+        )
+        if self.ok():
+            return f"[ok] {head}"
+        lines = [f"[FAIL] {head}"]
+        for v in self.violations:
+            lines.append(f"  [{v['kind']}] {v['message']}")
+        return "\n".join(lines)
+
+
+def _make_params(scenario: Scenario) -> NetworkParams:
+    rates = dict(
+        drop_rate=scenario.drop_rate,
+        dup_rate=scenario.dup_rate,
+        delay_rate=scenario.delay_rate,
+        delay_spike_us=scenario.delay_spike_us,
+    )
+    crashes = tuple(
+        ProcessCrash(
+            at_us=at_us,
+            rank=target if kind == "rank" else None,
+            node=target if kind == "node" else None,
+            nic=target if kind == "nic" else None,
+        )
+        for kind, target, at_us in scenario.crashes
+    )
+    if scenario.fault_links:
+        default = LinkFaults()
+        links = tuple(
+            ((a, b), LinkFaults(**rates)) for a, b in scenario.fault_links
+        )
+    else:
+        default = LinkFaults(**rates)
+        links = ()
+    plan = FaultPlan(
+        default=default,
+        links=links,
+        crashes=crashes,
+        seed=scenario.seed,
+        reliable=True,
+    )
+    overrides: Dict[str, Any] = {
+        "faults": plan,
+        "nic_algorithm": scenario.nic_algorithm,
+    }
+    if scenario.crashes:
+        # Tight retry budget so a silent (crashed) endpoint exhausts its
+        # retransmissions — and escalates to suspicion — well inside the
+        # cap.  Only with a crash schedule: on a merely-lossy network the
+        # default budget keeps false suspicion of live peers negligible.
+        overrides["retry_timeout_us"] = 30.0
+        overrides["max_retries"] = 6
+    return myrinet2000().with_(**overrides)
+
+
+def _fuzz_workload(ctx, scenario: Scenario, shared: Dict[str, Any]):
+    """Per-rank program: execute the scenario's phase list."""
+    from ..locks import make_lock
+    from ..runtime.memory import GlobalAddress
+
+    env = ctx.env
+    membership = ctx.membership
+    cells = scenario.cells
+    base = ctx.region.alloc_named(
+        "fuzz.slots", ctx.nprocs * cells, initial=0
+    )
+    lock = None
+    if scenario.lock_kind is not None:
+        lock = make_lock(scenario.lock_kind, ctx, home_rank=0, name="fuzz")
+
+    put_round = 0
+    for phase in scenario.phases:
+        if phase == "puts":
+            put_round += 1
+            value = 100 * (ctx.rank + 1) + put_round
+            for peer in range(ctx.nprocs):
+                if peer == ctx.rank:
+                    continue
+                yield from ctx.armci.put(
+                    GlobalAddress(peer, base + ctx.rank * cells),
+                    [value] * cells,
+                )
+        elif phase == "lock" and lock is not None:
+            yield env.timeout(_LOCK_STAGGER_US * (ctx.rank + 1))
+            for it in range(scenario.lock_iters):
+                shared["requests"].append((env.now, ctx.rank, it))
+                yield from lock.acquire()
+                prev = shared["cs_owner"]
+                if prev is not None:
+                    if membership is not None and not membership.is_alive(prev):
+                        # Holder died in its CS; the lease was revoked.
+                        shared["preemptions"].append((prev, ctx.rank, env.now))
+                    else:
+                        shared["mutex_ok"] = False
+                shared["cs_owner"] = ctx.rank
+                shared["grants"].append((env.now, ctx.rank, it))
+                yield env.timeout(_CS_US)
+                if shared["cs_owner"] != ctx.rank:
+                    shared["mutex_ok"] = False
+                shared["cs_owner"] = None
+                yield from lock.release()
+        elif phase == "barrier":
+            yield from ctx.armci.barrier(algorithm=scenario.barrier_algorithm)
+
+    # Post-barrier memory audit: the final phase is always a barrier, so
+    # every live peer's last puts round must be visible here.
+    rounds = scenario.phases.count("puts")
+    slots_ok = True
+    dead_slots_ok = True
+    for peer in range(ctx.nprocs):
+        if peer == ctx.rank or rounds == 0:
+            continue
+        got = ctx.region.read_many(base + peer * cells, cells)
+        want = 100 * (peer + 1) + rounds
+        if membership is None or membership.is_alive(peer):
+            slots_ok = slots_ok and all(v == want for v in got)
+        else:
+            allowed = {0} | {100 * (peer + 1) + r for r in range(1, rounds + 1)}
+            dead_slots_ok = dead_slots_ok and (
+                got[0] in allowed and all(v == got[0] for v in got)
+            )
+    return {
+        "rank": ctx.rank,
+        "slots_ok": slots_ok,
+        "dead_slots_ok": dead_slots_ok,
+        "finished_us": env.now,
+    }
+
+
+def run_scenario(scenario: Scenario) -> FuzzOutcome:
+    """Run ``scenario`` under the monitor; return outcome + violations."""
+    from ..analysis.monitor import SyncMonitor
+    from ..runtime.cluster import ClusterRuntime
+
+    outcome = FuzzOutcome(scenario=scenario)
+    monitor = SyncMonitor()
+    runtime = ClusterRuntime(
+        scenario.nprocs,
+        procs_per_node=scenario.procs_per_node,
+        params=_make_params(scenario),
+        monitor=monitor,
+    )
+    shared: Dict[str, Any] = {
+        "requests": [],
+        "grants": [],
+        "preemptions": [],
+        "cs_owner": None,
+        "mutex_ok": True,
+    }
+    procs = runtime.spawn(_fuzz_workload, scenario, shared)
+    try:
+        runtime.env.run(until=SIM_CAP_US)
+    except Exception as exc:  # a daemon/server blew up: that IS a finding
+        outcome.add(
+            "exception",
+            f"runtime crashed at {runtime.env.now:.1f}us: "
+            f"{type(exc).__name__}: {exc}",
+        )
+    outcome.finished_us = runtime.env.now
+
+    membership = runtime.membership
+    alive = {
+        r
+        for r in range(scenario.nprocs)
+        if membership is None or membership.is_alive(r)
+    }
+    declared_dead = tuple(membership.dead_ranks()) if membership else ()
+    outcome.survivors = tuple(sorted(alive))
+    outcome.dead = declared_dead
+
+    # -- liveness: every live rank's program must have finished ----------
+    stuck = sorted(
+        rank
+        for rank, proc in procs.items()
+        if proc.is_alive and rank in alive
+    )
+    if stuck:
+        outcome.add(
+            "deadlock",
+            f"live ranks {stuck} never finished within {SIM_CAP_US:.0f}us "
+            "(deadlock or lost wakeup)",
+            stuck=stuck,
+        )
+
+    # -- program exceptions are oracle failures in their own right -------
+    for rank, proc in procs.items():
+        if proc.triggered and not proc.ok:
+            outcome.add(
+                "exception",
+                f"rank {rank} raised {type(proc.value).__name__}: {proc.value}",
+                rank=rank,
+            )
+
+    # -- scheduled rank/node deaths must be declared ---------------------
+    planned = scenario.dead_ranks_planned()
+    if planned:
+        kill_time = {
+            rank: min(
+                at
+                for kind, target, at in scenario.crashes
+                if (kind == "rank" and target == rank)
+                or (
+                    kind == "node"
+                    and rank // scenario.procs_per_node == target
+                )
+            )
+            for rank in planned
+        }
+        outlived = set()
+        for rank in planned:
+            proc = procs[rank]
+            result = proc.value if proc.triggered and proc.ok else None
+            if isinstance(result, dict):
+                if result["finished_us"] > kill_time[rank]:
+                    # Finishing *before* the kill fires is legitimate
+                    # (the crash hit a completed program); after is not.
+                    outcome.add(
+                        "membership",
+                        f"rank {rank} was scheduled to die at "
+                        f"{kill_time[rank]:.1f}us but finished normally "
+                        f"at {result['finished_us']:.1f}us",
+                        rank=rank,
+                    )
+                else:
+                    outlived.add(rank)  # completed before its kill fired
+        missing = sorted(set(planned) - set(declared_dead) - outlived)
+        if missing:
+            outcome.add(
+                "membership",
+                f"scheduled deaths {missing} never declared "
+                f"(declared: {list(declared_dead)})",
+                missing=missing,
+            )
+
+    # -- workload invariants over the finishers --------------------------
+    finished = {
+        rank: proc.value
+        for rank, proc in procs.items()
+        if proc.triggered and proc.ok and isinstance(proc.value, dict)
+    }
+    bad_memory = sorted(
+        rank
+        for rank, res in finished.items()
+        if not (res["slots_ok"] and res["dead_slots_ok"])
+    )
+    if bad_memory:
+        outcome.add(
+            "memory",
+            f"ranks {bad_memory} observed divergent memory after the final "
+            "barrier (missing live puts or torn dead puts)",
+            ranks=bad_memory,
+        )
+    if not shared["mutex_ok"]:
+        outcome.add(
+            "lock",
+            "two live ranks held the lock simultaneously "
+            "(critical-section owner cell was overwritten)",
+        )
+    if (
+        scenario.lock_kind in _FIFO_LOCKS
+        and not scenario.reorders_messages()
+        and not stuck
+    ):
+        request_order = [
+            (rank, it)
+            for _t, rank, it in shared["requests"]
+            if rank in alive
+        ]
+        grant_order = [
+            (rank, it) for _t, rank, it in shared["grants"] if rank in alive
+        ]
+        if request_order != grant_order:
+            outcome.add(
+                "lock-fifo",
+                f"{scenario.lock_kind} grant order diverged from request "
+                "order among survivors on an order-preserving network",
+                requests=request_order,
+                grants=grant_order,
+            )
+
+    # -- RMCSan verdict over the whole event stream ----------------------
+    report = monitor.analyze()
+    outcome.events_analyzed = report.events_analyzed
+    for violation in report.violations:
+        outcome.add(
+            f"san-{violation.kind}",
+            violation.message,
+            time=round(violation.time, 3),
+        )
+    if report.suppressed:
+        outcome.add(
+            "san-suppressed",
+            f"{report.suppressed} further RMCSan violation(s) suppressed",
+        )
+
+    outcome.violations.sort(key=lambda v: (v["kind"], v["message"]))
+    return outcome

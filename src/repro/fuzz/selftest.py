@@ -1,0 +1,229 @@
+"""Oracle validation: seeded bug mutants the fuzzer must catch.
+
+A fuzzer whose oracle is silently vacuous is worse than no fuzzer, so
+``repro fuzz --self-test`` plants three historically-plausible bugs —
+each a one-line patch against a different synchronization layer — and
+requires the fuzzer to flag every one within a fixed seed budget:
+
+* **hasty-nic** — the NIC firmware releases the barrier without waiting
+  for its hosted ranks' ``op_done`` mirror to catch up (stage 2 of the
+  offloaded combined barrier is skipped): puts can still be in flight
+  when survivors read.
+* **skipped-writeoff** — crash recovery stops writing off operations
+  that dead ranks initiated but that will never be applied, so the
+  resilient barrier's completion ledger never balances and survivors
+  wait forever.
+* **stale-token-epoch** — the token locks stop honoring the recovery
+  epoch floor, so a stale in-flight token copy (superseded by lease
+  recovery after the holder crashed) is accepted and two ranks hold
+  the lock at once.
+
+Each mutant carries a ``constrain`` dict steering :func:`..scenario.generate`
+toward the protocol family it lives in — directed fuzzing, still a pure
+function of the seed.  A catch only counts if the *unpatched* run of the
+same scenario is clean, so the violation is attributable to the mutant
+and not to scenario noise.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .runner import run_scenario
+from .scenario import generate
+
+__all__ = ["MUTANTS", "Mutant", "MutantResult", "SelfTestResult", "run_self_test"]
+
+
+@contextlib.contextmanager
+def _patched_hasty_nic():
+    from ..nic.engine import NicEngine
+
+    original = NicEngine._run_epoch
+
+    def hasty(self, epoch, state):
+        # Firmware bug: pretend every hosted rank's remote ops already
+        # completed, skipping the stage-2 mirror wait entirely.
+        for rank in self.hosted:
+            self.mirror[rank] = 1 << 30
+        return original(self, epoch, state)
+
+    NicEngine._run_epoch = hasty
+    try:
+        yield
+    finally:
+        NicEngine._run_epoch = original
+
+
+@contextlib.contextmanager
+def _patched_skipped_writeoff():
+    from ..runtime.membership import MembershipService
+
+    original = MembershipService.written_off
+    MembershipService.written_off = lambda self, me: 0
+    try:
+        yield
+    finally:
+        MembershipService.written_off = original
+
+
+@contextlib.contextmanager
+def _patched_stale_token_epoch():
+    from ..locks.token_base import TokenLockBase
+
+    # A data descriptor on the class shadows the per-instance attribute:
+    # every read sees floor 0 (no token is ever considered stale) and
+    # recovery's floor bumps are silently discarded.
+    TokenLockBase._token_epoch_floor = property(
+        lambda self: 0, lambda self, value: None
+    )
+    try:
+        yield
+    finally:
+        del TokenLockBase._token_epoch_floor
+
+
+@dataclass(frozen=True)
+class Mutant:
+    name: str
+    description: str
+    patch: Callable[[], Any]
+    #: Directed-generation overrides (see :func:`..scenario.generate`).
+    constrain: Dict[str, Any]
+
+
+_NO_FAULTS: Dict[str, Any] = {
+    "drop_rate": 0.0,
+    "dup_rate": 0.0,
+    "delay_rate": 0.0,
+    "delay_spike_us": 0.0,
+    "fault_links": (),
+}
+
+MUTANTS: Tuple[Mutant, ...] = (
+    Mutant(
+        name="hasty-nic",
+        description="NIC releases the offloaded barrier before its hosted "
+        "ranks' op_done mirror catches up",
+        patch=_patched_hasty_nic,
+        # A dropped put only lands after the reliable layer's ~60us retry,
+        # while the NIC stages finish in microseconds — so skipping the
+        # stage-2 mirror wait releases the barrier with the put in flight.
+        constrain={
+            "workload": "strips",
+            "barrier_algorithm": "nic",
+            "crashes": (),
+            "drop_rate": 0.15,
+            "dup_rate": 0.0,
+            "delay_rate": 0.0,
+            "delay_spike_us": 0.0,
+            "fault_links": (),
+        },
+    ),
+    Mutant(
+        name="skipped-writeoff",
+        description="crash recovery stops writing off dead ranks' never-"
+        "applied operations; the completion ledger drifts",
+        patch=_patched_skipped_writeoff,
+        # A rank dies mid-puts on a dropping network: a put whose frame
+        # was dropped before the crash is never retransmitted (fail-stop
+        # includes sender transport state), so its credit exists only as
+        # a write-off — which the mutant discards.
+        constrain={
+            "workload": "strips",
+            "barrier_algorithm": "exchange",
+            "crashes": (("rank", 0, 35.0),),
+            "drop_rate": 0.15,
+            "dup_rate": 0.0,
+            "delay_rate": 0.0,
+            "delay_spike_us": 0.0,
+            "fault_links": (),
+        },
+    ),
+    Mutant(
+        name="stale-token-epoch",
+        description="token locks accept in-flight token copies from before "
+        "the last crash-recovery epoch",
+        patch=_patched_stale_token_epoch,
+        constrain={
+            "workload": "locks",
+            "lock_kind": "naimi",
+            "procs_per_node": 1,
+            "crashes": (("rank", 0, 100.0),),
+            "drop_rate": 0.0,
+            "dup_rate": 0.0,
+            "delay_rate": 1.0,
+            "delay_spike_us": 600.0,
+            "fault_links": ((0, 1),),
+        },
+    ),
+)
+
+
+@dataclass
+class MutantResult:
+    mutant: str
+    caught: bool = False
+    seed: Optional[int] = None
+    seeds_tried: int = 0
+    violation_kinds: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        if self.caught:
+            return (
+                f"[caught] {self.mutant}: seed {self.seed} "
+                f"({self.seeds_tried} seed(s) tried) -> "
+                f"{', '.join(self.violation_kinds)}"
+            )
+        return f"[MISSED] {self.mutant}: {self.seeds_tried} seed(s) tried"
+
+
+@dataclass
+class SelfTestResult:
+    results: List[MutantResult] = field(default_factory=list)
+    budget: int = 0
+
+    def all_caught(self) -> bool:
+        return all(r.caught for r in self.results)
+
+    def render(self) -> str:
+        lines = [
+            f"== Fuzzer self-test: {len(self.results)} seeded mutants, "
+            f"budget {self.budget} seed(s) each =="
+        ]
+        lines.extend(r.render() for r in self.results)
+        lines.append(
+            "ORACLE VALIDATED: every mutant caught"
+            if self.all_caught()
+            else "ORACLE GAP: some mutants survived the budget"
+        )
+        return "\n".join(lines)
+
+
+def run_self_test(budget: int = 12, start_seed: int = 0) -> SelfTestResult:
+    """Fuzz each seeded mutant for up to ``budget`` seeds.
+
+    A mutant counts as caught when some scenario fails under the patch
+    *and* passes without it.
+    """
+    out = SelfTestResult(budget=budget)
+    for mutant in MUTANTS:
+        result = MutantResult(mutant=mutant.name)
+        for seed in range(start_seed, start_seed + budget):
+            result.seeds_tried += 1
+            scenario = generate(seed, constrain=mutant.constrain)
+            with mutant.patch():
+                patched = run_scenario(scenario)
+            if patched.ok():
+                continue
+            clean = run_scenario(scenario)
+            if not clean.ok():
+                continue  # scenario fails on its own: not attributable
+            result.caught = True
+            result.seed = seed
+            result.violation_kinds = patched.kinds()
+            break
+        out.results.append(result)
+    return out

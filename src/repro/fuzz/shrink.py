@@ -1,0 +1,124 @@
+"""Greedy minimization of a failing scenario.
+
+Given a scenario whose run produced violations, :func:`shrink` tries a
+fixed repertoire of *reductions* — remove a crash entry, drop a fault
+dimension (all drops, all dups, all delays, or one faulty link), delete
+a workload phase, halve the lock iteration count or the put width — and
+keeps any reduction under which the failure *persists*: the shrunken
+run must still report at least one of the original violation kinds.
+The loop restarts from the first reduction after every success and
+stops at a fixpoint (or a run budget), so the result is a local minimum
+reachable by single deletions — small enough to read, exact enough to
+debug.
+
+The shrunken scenario is no longer the pure expansion of its seed (its
+fields have been edited), which is why corpus entries store the full
+scenario JSON rather than a seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from .runner import FuzzOutcome, run_scenario
+from .scenario import Scenario
+
+__all__ = ["ShrinkResult", "shrink"]
+
+
+@dataclass
+class ShrinkResult:
+    """Minimal still-failing scenario plus the trail that led there."""
+
+    scenario: Scenario
+    outcome: FuzzOutcome
+    original: Scenario
+    steps: List[str]
+    runs: int
+
+    def reduced(self) -> bool:
+        return self.scenario != self.original
+
+
+def _candidates(scenario: Scenario) -> Iterator[Tuple[str, Scenario]]:
+    """Single-deletion reductions, cheapest-to-biggest-win first."""
+    for i, crash in enumerate(scenario.crashes):
+        yield (
+            f"drop crash {crash}",
+            dataclasses.replace(
+                scenario,
+                crashes=scenario.crashes[:i] + scenario.crashes[i + 1:],
+            ),
+        )
+    for i, link in enumerate(scenario.fault_links):
+        yield (
+            f"drop faulty link {link}",
+            dataclasses.replace(
+                scenario,
+                fault_links=(
+                    scenario.fault_links[:i] + scenario.fault_links[i + 1:]
+                ),
+            ),
+        )
+    for rate in ("drop_rate", "dup_rate", "delay_rate"):
+        if getattr(scenario, rate) > 0.0:
+            yield (f"zero {rate}", dataclasses.replace(scenario, **{rate: 0.0}))
+    # Phases: never remove the final barrier (the memory audit needs it).
+    for i in range(len(scenario.phases) - 1):
+        phases = scenario.phases[:i] + scenario.phases[i + 1:]
+        yield (
+            f"drop phase {i} ({scenario.phases[i]})",
+            dataclasses.replace(scenario, phases=phases),
+        )
+    if scenario.lock_iters > 1:
+        yield (
+            f"lock_iters {scenario.lock_iters} -> {scenario.lock_iters // 2}",
+            dataclasses.replace(scenario, lock_iters=scenario.lock_iters // 2),
+        )
+    if scenario.cells > 1:
+        yield (
+            f"cells {scenario.cells} -> {scenario.cells // 2}",
+            dataclasses.replace(scenario, cells=scenario.cells // 2),
+        )
+
+
+def _still_fails(outcome: FuzzOutcome, signature: Tuple[str, ...]) -> bool:
+    """The reduction preserved at least one original violation kind."""
+    return any(kind in signature for kind in outcome.kinds())
+
+
+def shrink(
+    scenario: Scenario,
+    outcome: FuzzOutcome,
+    max_runs: int = 200,
+) -> ShrinkResult:
+    """Greedily minimize ``scenario`` while its failure persists."""
+    signature = outcome.kinds()
+    current, current_outcome = scenario, outcome
+    steps: List[str] = []
+    runs = 0
+    progress = True
+    while progress and runs < max_runs:
+        progress = False
+        for label, candidate in _candidates(current):
+            if runs >= max_runs:
+                break
+            runs += 1
+            try:
+                candidate_outcome = run_scenario(candidate)
+            except Exception:  # a reduction that crashes the runner is void
+                continue
+            if _still_fails(candidate_outcome, signature):
+                current, current_outcome = candidate, candidate_outcome
+                steps.append(label)
+                progress = True
+                break  # restart the candidate scan from the top
+    return ShrinkResult(
+        scenario=current,
+        outcome=current_outcome,
+        original=scenario,
+        steps=steps,
+        runs=runs,
+    )

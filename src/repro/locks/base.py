@@ -121,9 +121,14 @@ class BaseLock:
             yield self.env.timeout(self.params.api_call_us)
         self.release_sw.start()
         self._held = False
-        if self._membership_svc is not None:
-            self._membership_svc.lease_release(self)
         yield from self._release()
+        if self._membership_svc is not None:
+            # Only after the handoff landed: a holder that dies *inside*
+            # ``_release()`` must still be covered by its lease, so the
+            # declaration revokes it and recovery finishes the handoff
+            # (releasing up front left mid-release deaths unrecoverable).
+            # ``lease_release`` no-ops if a successor already re-leased.
+            self._membership_svc.lease_release(self)
         self.release_sw.stop()
         self.total_sw.stop()
         self.stats.releases += 1

@@ -81,6 +81,9 @@ class FabricStats:
     #: Messages refused because their source or destination endpoint
     #: belongs to a crashed process/server (the mailbox has gone dark).
     dropped_dead: int = 0
+    #: Deliveries swallowed by a silently-crashed endpoint (dead NIC):
+    #: dropped at arrival without an ACK, so the sender keeps retrying.
+    blackholed: int = 0
 
     def record(self, envelope: Envelope) -> None:
         self.messages += 1
@@ -137,6 +140,11 @@ class Fabric:
         #: schedules ProcessCrash events, so the fast path is one falsy
         #: check.
         self._dead_endpoints: set = set()
+        #: Endpoints that crashed *silently* (a dead NIC co-processor):
+        #: posts to them are still accepted — the reliable layer must keep
+        #: retransmitting until its retry budget exhausts and raises a
+        #: membership suspicion — but every delivery is dropped unACKed.
+        self._blackhole_endpoints: set = set()
         #: Membership failure detector, attached by the runtime when the
         #: fault plan schedules crashes; every accepted post refreshes the
         #: sender's liveness (heartbeat piggybacking).
@@ -157,8 +165,21 @@ class Fabric:
         if self.reliable is not None:
             self.reliable.abandon(endpoint)
 
+    def blackhole(self, endpoint: Endpoint) -> None:
+        """Make ``endpoint`` a silent sink (crashed NIC co-processor).
+
+        Unlike :meth:`mark_dead`, senders are *not* told: their frames are
+        accepted and dropped at arrival without acknowledgement, so the
+        reliable layer's retry exhaustion — the only way peers can detect
+        a silent device — still fires and feeds the failure detector.
+        """
+        self._blackhole_endpoints.add(endpoint)
+
     def endpoint_dead(self, endpoint: Endpoint) -> bool:
-        return endpoint in self._dead_endpoints
+        return (
+            endpoint in self._dead_endpoints
+            or endpoint in self._blackhole_endpoints
+        )
 
     # -- endpoint registry ---------------------------------------------------
 
@@ -296,8 +317,17 @@ class Fabric:
             copy = envelope if i == 0 else replace(envelope)
             copy.deliver_at = env._now + offset
             deliver = env.timeout(offset)
-            deliver.callbacks.append(lambda _ev, c=copy: mailbox.put(c))
+            deliver.callbacks.append(
+                lambda _ev, c=copy: self._deliver_unless_blackholed(mailbox, c)
+            )
         return envelope
+
+    def _deliver_unless_blackholed(self, mailbox: Any, envelope: Envelope) -> None:
+        """Unreliable fault-path delivery: dead-NIC endpoints eat frames."""
+        if self._blackhole_endpoints and envelope.dst in self._blackhole_endpoints:
+            self.stats.blackholed += 1
+            return
+        mailbox.put(envelope)
 
     def send(
         self,

@@ -131,7 +131,7 @@ class StallWindow:
 class ProcessCrash:
     """A permanent crash-stop failure injected at a point in time.
 
-    Exactly one of ``rank`` / ``node`` must be given:
+    Exactly one of ``rank`` / ``node`` / ``nic`` must be given:
 
     * ``rank``: the user process with that rank is killed at ``at_us`` —
       its in-flight generator processes (program, lock daemons, helpers)
@@ -140,6 +140,16 @@ class ProcessCrash:
     * ``node``: the node's server thread *and* every rank placed on the
       node are killed together (a machine crash rather than a process
       crash).
+    * ``nic``: only the node's NIC co-processor dies — the server and the
+      hosted ranks keep running, but the ``("nic", node)`` endpoint goes
+      dark and any in-flight offloaded barrier on that NIC is abandoned.
+      Peers detect the silent NIC through the reliable layer's retry
+      exhaustion, which escalates to a machine-crash suspicion (fail-stop:
+      a node whose NIC stopped acknowledging is declared dead).
+
+    ``at_us`` must be strictly positive: the crash executor has to fire
+    after the programs are spawned, and a kill at exactly 0 would race
+    spawn order nondeterministically.
 
     Crashes are permanent: there is no recovery window.  Detection and
     recovery are the job of :mod:`repro.runtime.membership`.
@@ -148,12 +158,23 @@ class ProcessCrash:
     at_us: float
     rank: Optional[int] = None
     node: Optional[int] = None
+    nic: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if (self.rank is None) == (self.node is None):
-            raise ValueError("exactly one of rank / node must be set")
-        if self.at_us < 0.0:
-            raise ValueError(f"at_us must be non-negative, got {self.at_us}")
+        given = [x for x in (self.rank, self.node, self.nic) if x is not None]
+        if len(given) != 1:
+            raise ValueError("exactly one of rank / node / nic must be set")
+        if self.at_us <= 0.0:
+            raise ValueError(f"at_us must be positive, got {self.at_us}")
+
+    @property
+    def target(self) -> Tuple[str, int]:
+        """A hashable (kind, index) identity for normalization/dedup."""
+        if self.rank is not None:
+            return ("rank", self.rank)
+        if self.node is not None:
+            return ("node", self.node)
+        return ("nic", self.nic)
 
 
 @dataclass(frozen=True)
@@ -194,6 +215,23 @@ class FaultPlan:
         for crash in self.crashes:
             if not isinstance(crash, ProcessCrash):
                 raise TypeError(f"crashes must hold ProcessCrash, got {crash!r}")
+        # Normalize the schedule deterministically: chronological order,
+        # and at most one entry per target (a process can only die once —
+        # the earliest entry wins, later duplicates are dropped).  A node
+        # crash and a crash of one of its ranks are *different* targets;
+        # their overlap is resolved idempotently at kill time by
+        # :mod:`repro.runtime.membership`.
+        if self.crashes:
+            earliest: Dict[Tuple[str, int], ProcessCrash] = {}
+            for crash in self.crashes:
+                kept = earliest.get(crash.target)
+                if kept is None or crash.at_us < kept.at_us:
+                    earliest[crash.target] = crash
+            normalized = tuple(
+                sorted(earliest.values(), key=lambda c: (c.at_us,) + c.target)
+            )
+            if normalized != self.crashes:
+                object.__setattr__(self, "crashes", normalized)
 
     @classmethod
     def uniform(

@@ -286,10 +286,36 @@ class ReliableDelivery:
             if key[1] == endpoint:
                 channel.buffer.clear()
 
+    def abandon_sender(self, src_rank: int) -> None:
+        """Fail-stop a *sender*: its transport state dies with the process.
+
+        Retry timers are environment callbacks, so without this a crashed
+        rank's unacknowledged frames would keep retransmitting from beyond
+        the grave and eventually land — ops the crash recovery already
+        wrote off must stay un-applied.  (Copies the fabric already has in
+        flight still arrive: only retransmission state is destroyed.)
+        """
+        for key, channel in self._send_channels.items():
+            if key[0] != src_rank:
+                continue
+            for frame in channel.unacked.values():
+                frame.acked = True
+            channel.unacked.clear()
+
     # -- receiver side ---------------------------------------------------------
 
     def _arrive(self, key: ChannelKey, frame: _Frame) -> None:
         stats = self.fabric.stats
+        if (
+            frame.dst is not None
+            and self.fabric._blackhole_endpoints
+            and frame.dst in self.fabric._blackhole_endpoints
+        ):
+            # Silent device (crashed NIC): swallow the frame without an
+            # ACK so the sender's retry budget runs out and suspicion
+            # reaches the membership detector.
+            stats.blackholed += 1
+            return
         if frame.kind == "msg":
             channel = self._recv_channels.setdefault(key, _RecvChannel())
             if frame.seq < channel.expected or frame.seq in channel.buffer:

@@ -57,13 +57,16 @@ class NicFrame:
 class _EpochState:
     """Per-barrier-epoch NIC state: doorbell rows and release events."""
 
-    __slots__ = ("rows", "release", "all_rows", "proc")
+    __slots__ = ("rows", "release", "all_rows", "proc", "totals")
 
     def __init__(self, env):
         self.rows: Dict[int, List[int]] = {}
         self.release: Dict[int, Event] = {}
         self.all_rows = env.event()
         self.proc = None
+        #: Stage-1 result, published so crash recovery can complete a
+        #: committed epoch on behalf of an engine wedged in stage 3.
+        self.totals: Optional[List[int]] = None
 
 
 def ensure_engines(armci: "Armci") -> Dict[int, "NicEngine"]:
@@ -119,6 +122,11 @@ class NicEngine:
         self._mirror_signal = Broadcast(env, name=f"nic{node}.mirror")
         server._nic_engine = self
         self._epochs: Dict[int, _EpochState] = {}
+        #: Epochs this engine finished (stage 3 done, releases issued).
+        #: Commit evidence for view-change resolution: once *any* engine
+        #: committed an epoch, every engine had drained stage 2, so peers
+        #: wedged in stage 3 by a crashed NIC can be released too.
+        self.committed: set = set()
         self._procs: list = []
 
     def __repr__(self) -> str:
@@ -168,13 +176,37 @@ class NicEngine:
         push.callbacks.append(lambda _ev: self._mirror_arrived(rank, value))
 
     def shutdown(self) -> None:
-        """Node crash: stop the co-processor and abandon in-flight epochs."""
+        """Node/NIC crash: stop the co-processor, abandon in-flight epochs.
+
+        Epoch *state* (release events, stage-1 totals) is kept so that
+        :meth:`force_release` can still complete a globally-committed
+        epoch for hosted ranks that survive a NIC-only crash.
+        """
         self.dead = True
         for proc in self._procs:
             if proc.is_alive:
                 proc.kill()
         self._procs.clear()
-        self._epochs.clear()
+
+    def force_release(self, epoch: int) -> None:
+        """Complete ``epoch`` on behalf of the (wedged or dead) engine.
+
+        Called by membership recovery when a view change interrupted the
+        epoch but some engine already committed it: commitment implies the
+        inter-NIC barrier was *entered* by every engine, i.e. every rank's
+        remote operations had drained, so releasing the hosts is safe.
+        """
+        state = self._epochs.get(epoch)
+        if state is None or state.totals is None:
+            return
+        self.committed.add(epoch)
+        for rank, release in state.release.items():
+            if not release.triggered:
+                self._emit(
+                    "nic_release", epoch=epoch, node=self.node, rank=rank,
+                    n=self.nprocs, forced=True,
+                )
+                release.succeed(state.totals[rank])
 
     # -- NIC-internal --------------------------------------------------------
 
@@ -231,6 +263,7 @@ class NicEngine:
             totals = yield from self._tree_sum(epoch, partial)
         else:
             totals = yield from self._exchange_sum(epoch, partial)
+        state.totals = list(totals)
 
         # Stage 2: wait on the op_done mirror for every hosted rank.
         for rank in self.hosted:
@@ -249,7 +282,11 @@ class NicEngine:
         else:
             yield from self._dissemination_barrier(epoch)
 
-        # Release: DMA the completion back to each hosted rank.
+        # Release: DMA the completion back to each hosted rank.  Committing
+        # first means a view change landing inside the DMA window still
+        # resolves this epoch as completed everywhere (see force_release).
+        self.committed.add(epoch)
+        self._emit("nic_commit", epoch=epoch, node=self.node, n=self.nprocs)
         for rank in self.hosted:
             yield from self._proc_step()
             self._emit(
@@ -260,7 +297,6 @@ class NicEngine:
                 state.release[rank], totals[rank],
                 p.nic_dma_us + p.poll_detect_us,
             )
-        self._epochs.pop(epoch, None)
 
     def _schedule_release(self, release: Event, value: int, delay: float) -> None:
         done = self.env.timeout(delay)

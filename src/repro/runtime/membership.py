@@ -99,6 +99,8 @@ class MembershipService:
         self.declared_at: Dict[int, float] = {}
         #: Nodes whose server was killed (machine crashes).
         self._killed_nodes: Set[int] = set()
+        #: Nodes whose NIC co-processor was killed (NIC-only or machine).
+        self._dead_nics: Set[int] = set()
 
         # Which ranks the plan will kill (node crashes expand to all hosted
         # ranks); heartbeats and the detector retire once every planned
@@ -107,8 +109,12 @@ class MembershipService:
         for crash in plan.crashes:
             if crash.rank is not None:
                 planned.add(crash.rank)
-            else:
+            elif crash.node is not None:
                 planned.update(self.topology.ranks_on(crash.node))
+            # NIC-only crashes kill no rank directly: the hosted ranks die
+            # only if transport suspicion escalates the silent NIC to a
+            # machine crash, so they are not *planned* deaths and must not
+            # keep the heartbeat/detector loops alive waiting for them.
         self._planned_ranks = planned
 
         #: Process ownership: rank -> processes to cancel on its death.
@@ -234,8 +240,10 @@ class MembershipService:
         yield self.env.timeout(crash.at_us)
         if crash.rank is not None:
             self._kill_rank(crash.rank)
-        else:
+        elif crash.node is not None:
             self._kill_node(crash.node)
+        else:
+            self._kill_nic(crash.nic)
 
     def _kill_rank(self, rank: int) -> None:
         """Fail-stop a user process: cancel generators, silence the fabric."""
@@ -246,12 +254,23 @@ class MembershipService:
         if armci is not None:
             self._op_init_snapshot[rank] = list(armci.op_init)
         self.fabric.mark_dead(("mp", rank))
+        if self.fabric.reliable is not None:
+            # Fail-stop includes the rank's sender-side transport state:
+            # no retransmissions from beyond the grave (frames already on
+            # the wire may still land; write-off accounting is monotone).
+            self.fabric.reliable.abandon_sender(rank)
         for proc in self._owned.get(rank, ()):
             if proc.is_alive and proc is not self.env.active_process:
                 proc.kill()
 
     def _kill_node(self, node: int) -> None:
-        """Machine crash: the server thread and every hosted rank die."""
+        """Machine crash: the server thread and every hosted rank die.
+
+        Idempotent: a node crash scheduled after one of its ranks (or its
+        NIC, or the whole node) already died simply kills whatever is
+        still running — ``_kill_rank`` and ``_kill_nic`` each no-op on an
+        already-dead target.
+        """
         self._killed_nodes.add(node)
         server = self.runtime.servers.get(node)
         if server is not None and server._proc is not None and server._proc.is_alive:
@@ -259,12 +278,46 @@ class MembershipService:
         self.fabric.mark_dead(("srv", node))
         # The node's NIC dies with it: refuse frames addressed to it and
         # stop its co-processor so degraded NIC barriers terminate.
-        self.fabric.mark_dead(("nic", node))
+        self._kill_nic(node)
+        for rank in self.topology.ranks_on(node):
+            self._kill_rank(rank)
+
+    def _kill_nic(self, node: int) -> None:
+        """NIC-only crash: the co-processor dies, the host side survives.
+
+        The ``("nic", node)`` endpoint is marked dead (frames from/to it
+        are refused) and any in-flight offloaded-barrier epoch on the
+        engine is abandoned.  The hosted ranks and the server stay up:
+        detection is the reliable layer's job — peer NICs exhaust their
+        retry budget against the silent endpoint and
+        :meth:`suspect` escalates the node to a machine-crash declaration.
+        Hosts that ring a doorbell on a dead local NIC degrade immediately
+        to the resilient host exchange (see :mod:`repro.armci.barrier`).
+        """
+        if node in self._dead_nics:
+            return
+        self._dead_nics.add(node)
+        if node in self._killed_nodes:
+            # Machine crash: the whole node is declared dead, so peers must
+            # stop retrying outright (mark_dead also abandons backlog).
+            self.fabric.mark_dead(("nic", node))
+        else:
+            # NIC-only crash: the device goes *silent*.  Peers' frames are
+            # swallowed unACKed so the reliable layer's retry exhaustion
+            # escalates the silence into a machine-crash suspicion.
+            self.fabric.blackhole(("nic", node))
         engines = getattr(self.fabric, "_nic_engines", None)
         if engines is not None and node in engines:
             engines[node].shutdown()
-        for rank in self.topology.ranks_on(node):
-            self._kill_rank(rank)
+        if self.monitor is not None:
+            self.monitor.emit(
+                "nic_crashed", actor=MEMBERSHIP_ACTOR, node=node,
+                at=self.env.now,
+            )
+
+    def nic_dead(self, node: int) -> bool:
+        """True once ``node``'s NIC co-processor has been killed."""
+        return node in self._dead_nics
 
     # -- detection -------------------------------------------------------------
 
@@ -351,8 +404,34 @@ class MembershipService:
                     self._recover_lock(key, rank),
                     name=f"recover:{key[0]}:{key[1]}:{rank}",
                 )
+        # Commit-or-abort for NIC barrier epochs, *before* hosts observe
+        # the view change: a host woken by its subscriber callback must
+        # already see its release fired if the epoch committed anywhere.
+        self._resolve_nic_epochs()
         for callback in list(self._subscribers):
             callback(self.epoch)
+
+    def _resolve_nic_epochs(self) -> None:
+        """Finish NIC barrier epochs that committed on *some* engine.
+
+        A crashed NIC can wedge peers in the inter-NIC stage-3 barrier
+        after another engine already released its hosts.  Released hosts
+        have moved on, so the wedged hosts must not degrade to the
+        resilient host exchange (they would wait forever for the released
+        ones).  Commitment on any engine implies every engine entered
+        stage 3 — all remote operations drained — so completing the epoch
+        for every live host is safe; with no commitment anywhere, all
+        hosts degrade together and stay consistent.
+        """
+        engines = getattr(self.fabric, "_nic_engines", None)
+        if not engines:
+            return
+        committed = set()
+        for engine in engines.values():
+            committed |= engine.committed
+        for epoch in sorted(committed):
+            for engine in engines.values():
+                engine.force_release(epoch)
 
     # -- lock registry + leases ------------------------------------------------
 
@@ -636,6 +715,24 @@ class MembershipService:
         )
         yield from self._mcs_ghost_release(key, handle, dead)
 
+    def _mcs_lost_linker(self, handles, dead_handle, my_ptr):
+        """The live waiter whose enqueue link targeted ``my_ptr``, if its
+        locked flag is already armed (so a ghost handoff cannot race the
+        arming store).  At most one waiter can have swapped the tail to
+        find ``my_ptr`` as its predecessor."""
+        from ..locks.mcs import _OFF_LOCKED, _TRUE
+
+        for rank, h in handles.items():
+            if h is dead_handle or getattr(h, "_phase", "idle") != "waiting":
+                continue
+            prev = getattr(h, "_prev_ptr", None)
+            if prev is None or tuple(prev) != my_ptr or rank not in self._alive:
+                continue
+            base = h.node_struct.base
+            if self.runtime.regions[rank].read(base + _OFF_LOCKED) == _TRUE:
+                return (rank, base)
+        return None
+
     def _mcs_ghost_release(self, key: Tuple[str, str, int], handle, dead: int):
         """Perform (or finish) the dead rank's release on its behalf.
 
@@ -703,10 +800,25 @@ class MembershipService:
             # crashing and the tail belongs to a fresh chain that owes the
             # dead node nothing.  Resolve by watching the link cell and
             # the waiting handles until one of the two becomes certain.
+            dead_node = self.topology.node_of(dead)
             while True:
                 next_ptr = read_next()
                 if next_ptr != NULL_PTR:
                     break
+                if self.node_dead(dead_node):
+                    # The dead rank's whole node is down, so a live
+                    # successor's link write — routed through that node's
+                    # server — can never be applied; waiting for it would
+                    # spin forever.  Complete the enqueue on the linker's
+                    # behalf (idempotent: the original write is provably
+                    # lost).  Only once the linker has armed its own
+                    # locked flag, or the handoff below could race the
+                    # arming store and be overwritten.
+                    linker = self._mcs_lost_linker(handles, handle, my_ptr)
+                    if linker is not None:
+                        dead_region.write(nbase + _OFF_NEXT, linker[0])
+                        dead_region.write(nbase + _OFF_NEXT + 1, linker[1])
+                        continue
                 if not linker_pending() or self.node_dead(home_node):
                     return  # nobody will ever link: release already done
                 yield self.env.timeout(p.membership_poll_us)

@@ -50,7 +50,9 @@ class TestCleanRuns:
     def test_sanitize_target_nic(self):
         results = run_sanitized_target("nic")
         labels = [label for label, _ in results]
-        assert labels == ["nic[exchange]", "nic[tree]"]
+        assert labels == [
+            "nic[exchange]", "nic[tree]", "nic[crash=nic]", "nic[crash=node]"
+        ]
         for label, report in results:
             assert report.ok(), f"{label}:\n{report.render()}"
 

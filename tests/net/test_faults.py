@@ -7,6 +7,7 @@ from repro.net.faults import (
     FaultInjector,
     FaultPlan,
     LinkFaults,
+    ProcessCrash,
     StallWindow,
 )
 from repro.net.message import server_endpoint
@@ -181,3 +182,73 @@ class TestStallWindows:
         assert boxes[("srv", 2)].try_get().deliver_at == pytest.approx(1.0)
         assert boxes[("srv", 1)].try_get().deliver_at == pytest.approx(61.0)
         assert fabric.faults.stats.stall_held == 0
+
+
+class TestCrashScheduleNormalization:
+    """FaultPlan crash schedules are validated and normalized (PR 6)."""
+
+    def test_crash_at_zero_rejected(self):
+        with pytest.raises(ValueError, match="at_us must be positive"):
+            ProcessCrash(at_us=0.0, rank=1)
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(ValueError, match="at_us must be positive"):
+            ProcessCrash(at_us=-5.0, node=0)
+
+    def test_exactly_one_target(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ProcessCrash(at_us=1.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            ProcessCrash(at_us=1.0, rank=1, node=0)
+        with pytest.raises(ValueError, match="exactly one"):
+            ProcessCrash(at_us=1.0, rank=1, nic=0)
+
+    def test_nic_target_accepted(self):
+        crash = ProcessCrash(at_us=10.0, nic=3)
+        assert crash.target == ("nic", 3)
+
+    def test_duplicate_rank_entries_keep_earliest(self):
+        plan = FaultPlan(
+            crashes=(
+                ProcessCrash(at_us=50.0, rank=2),
+                ProcessCrash(at_us=20.0, rank=2),
+                ProcessCrash(at_us=80.0, rank=2),
+            )
+        )
+        assert plan.crashes == (ProcessCrash(at_us=20.0, rank=2),)
+
+    def test_schedule_sorted_chronologically(self):
+        plan = FaultPlan(
+            crashes=(
+                ProcessCrash(at_us=90.0, node=1),
+                ProcessCrash(at_us=10.0, rank=3),
+                ProcessCrash(at_us=40.0, nic=2),
+            )
+        )
+        assert [c.at_us for c in plan.crashes] == [10.0, 40.0, 90.0]
+
+    def test_rank_and_node_targets_are_distinct(self):
+        # A node crash and a crash of one of its ranks are different
+        # targets; both survive normalization (kill-time idempotency
+        # resolves the overlap — see tests/runtime/test_membership.py).
+        plan = FaultPlan(
+            crashes=(
+                ProcessCrash(at_us=30.0, node=1),
+                ProcessCrash(at_us=10.0, rank=1),
+            )
+        )
+        assert len(plan.crashes) == 2
+
+    def test_normalization_is_deterministic(self):
+        entries = (
+            ProcessCrash(at_us=50.0, rank=2),
+            ProcessCrash(at_us=50.0, node=1),
+            ProcessCrash(at_us=50.0, nic=0),
+        )
+        import itertools
+
+        schedules = {
+            FaultPlan(crashes=perm).crashes
+            for perm in itertools.permutations(entries)
+        }
+        assert len(schedules) == 1  # same normal form from any input order

@@ -373,3 +373,135 @@ class TestDisabledMeansAbsent:
         params = NetworkParams(faults=FaultPlan(seed=5))
         runtime = ClusterRuntime(2, params=params)
         assert runtime.membership is None
+
+
+class TestCrashOverlapIdempotency:
+    """Overlapping crash entries resolve deterministically at kill time."""
+
+    def _prog(self, ctx):
+        addr = ctx.region.alloc_named("c", 1, initial=0)
+        peer = (ctx.rank + 1) % ctx.nprocs
+        yield from ctx.armci.put(ctx.ga(peer, addr), [ctx.rank])
+        if ctx.env.now < 200.0:
+            yield ctx.env.timeout(200.0 - ctx.env.now)
+        yield from ctx.armci.barrier()
+        return ctx.env.now
+
+    def test_node_crash_after_one_of_its_ranks_died(self):
+        # ppn=2: ranks (2, 3) live on node 1.  Rank 2 dies at 40us, the
+        # whole node at 90us; the node kill must no-op on the dead rank
+        # and still take rank 3 and the server down.
+        plan = FaultPlan(
+            crashes=(
+                ProcessCrash(at_us=40.0, rank=2),
+                ProcessCrash(at_us=90.0, node=1),
+            ),
+            seed=9,
+        )
+        runtime = ClusterRuntime(
+            6, procs_per_node=2, params=NetworkParams(faults=plan)
+        )
+        results = runtime.run_spmd(self._prog)
+        m = runtime.membership
+        assert results[2] is CRASHED and results[3] is CRASHED
+        assert set(m.dead_ranks()) == {2, 3}
+        assert m.crashed_at[2] == 40.0  # the earlier rank kill won
+        assert m.crashed_at[3] == 90.0
+        assert m.node_dead(1)
+        assert all(isinstance(results[r], float) for r in (0, 1, 4, 5))
+
+    def test_rank_crash_after_its_node_died_is_a_noop(self):
+        plan = FaultPlan(
+            crashes=(
+                ProcessCrash(at_us=40.0, node=1),
+                ProcessCrash(at_us=90.0, rank=2),
+            ),
+            seed=9,
+        )
+        runtime = ClusterRuntime(
+            6, procs_per_node=2, params=NetworkParams(faults=plan)
+        )
+        results = runtime.run_spmd(self._prog)
+        m = runtime.membership
+        assert set(m.dead_ranks()) == {2, 3}
+        assert m.crashed_at[2] == 40.0  # node kill, not the later entry
+        assert results[2] is CRASHED
+
+    def test_double_node_crash_entries_normalize(self):
+        plan = FaultPlan(
+            crashes=(
+                ProcessCrash(at_us=120.0, node=1),
+                ProcessCrash(at_us=40.0, node=1),
+            ),
+            seed=9,
+        )
+        assert plan.crashes == (ProcessCrash(at_us=40.0, node=1),)
+
+
+class TestNicOnlyCrash:
+    """A dead NIC co-processor: silent device, suspicion escalates."""
+
+    def _params(self, at_us=30.0, node=2):
+        plan = FaultPlan(crashes=(ProcessCrash(at_us=at_us, nic=node),), seed=5)
+        return NetworkParams(faults=plan, retry_timeout_us=30.0, max_retries=4)
+
+    def _prog(self, ctx):
+        addr = ctx.region.alloc_named("c", 1, initial=0)
+        peer = (ctx.rank + 1) % ctx.nprocs
+        yield from ctx.armci.put(ctx.ga(peer, addr), [ctx.rank])
+        yield from ctx.armci.barrier(algorithm="nic")
+        yield from ctx.armci.barrier(algorithm="nic")
+        return ctx.env.now
+
+    def test_mid_exchange_nic_crash_escalates_and_survivors_finish(self):
+        runtime = ClusterRuntime(4, params=self._params())
+        results = runtime.run_spmd(self._prog)
+        m = runtime.membership
+        # The hosted rank was fail-stopped by the escalated suspicion...
+        assert results[2] is CRASHED
+        assert m.dead_ranks() == (2,)
+        assert m.nic_dead(2)
+        # ...and every survivor degraded to the host exchange and finished.
+        assert all(isinstance(results[r], float) for r in (0, 1, 3))
+        for rank in (0, 1, 3):
+            assert runtime.armcis[rank].stats.get("nic_degraded", 0) >= 1
+        # Frames to the silent NIC were swallowed unACKed, not refused.
+        assert runtime.fabric.stats.blackholed > 0
+        assert runtime.fabric.stats.links_declared_dead >= 1
+
+    def test_idle_nic_crash_degrades_next_barrier_locally(self):
+        # The NIC dies long before the first offloaded barrier: the local
+        # host must notice the dead doorbell immediately and degrade.
+        plan = FaultPlan(crashes=(ProcessCrash(at_us=1.0, nic=1),), seed=5)
+        params = NetworkParams(faults=plan, retry_timeout_us=30.0, max_retries=4)
+        runtime = ClusterRuntime(3, params=params)
+
+        def prog(ctx):
+            yield ctx.env.timeout(50.0)  # let the kill fire first
+            yield from ctx.armci.barrier(algorithm="nic")
+            return ctx.env.now
+
+        results = runtime.run_spmd(prog)
+        m = runtime.membership
+        assert results[1] is CRASHED  # escalated once peers went silent
+        assert runtime.armcis[1].stats.get("nic_degraded", 0) >= 1
+        assert all(isinstance(results[r], float) for r in (0, 2))
+
+    def test_nic_crash_without_nic_traffic_is_harmless(self):
+        # Host-path workload never touches the NIC: nobody detects the
+        # dead co-processor and every rank finishes normally.
+        plan = FaultPlan(crashes=(ProcessCrash(at_us=30.0, nic=2),), seed=5)
+        runtime = ClusterRuntime(4, params=NetworkParams(faults=plan))
+
+        def prog(ctx):
+            addr = ctx.region.alloc_named("c", 1, initial=0)
+            peer = (ctx.rank + 1) % ctx.nprocs
+            yield from ctx.armci.put(ctx.ga(peer, addr), [ctx.rank])
+            yield from ctx.armci.barrier()
+            return ctx.env.now
+
+        results = runtime.run_spmd(prog)
+        m = runtime.membership
+        assert all(isinstance(r, float) for r in results)
+        assert m.dead_ranks() == ()
+        assert m.nic_dead(2)

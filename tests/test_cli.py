@@ -125,7 +125,7 @@ class TestChaosCommand:
 
     def test_chaos_bad_kill_spec(self, capsys):
         assert main(["chaos", "--kill", "banana"]) == 2
-        assert "bad --kill spec" in capsys.readouterr().out
+        assert "bad --kill spec" in capsys.readouterr().err
 
     def test_check_chaos_target(self, capsys):
         assert main(["check", "chaos"]) == 0
@@ -195,3 +195,94 @@ class TestCrashPathsConstructFree:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestCliRobustness:
+    """Satellite: malformed fault/kill options exit 2 with one stderr line."""
+
+    @pytest.mark.parametrize(
+        "spec, phrase",
+        [
+            ("banana", "expected RANK:AT_US"),
+            ("3", "expected RANK:AT_US"),
+            ("3:abc", "expected RANK:AT_US"),
+            ("-1:50", "RANK must be >= 0"),
+            ("3:0", "AT_US must be > 0"),
+            ("3:-5", "AT_US must be > 0"),
+        ],
+        ids=["word", "no-colon", "bad-time", "neg-rank", "zero-time",
+             "neg-time"],
+    )
+    def test_bad_kill_specs(self, capsys, spec, phrase):
+        # --kill=SPEC form so argparse does not mistake "-1:50" for a flag.
+        assert main(["chaos", f"--kill={spec}"]) == 2
+        captured = capsys.readouterr()
+        assert phrase in captured.err
+        # One line, no traceback.
+        assert captured.err.strip().count("\n") == 0
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize("experiment", ["faults", "fig7"])
+    @pytest.mark.parametrize("rate", ["15", "1.0", "-0.1"])
+    def test_drop_rate_out_of_range(self, capsys, experiment, rate):
+        assert main([experiment, "--drop-rate", rate]) == 2
+        captured = capsys.readouterr()
+        assert "--drop-rate must be a probability" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_retry_timeout_nonpositive(self, capsys):
+        assert main(["faults", "--retry-timeout", "0"]) == 2
+        assert "--retry-timeout must be > 0" in capsys.readouterr().err
+
+    def test_fault_seed_non_integer_is_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "--fault-seed", "seven"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_drop_rate_non_float_is_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "--drop-rate", "lossy"])
+        assert excinfo.value.code == 2
+        assert "invalid float value" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_small_campaign_clean(self, capsys):
+        assert main(["fuzz", "--seeds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fuzz campaign: 3 seed(s)" in out
+        assert "no invariant violations found" in out
+
+    def test_replay_deterministic(self, capsys):
+        assert main(["fuzz", "--replay", "20"]) == 0
+        first = capsys.readouterr().out
+        assert main(["fuzz", "--replay", "20"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_self_test_catches_all_mutants(self, capsys):
+        assert main(["fuzz", "--self-test", "--self-test-budget", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "ORACLE VALIDATED" in out
+        assert "MISSED" not in out
+
+    def test_corpus_replay(self, capsys):
+        import pathlib
+
+        corpus = pathlib.Path(__file__).parent / "fuzz" / "corpus"
+        assert main(["fuzz", "--corpus", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "[ok]" in out and "FAIL" not in out
+
+    def test_corpus_missing_dir(self, capsys):
+        assert main(["fuzz", "--corpus", "/does/not/exist"]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_json_out(self, capsys, tmp_path):
+        out_path = tmp_path / "campaign.json"
+        assert main(["fuzz", "--seeds", "2", "--json-out", str(out_path)]) == 0
+        import json
+
+        data = json.loads(out_path.read_text())
+        assert data["ok"] is True and data["seeds_run"] == 2
