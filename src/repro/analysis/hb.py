@@ -660,6 +660,16 @@ class HBAnalyzer:
                 # them is the documented degraded-barrier semantics (a
                 # straggler landing even later stays monotone).
                 continue
+            dst_crashed_at = self._crashed_at.get(f"p{record.dst_rank}")
+            if dst_crashed_at is not None and dst_crashed_at <= exit_time:
+                # The *destination* was already dead at release: the DMA
+                # can never be applied, and the runtime fence explicitly
+                # excuses dead destinations (``membership.node_dead``)
+                # with recovery writing the operation off.  Found by
+                # RMCheck schedule exploration: the default schedule
+                # always applied or dropped such puts before the crash
+                # declaration, so the fuzzer never saw this path.
+                continue
             self.report.add(
                 Violation(
                     kind="barrier",

@@ -25,6 +25,11 @@ checker cannot see (the buggy run never happens, or happens silently):
     ``_bump_op_done`` / ``_op_done_addr`` outside ``runtime/server.py``
     is flagged.
 
+Four further *protocol-shape* rules (``send-unhandled-kind``,
+``cs-yield-no-lease``, ``credit-mutation``, ``unguarded-view-read``) live
+in :mod:`repro.analysis.protoshape` and run through the same entry
+points; see that module's docstring for their rationale.
+
 All rules operate on source text only — nothing is imported or executed.
 """
 
@@ -34,6 +39,8 @@ import ast
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from .protoshape import check_tree, collect_handled_kinds
 
 __all__ = [
     "LintFinding",
@@ -76,6 +83,7 @@ _RNG_EXEMPT_SUFFIX = (
     "net/params.py",
     "experiments/scalebench.py",
     "fuzz/campaign.py",
+    "mc/explore.py",
 )
 
 #: The only file allowed to touch the op_done machinery.
@@ -230,11 +238,14 @@ def lint_source(
     source: str,
     path: str = "<memory>",
     generator_names: Optional[Set[str]] = None,
+    handled_kinds: Optional[Set[str]] = None,
 ) -> List[LintFinding]:
     """Lint one source string (test/tooling entry point).
 
     ``generator_names`` extends the set discovered in ``source`` itself —
     pass names of sub-generators defined in other modules.
+    ``handled_kinds`` likewise extends the message kinds considered
+    handled for the protocol-shape pass.
     """
     tree = ast.parse(source, filename=path)
     names = collect_generator_names([tree])
@@ -242,21 +253,31 @@ def lint_source(
         names |= set(generator_names)
     checker = _Checker(path, names)
     checker.visit(tree)
-    return checker.findings
+    kinds = collect_handled_kinds([tree])
+    if handled_kinds:
+        kinds |= set(handled_kinds)
+    findings = checker.findings
+    findings.extend(LintFinding(*raw) for raw in check_tree(path, tree, kinds))
+    findings.sort(key=lambda f: (f.path, f.line))
+    return findings
 
 
 def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
-    """Lint a set of files with a shared generator-name pre-pass."""
+    """Lint a set of files with shared generator-name / kind pre-passes."""
     parsed = []
     for path in paths:
         text = Path(path).read_text(encoding="utf-8")
         parsed.append((str(path), ast.parse(text, filename=str(path))))
     names = collect_generator_names(tree for _, tree in parsed)
+    kinds = collect_handled_kinds(tree for _, tree in parsed)
     findings: List[LintFinding] = []
     for path, tree in parsed:
         checker = _Checker(path, names)
         checker.visit(tree)
         findings.extend(checker.findings)
+        findings.extend(
+            LintFinding(*raw) for raw in check_tree(path, tree, kinds)
+        )
     findings.sort(key=lambda f: (f.path, f.line))
     return findings
 

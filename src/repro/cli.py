@@ -21,6 +21,11 @@ Usage (installed as ``armci-repro``, or ``python -m repro``)::
     armci-repro fuzz --seeds 200 --json-out fuzz.json
     armci-repro fuzz --replay 20    # deterministic re-run of one seed
     armci-repro fuzz --self-test    # validate the oracle on seeded mutants
+    armci-repro mc                  # RMCheck: explore every named target
+    armci-repro mc nic-barrier --budget 2000 --window 3
+    armci-repro mc --scenario 7     # explore a fuzzer-generated scenario
+    armci-repro mc --schedule ce.json   # replay a counterexample
+    armci-repro mc --self-test      # find the seeded mutants by exploration
 
 Fault options: ``--drop-rate`` enables seeded link-fault injection (with
 the reliable ACK/retransmit layer) on *any* experiment — with the
@@ -78,9 +83,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=["fig7", "fig8", "fig9", "fig10", "locks", "ablations", "app",
                  "microbench", "fairness", "faults", "chaos", "nic",
-                 "scalebench", "fuzz", "validate", "check", "all"],
+                 "scalebench", "fuzz", "mc", "validate", "check", "all"],
         help="which experiment to regenerate (or 'check' to run RMCSan, "
-        "'fuzz' to run the scenario fuzzer)",
+        "'fuzz' to run the scenario fuzzer, 'mc' to run RMCheck schedule "
+        "exploration)",
     )
     parser.add_argument(
         "target",
@@ -88,7 +94,9 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "for 'check': which workload to sanitize "
-            "(fig7, locks, faultbench, chaos, nic; default all)"
+            "(fig7, locks, faultbench, chaos, nic; default all); "
+            "for 'mc': which model-checking target to explore "
+            "(see repro.mc.targets; default all)"
         ),
     )
     parser.add_argument(
@@ -96,6 +104,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with 'check': run the static lint pass instead of the "
         "dynamic happens-before checker",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="with 'check --lint': exit nonzero when there are findings "
+        "(CI mode; the default is report-only)",
     )
     parser.add_argument(
         "--trace-out",
@@ -238,8 +252,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--self-test",
         action="store_true",
-        help="fuzz: plant the three seeded bug mutants and require the "
-        "oracle to catch each within the seed budget",
+        help="fuzz/mc: plant the three seeded bug mutants and require the "
+        "oracle to catch each (fuzz: within the seed budget; mc: by "
+        "exploration at minimal N)",
     )
     fuzz.add_argument(
         "--self-test-budget",
@@ -259,7 +274,54 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json-out",
         metavar="PATH",
         default=None,
-        help="fuzz: also write the campaign/replay result as JSON to PATH",
+        help="fuzz/mc: also write the campaign/replay/exploration result "
+        "as JSON to PATH",
+    )
+    mc = parser.add_argument_group("mc options")
+    mc.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="mc: max complete schedules per exploration (default: the "
+        "target's tuned budget)",
+    )
+    mc.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="US",
+        help="mc: commutation window in simulated us — deliveries within "
+        "it of the queue head count as co-enabled (default: the target's)",
+    )
+    mc.add_argument(
+        "--cap",
+        type=float,
+        default=None,
+        metavar="US",
+        help="mc: simulated-time cap per explored run (default: the "
+        "target's)",
+    )
+    mc.add_argument(
+        "--scenario",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="mc: explore the fuzzer-generated scenario for SEED instead "
+        "of a named target",
+    )
+    mc.add_argument(
+        "--schedule",
+        metavar="PATH",
+        default=None,
+        help="mc: replay a serialized counterexample (nonzero exit iff it "
+        "still fails)",
+    )
+    mc.add_argument(
+        "--ce-out",
+        metavar="DIR",
+        default=None,
+        help="mc: write any counterexample found to DIR as JSON",
     )
     return parser
 
@@ -554,6 +616,101 @@ def _fuzz(args) -> int:
     return 0 if campaign.ok() else 1
 
 
+def _mc(args) -> int:
+    """``repro mc``: RMCheck schedule exploration over named targets."""
+    import json
+    from pathlib import Path
+
+    from .mc import (
+        TARGETS,
+        explore,
+        get_target,
+        load_counterexample,
+        replay_counterexample,
+    )
+    from .mc.explore import MC_SIM_CAP_US
+
+    if args.self_test:
+        from .mc.selftest import run_mc_self_test
+
+        result = run_mc_self_test()
+        print(result.render())
+        return 0 if result.all_caught() else 1
+
+    if args.schedule is not None:
+        outcome = replay_counterexample(load_counterexample(args.schedule))
+        print(outcome.render())
+        return 0 if outcome.ok() else 1
+
+    # (name, scenario, window, budget, cap, expect_exhaustive) per job.
+    jobs = []
+    if args.scenario is not None:
+        from .fuzz.scenario import generate
+
+        scenario = generate(args.scenario)
+        jobs.append(
+            (
+                None,
+                scenario,
+                args.window if args.window is not None else 0.0,
+                args.budget if args.budget is not None else 2000,
+                args.cap if args.cap is not None else MC_SIM_CAP_US,
+                False,
+            )
+        )
+    else:
+        names = [args.target] if args.target else sorted(TARGETS)
+        for name in names:
+            try:
+                t = get_target(name)
+            except KeyError as exc:
+                raise _CliError(str(exc))
+            jobs.append(
+                (
+                    t.name,
+                    t.scenario,
+                    args.window if args.window is not None else t.window,
+                    args.budget if args.budget is not None else t.budget,
+                    args.cap if args.cap is not None else t.sim_cap_us,
+                    t.expect_exhaustive,
+                )
+            )
+
+    rc = 0
+    results = []
+    for name, scenario, window, budget, cap, expect_exhaustive in jobs:
+        result = explore(
+            scenario, window=window, budget=budget, sim_cap_us=cap, target=name
+        )
+        results.append(result)
+        print(result.render())
+        if not result.ok():
+            rc = 1
+            if args.ce_out:
+                out_dir = Path(args.ce_out)
+                out_dir.mkdir(parents=True, exist_ok=True)
+                label = name or f"seed{scenario.seed}"
+                path = out_dir / f"counterexample-{label}.json"
+                path.write_text(
+                    json.dumps(result.counterexample, indent=2) + "\n"
+                )
+                print(f"counterexample written: {path}")
+        elif expect_exhaustive and not result.exhausted:
+            rc = 1
+            print(
+                f"armci-repro: mc: {name} no longer exhausts within its "
+                f"budget ({budget}) — schedule space regression",
+                file=sys.stderr,
+            )
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps([json.loads(r.to_json()) for r in results], indent=2)
+            + "\n"
+        )
+        print(f"json written: {args.json_out}")
+    return rc
+
+
 def _check(args) -> int:
     """``repro check [target]``: RMCSan over representative workloads."""
     if args.lint:
@@ -562,7 +719,7 @@ def _check(args) -> int:
 
         findings = run_lint()
         print(render_findings(findings))
-        return 1 if findings else 0
+        return 1 if findings and args.strict else 0
 
     from .analysis import run_sanitized_target
 
@@ -626,6 +783,8 @@ def _dispatch(args) -> int:
         _scalebench(args)
     elif args.experiment == "fuzz":
         return _fuzz(args)
+    elif args.experiment == "mc":
+        return _mc(args)
     elif args.experiment == "validate":
         from .experiments.validate import run_validation
 

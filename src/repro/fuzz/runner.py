@@ -22,6 +22,7 @@ seed reproduces one outcome byte-for-byte (see
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -57,6 +58,11 @@ class FuzzOutcome:
     dead: Tuple[int, ...] = ()
     finished_us: float = 0.0
     events_analyzed: int = 0
+    #: Timing-independent digest of the observable end state (survivors,
+    #: memory contents, grant order, mutex verdict).  Used by RMCheck to
+    #: deduplicate equivalent schedules; deliberately NOT part of
+    #: :meth:`to_json` so replay byte-comparisons predating it still match.
+    end_state_hash: str = ""
 
     def ok(self) -> bool:
         return not self.violations
@@ -208,10 +214,12 @@ def _fuzz_workload(ctx, scenario: Scenario, shared: Dict[str, Any]):
     rounds = scenario.phases.count("puts")
     slots_ok = True
     dead_slots_ok = True
+    slots: List[Any] = []
     for peer in range(ctx.nprocs):
         if peer == ctx.rank or rounds == 0:
             continue
         got = ctx.region.read_many(base + peer * cells, cells)
+        slots.append([peer, list(got)])
         want = 100 * (peer + 1) + rounds
         if membership is None or membership.is_alive(peer):
             slots_ok = slots_ok and all(v == want for v in got)
@@ -224,15 +232,29 @@ def _fuzz_workload(ctx, scenario: Scenario, shared: Dict[str, Any]):
         "rank": ctx.rank,
         "slots_ok": slots_ok,
         "dead_slots_ok": dead_slots_ok,
+        "slots": slots,
         "finished_us": env.now,
     }
 
 
-def run_scenario(scenario: Scenario) -> FuzzOutcome:
-    """Run ``scenario`` under the monitor; return outcome + violations."""
+def run_scenario(
+    scenario: Scenario,
+    strategy: Any = None,
+    sim_cap_us: Optional[float] = None,
+) -> FuzzOutcome:
+    """Run ``scenario`` under the monitor; return outcome + violations.
+
+    ``strategy`` optionally installs a
+    :class:`~repro.sim.core.SchedulerStrategy` on the runtime's
+    environment before the run — RMCheck's handle for steering the
+    schedule; ``None`` keeps the ordinary uncontrolled scheduler.
+    ``sim_cap_us`` overrides :data:`SIM_CAP_US` (model-checking runs use a
+    smaller cap since explored scenarios are tiny).
+    """
     from ..analysis.monitor import SyncMonitor
     from ..runtime.cluster import ClusterRuntime
 
+    cap = SIM_CAP_US if sim_cap_us is None else sim_cap_us
     outcome = FuzzOutcome(scenario=scenario)
     monitor = SyncMonitor()
     runtime = ClusterRuntime(
@@ -241,6 +263,8 @@ def run_scenario(scenario: Scenario) -> FuzzOutcome:
         params=_make_params(scenario),
         monitor=monitor,
     )
+    if strategy is not None:
+        runtime.env._mc_strategy = strategy
     shared: Dict[str, Any] = {
         "requests": [],
         "grants": [],
@@ -250,7 +274,7 @@ def run_scenario(scenario: Scenario) -> FuzzOutcome:
     }
     procs = runtime.spawn(_fuzz_workload, scenario, shared)
     try:
-        runtime.env.run(until=SIM_CAP_US)
+        runtime.env.run(until=cap)
     except Exception as exc:  # a daemon/server blew up: that IS a finding
         outcome.add(
             "exception",
@@ -278,7 +302,7 @@ def run_scenario(scenario: Scenario) -> FuzzOutcome:
     if stuck:
         outcome.add(
             "deadlock",
-            f"live ranks {stuck} never finished within {SIM_CAP_US:.0f}us "
+            f"live ranks {stuck} never finished within {cap:.0f}us "
             "(deadlock or lost wakeup)",
             stuck=stuck,
         )
@@ -395,4 +419,33 @@ def run_scenario(scenario: Scenario) -> FuzzOutcome:
         )
 
     outcome.violations.sort(key=lambda v: (v["kind"], v["message"]))
+    outcome.end_state_hash = _end_state_hash(outcome, finished, shared, alive)
     return outcome
+
+
+def _end_state_hash(
+    outcome: FuzzOutcome,
+    finished: Dict[int, Dict[str, Any]],
+    shared: Dict[str, Any],
+    alive: set,
+) -> str:
+    """Digest of the *timing-independent* observable end state.
+
+    Excludes every wall/simulated-time quantity (finish times, grant
+    timestamps): two schedules that land in the same final state — same
+    survivors, same memory contents, same grant order among survivors —
+    hash identically even when their event timings differ, which is what
+    lets RMCheck's state deduplication collapse equivalent interleavings.
+    """
+    state = {
+        "survivors": list(outcome.survivors),
+        "dead": list(outcome.dead),
+        "ranks": [
+            [rank, res["slots_ok"], res["dead_slots_ok"], res.get("slots", [])]
+            for rank, res in sorted(finished.items())
+        ],
+        "grants": [[r, it] for _t, r, it in shared["grants"] if r in alive],
+        "mutex_ok": shared["mutex_ok"],
+    }
+    blob = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

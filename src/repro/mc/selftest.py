@@ -1,0 +1,168 @@
+"""RMCheck oracle validation: the fuzzer's seeded mutants, model-checked.
+
+``repro fuzz --self-test`` validates the *oracle* by fuzzing seeds until
+each planted mutant trips.  This module promotes the same three mutants
+(:data:`repro.fuzz.selftest.MUTANTS`) into *exploration* oracle tests:
+each is pinned to the minimal process count at which the bug manifests
+at all, and RMCheck must find a failing schedule there, minimize it, and
+produce a counterexample that
+
+* **replays to a failure** under the mutant patch (determinism), and
+* **replays clean** without the patch (attribution: the schedule itself
+  is legal; only the mutant breaks under it).
+
+Pinned configurations (found empirically, fixed for reproducibility):
+
+* ``hasty-nic`` at **N=2** — the smallest offloaded barrier; the very
+  first schedule releases with a retried put in flight.
+* ``skipped-writeoff`` at **N=4** — below four ranks no put to the
+  crashing rank is ever dropped pre-crash, so the ledger never drifts;
+  at N=4 the survivors deadlock waiting for credits the write-off
+  should have cancelled.
+* ``stale-token-epoch`` at **N=3** — the smallest ring where a delayed
+  token copy can cross a crash-recovery epoch.
+
+Chasing ``skipped-writeoff`` below N=4 is also what exposed the
+``dst``-crashed oracle gap in :mod:`repro.analysis.hb` (see the
+destination write-off exoneration in ``_finish``): exploration reordered
+a put's delivery across the crash declaration, a path no default
+schedule reaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..fuzz.selftest import MUTANTS, Mutant
+from ..fuzz.scenario import Scenario, generate
+from .explore import MCResult, explore, replay_counterexample
+
+__all__ = [
+    "MC_MUTANT_PINS",
+    "McMutantPin",
+    "McMutantResult",
+    "McSelfTestResult",
+    "run_mc_self_test",
+]
+
+
+@dataclass(frozen=True)
+class McMutantPin:
+    """Where and how RMCheck hunts one seeded mutant."""
+
+    mutant: str
+    nprocs: int
+    seed: int
+    window: float
+    budget: int
+    sim_cap_us: float
+
+
+MC_MUTANT_PINS: Tuple[McMutantPin, ...] = (
+    McMutantPin("hasty-nic", nprocs=2, seed=0, window=1.0, budget=80,
+                sim_cap_us=20_000.0),
+    McMutantPin("skipped-writeoff", nprocs=4, seed=2, window=1.0, budget=80,
+                sim_cap_us=20_000.0),
+    McMutantPin("stale-token-epoch", nprocs=3, seed=1, window=1.0, budget=80,
+                sim_cap_us=50_000.0),
+)
+
+
+def _mutant(name: str) -> Mutant:
+    for m in MUTANTS:
+        if m.name == name:
+            return m
+    raise KeyError(f"unknown fuzz mutant {name!r}")
+
+
+def pin_scenario(pin: McMutantPin) -> Scenario:
+    return generate(
+        pin.seed, constrain={**_mutant(pin.mutant).constrain, "nprocs": pin.nprocs}
+    )
+
+
+@dataclass
+class McMutantResult:
+    mutant: str
+    nprocs: int
+    caught: bool = False
+    schedules_run: int = 0
+    schedule_len: int = 0
+    violation_kinds: Tuple[str, ...] = ()
+    #: Counterexample replay fails under the patch.
+    replay_confirmed: bool = False
+    #: The same schedule is clean without the patch (attribution).
+    clean_schedule_ok: bool = False
+    counterexample: Optional[Dict] = None
+
+    def render(self) -> str:
+        if self.caught:
+            return (
+                f"[caught] {self.mutant} @ N={self.nprocs}: "
+                f"{self.schedules_run} schedule(s) to counterexample "
+                f"({self.schedule_len} forced choice(s)) -> "
+                f"{', '.join(self.violation_kinds)}; replay confirmed, "
+                f"clean twin ok"
+            )
+        return (
+            f"[MISSED] {self.mutant} @ N={self.nprocs}: "
+            f"{self.schedules_run} schedule(s), no attributable "
+            f"counterexample"
+        )
+
+
+@dataclass
+class McSelfTestResult:
+    results: List[McMutantResult] = field(default_factory=list)
+
+    def all_caught(self) -> bool:
+        return bool(self.results) and all(r.caught for r in self.results)
+
+    def render(self) -> str:
+        lines = [
+            f"== RMCheck self-test: {len(self.results)} seeded mutant(s), "
+            "exploration at minimal N =="
+        ]
+        lines.extend(r.render() for r in self.results)
+        lines.append(
+            "ORACLE VALIDATED: every mutant found by exploration"
+            if self.all_caught()
+            else "ORACLE GAP: some mutants survived exploration"
+        )
+        return "\n".join(lines)
+
+
+def check_pin(pin: McMutantPin) -> McMutantResult:
+    """Explore one pinned mutant and judge the catch end to end."""
+    mutant = _mutant(pin.mutant)
+    scenario = pin_scenario(pin)
+    result = McMutantResult(mutant=pin.mutant, nprocs=pin.nprocs)
+    with mutant.patch():
+        explored: MCResult = explore(
+            scenario,
+            window=pin.window,
+            budget=pin.budget,
+            sim_cap_us=pin.sim_cap_us,
+            target=f"mutant:{pin.mutant}",
+        )
+    result.schedules_run = explored.schedules_run
+    ce = explored.counterexample
+    if ce is None:
+        return result
+    result.counterexample = ce
+    result.schedule_len = len(ce["schedule"])
+    result.violation_kinds = explored.violation_kinds
+    with mutant.patch():
+        patched_replay = replay_counterexample(ce)
+    result.replay_confirmed = not patched_replay.ok()
+    result.clean_schedule_ok = replay_counterexample(ce).ok()
+    result.caught = result.replay_confirmed and result.clean_schedule_ok
+    return result
+
+
+def run_mc_self_test() -> McSelfTestResult:
+    out = McSelfTestResult()
+    for pin in MC_MUTANT_PINS:
+        out.results.append(check_pin(pin))
+    return out

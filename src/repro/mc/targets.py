@@ -1,0 +1,181 @@
+"""First-class model-checking targets: the protocols RMCheck guards.
+
+Each target is a hand-built minimal scenario (N=2..4) exercising one
+synchronization protocol end to end, plus the exploration parameters
+that make its schedule space both interesting and exhaustible:
+
+* ``nic-barrier`` — the paper's combined fence+barrier offloaded to the
+  per-node NIC co-processors (PR 4), crash-free at N=3.  The doorbell,
+  inter-NIC exchange, and DMA-completion deliveries all race; the
+  commit-or-abort bug the fuzzer found lived exactly here.
+* ``nic-barrier-crash`` — the same protocol with one rank crashing
+  mid-run: exercises the view-change/commit interaction.  Heartbeat
+  traffic makes full exhaustion infeasible; this target is explicitly
+  budget-bounded.
+* ``ticket-handoff`` — ticket lock grant handoff, single node (the
+  algorithm requires it), N=3.  The ticket lock is pure shared memory —
+  no fabric deliveries, hence no labeled transitions — so its schedule
+  space is the single deterministic run.  Keeping it as a target asserts
+  exactly that: the controlled scheduler must not perturb local locks,
+  and any future fabric traffic appearing here widens the space visibly.
+* ``mcs-handoff`` — MCS queue lock handoff across nodes at N=3 with two
+  lock/unlock rounds per rank (one round is contention-free under the
+  workload's request stagger), including the ghost-release path hardened
+  in the PR 3 review fix.
+* ``reliable`` — the ACK/retransmit/resequence layer under a dropping
+  link: frame, duplicate, and ACK deliveries interleave.
+
+``window`` choices: the fault-free network is deterministic with zero
+jitter, so most interesting races are *near*-ties (deliveries a few
+microseconds apart, ordered only by serialization); a window of a few
+microseconds lets the explorer commute them.  Crash/fault targets keep a
+smaller window to contain the schedule tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..fuzz.scenario import Scenario
+
+__all__ = ["MCTarget", "TARGETS", "get_target"]
+
+
+@dataclass(frozen=True)
+class MCTarget:
+    name: str
+    description: str
+    scenario: Scenario
+    #: Commutation window (µs) handed to the scheduler strategy.
+    window: float
+    #: Default run budget; targets marked non-exhaustible keep it low.
+    budget: int
+    #: Simulated-time cap per run (µs).
+    sim_cap_us: float
+    #: Whether exhaustion inside the budget is expected (and asserted in
+    #: tests / CI).
+    expect_exhaustive: bool
+
+
+def _t(name, description, scenario, window, budget, sim_cap_us, exhaustive):
+    return MCTarget(
+        name=name,
+        description=description,
+        scenario=scenario,
+        window=window,
+        budget=budget,
+        sim_cap_us=sim_cap_us,
+        expect_exhaustive=exhaustive,
+    )
+
+
+TARGETS: Dict[str, MCTarget] = {
+    t.name: t
+    for t in (
+        _t(
+            "nic-barrier",
+            "NIC-offloaded combined fence+barrier, N=3, crash-free",
+            Scenario(
+                seed=0,
+                nprocs=3,
+                procs_per_node=1,
+                workload="strips",
+                barrier_algorithm="nic",
+                nic_algorithm="exchange",
+                lock_kind=None,
+                phases=("puts", "barrier"),
+                cells=1,
+            ),
+            window=3.0,
+            budget=4000,
+            sim_cap_us=5_000.0,
+            exhaustive=True,
+        ),
+        _t(
+            "nic-barrier-crash",
+            "NIC fence+barrier with one rank crashing mid-run, N=3",
+            Scenario(
+                seed=0,
+                nprocs=3,
+                procs_per_node=1,
+                workload="strips",
+                barrier_algorithm="nic",
+                nic_algorithm="exchange",
+                lock_kind=None,
+                phases=("puts", "barrier"),
+                cells=1,
+                crashes=(("rank", 2, 30.0),),
+            ),
+            window=1.0,
+            budget=400,
+            sim_cap_us=8_000.0,
+            exhaustive=False,
+        ),
+        _t(
+            "ticket-handoff",
+            "ticket lock grant handoff, single node, N=3",
+            Scenario(
+                seed=0,
+                nprocs=3,
+                procs_per_node=3,
+                workload="locks",
+                barrier_algorithm="exchange",
+                lock_kind="ticket",
+                phases=("lock", "barrier"),
+                cells=1,
+                lock_iters=1,
+            ),
+            window=2.0,
+            budget=50,
+            sim_cap_us=5_000.0,
+            exhaustive=True,
+        ),
+        _t(
+            "mcs-handoff",
+            "MCS queue lock handoff across nodes, N=3",
+            Scenario(
+                seed=0,
+                nprocs=3,
+                procs_per_node=1,
+                workload="locks",
+                barrier_algorithm="exchange",
+                lock_kind="mcs",
+                phases=("lock", "barrier"),
+                cells=1,
+                lock_iters=2,
+            ),
+            window=2.0,
+            budget=500,
+            sim_cap_us=5_000.0,
+            exhaustive=True,
+        ),
+        _t(
+            "reliable",
+            "ACK/retransmit/resequence layer on a dropping link, N=3",
+            Scenario(
+                seed=0,
+                nprocs=3,
+                procs_per_node=1,
+                workload="strips",
+                barrier_algorithm="exchange",
+                lock_kind=None,
+                phases=("puts", "barrier"),
+                cells=1,
+                drop_rate=0.15,
+            ),
+            window=1.0,
+            budget=600,
+            sim_cap_us=8_000.0,
+            exhaustive=False,
+        ),
+    )
+}
+
+
+def get_target(name: str) -> MCTarget:
+    try:
+        return TARGETS[name]
+    except KeyError:
+        known = ", ".join(sorted(TARGETS))
+        raise KeyError(f"unknown mc target {name!r} (known: {known})") from None

@@ -149,6 +149,16 @@ class Fabric:
         #: fault plan schedules crashes; every accepted post refreshes the
         #: sender's liveness (heartbeat piggybacking).
         self._membership = None
+        #: RMCheck per-stream ordinals: message identity that is stable
+        #: across schedule reorderings (a global counter would shift with
+        #: the interleaving).  Only touched when a scheduler strategy is
+        #: installed.
+        self._mc_ordinals: Dict[Any, int] = {}
+
+    def _mc_ordinal(self, ident: Any) -> int:
+        n = self._mc_ordinals.get(ident, 0)
+        self._mc_ordinals[ident] = n + 1
+        return n
 
     # -- crash-stop support ----------------------------------------------------
 
@@ -305,9 +315,16 @@ class Fabric:
             size,
             latency_us=self.wire_latency_override(src_rank, dst),
         )
+        mc = env._mc_strategy is not None
+        if mc:
+            # RMCheck identity: (sender, per-sender-stream ordinal) names
+            # this message identically in every interleaving.
+            msg_id = (src_rank, self._mc_ordinal(("msg", src_rank, dst)))
         if self.faults is None:
             envelope.deliver_at = env._now + delay
             deliver = env.timeout(delay)
+            if mc:
+                deliver._mc_label = ("msg", dst, msg_id)
             deliver.callbacks.append(lambda _ev: mailbox.put(envelope))
             return envelope
         offsets = self.faults.delivery_offsets(
@@ -317,6 +334,8 @@ class Fabric:
             copy = envelope if i == 0 else replace(envelope)
             copy.deliver_at = env._now + offset
             deliver = env.timeout(offset)
+            if mc:
+                deliver._mc_label = ("msg", dst, msg_id + (i,))
             deliver.callbacks.append(
                 lambda _ev, c=copy: self._deliver_unless_blackholed(mailbox, c)
             )
@@ -385,19 +404,31 @@ class Fabric:
             delay += p.shm_access_us
         else:
             delay += p.o_recv_us
+        env = self.env
+        mc = env._mc_strategy is not None
+        if mc:
+            rep_id = (
+                src_node,
+                self._mc_ordinal(("rep", src_node, dst_rank)),
+            )
         if self.faults is None:
-            deliver = self.env.timeout(delay)
+            deliver = env.timeout(delay)
+            if mc:
+                # RMCheck transition label: reply delivery to the requester.
+                deliver._mc_label = ("rep", ("mp", dst_rank), rep_id)
             deliver.callbacks.append(lambda _ev: reply_event.succeed(value))
             return
         apply_faults = self.params.faults.apply_to_replies and not intra_node
         if apply_faults:
             offsets = self.faults.delivery_offsets(
-                src_node, dst_node, None, self.env.now, delay
+                src_node, dst_node, None, env.now, delay
             )
         else:
             offsets = [delay]
-        for offset in offsets:
-            deliver = self.env.timeout(offset)
+        for j, offset in enumerate(offsets):
+            deliver = env.timeout(offset)
+            if mc:
+                deliver._mc_label = ("rep", ("mp", dst_rank), rep_id + (j,))
             deliver.callbacks.append(
                 lambda _ev: self._trigger_reply(reply_event, value)
             )

@@ -82,6 +82,7 @@ class _Frame:
         "dst",
         "attempts",
         "acked",
+        "acks_sent",
     )
 
     def __init__(
@@ -107,6 +108,7 @@ class _Frame:
         self.value = value
         self.attempts = 0
         self.acked = False
+        self.acks_sent = 0
 
     def __repr__(self) -> str:
         state = "acked" if self.acked else f"attempt {self.attempts}"
@@ -230,8 +232,19 @@ class ReliableDelivery:
             offsets = fabric.faults.delivery_offsets(
                 frame.src_node, frame.dst_node, frame.dst, env.now, base
             )
-        for offset in offsets:
+        for j, offset in enumerate(offsets):
             deliver = env.timeout(offset)
+            if env._mc_strategy is not None:
+                # RMCheck transition label.  msg frames target their mailbox
+                # endpoint; reply frames target the requester rank (key[1]).
+                # Identity (channel, seq, attempt, copy) is stable across
+                # schedule reorderings.
+                dst_key = frame.dst if frame.dst is not None else key[1]
+                deliver._mc_label = (
+                    "frame",
+                    dst_key,
+                    (key, frame.seq, frame.attempts, j),
+                )
             deliver.callbacks.append(lambda _ev, k=key, f=frame: self._arrive(k, f))
         self._arm_timer(key, channel, frame)
 
@@ -352,8 +365,19 @@ class ReliableDelivery:
             offsets = fabric.faults.delivery_offsets(
                 frame.dst_node, frame.src_node, None, env.now, base
             )
-        for offset in offsets:
+        if env._mc_strategy is not None:
+            frame.acks_sent += 1
+        for j, offset in enumerate(offsets):
             deliver = env.timeout(offset)
+            if env._mc_strategy is not None:
+                # ACKs for the same channel are mutually dependent (they
+                # race on frame.acked / the retry timer), so their dst_key
+                # is the channel itself rather than a mailbox endpoint.
+                deliver._mc_label = (
+                    "ack",
+                    ("ack-ch", key),
+                    (frame.seq, frame.acks_sent, j),
+                )
             deliver.callbacks.append(lambda _ev, k=key, f=frame: self._on_ack(k, f))
 
     def _on_ack(self, key: ChannelKey, frame: _Frame) -> None:

@@ -9,6 +9,20 @@ the ARMCI reproduction:
   by schedule sequence number.  Repeated runs of the same program produce
   byte-identical traces, which the experiment harness relies on.
 
+  The exact *co-enabled event ordering contract* (relied on by RMCheck's
+  controlled scheduler, see :mod:`repro.mc`): every triggered event is
+  keyed by the tuple ``(time, priority, seq)`` where ``seq`` is a plain
+  int drawn from ``Environment._seq`` — incremented exactly once per
+  scheduling, in program order, with no gaps and no reuse within a run.
+  Two events are *co-enabled* when their ``(time, priority)`` keys are
+  equal; the default tie-break among co-enabled events is FIFO by
+  ``seq`` (i.e. scheduling order).  A :class:`SchedulerStrategy`
+  installed on the environment intercepts exactly these ties (plus,
+  optionally, labeled message deliveries within a commutation window)
+  and may pick any co-enabled candidate; the default strategy picks the
+  minimal ``seq`` and therefore reproduces the uncontrolled order
+  byte-identically.
+
 * **Virtual time in microseconds.** All delays in this code base are expressed
   in microseconds of simulated time, matching the units the paper reports.
 
@@ -43,6 +57,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "ConditionValue",
+    "SchedulerStrategy",
     "SimulationError",
     "StopProcess",
     "CRASHED",
@@ -119,6 +134,43 @@ class Interrupt(Exception):
         return self.args[0] if self.args else None
 
 
+class SchedulerStrategy:
+    """Tie-break policy for co-enabled events (RMCheck's controlled scheduler).
+
+    Install an instance as ``env._mc_strategy`` (or via
+    ``Environment.strategy_factory``) *before* ``run()`` to route every
+    co-enabled choice through :meth:`choose`.  Two events are co-enabled
+    when their ``(time, priority)`` heap keys are equal; additionally, when
+    ``window > 0`` and the queue head is a *labeled* message delivery, all
+    labeled ``PRIORITY_NORMAL`` deliveries within ``window`` microseconds of
+    the head are treated as co-enabled (the chosen one is processed clamped
+    to the head's timestamp, preserving time monotonicity).
+
+    The base class is the identity policy: ``window = 0.0`` and
+    ``choose() == 0`` always picks the minimal ``(time, priority, seq)``
+    entry, reproducing the uncontrolled FIFO order byte-identically (see
+    ``tests/mc/test_strategy.py``).
+    """
+
+    #: Commutation window (µs) for near-tie labeled deliveries; 0 disables.
+    window: float = 0.0
+    #: Set True (e.g. from :meth:`choose`/:meth:`executed`) to abandon the
+    #: run after the current event; the controlled loop checks it each step.
+    abort: bool = False
+
+    def choose(self, now: float, candidates: list) -> int:
+        """Pick the index of the candidate to process next.
+
+        ``candidates`` is a list of heap entries ``(time, priority, seq,
+        event)`` — index 0 is always the entry the uncontrolled scheduler
+        would pick; labels (if any) are on ``entry[3]._mc_label``.
+        """
+        return 0
+
+    def executed(self, label: object) -> None:
+        """Called after each *labeled* event is processed, with its label."""
+
+
 class Event:
     """A happening at a point in simulated time.
 
@@ -126,9 +178,14 @@ class Event:
     *triggers* it, scheduling it on the environment's queue.  When the
     environment pops it, the event is *processed*: its callbacks run, which is
     how waiting processes get resumed.
+
+    ``_mc_label`` is RMCheck metadata: message-delivery events get a
+    hashable label ``(kind, dst_key, uid)`` (set by the transport layers
+    only when a :class:`SchedulerStrategy` is installed) identifying the
+    transition for dependence analysis; ``None`` for all other events.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_mc_label")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -138,6 +195,7 @@ class Event:
         self._value: Any = _PENDING
         self._ok: bool = True
         self._defused: bool = False
+        self._mc_label = None
 
     def __repr__(self) -> str:
         state = (
@@ -229,6 +287,7 @@ class Timeout(Event):
         self._value = value
         self._ok = True
         self._defused = False
+        self._mc_label = None
         self.delay = delay
         seq = env._seq
         env._seq = seq + 1
@@ -540,7 +599,14 @@ class Environment:
         "_process_factory",
         "_event_pool",
         "_timeout_pool",
+        "_mc_strategy",
     )
+
+    #: Class-level hook: when set to a zero-argument callable, every new
+    #: Environment installs ``strategy_factory()`` as its scheduler
+    #: strategy.  Lets RMCheck reach environments constructed deep inside
+    #: experiment harnesses without threading a parameter through.
+    strategy_factory: Optional[Callable[[], "SchedulerStrategy"]] = None
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -562,6 +628,11 @@ class Environment:
         # the run loop).
         self._event_pool: list = []
         self._timeout_pool: list = []
+        #: Controlled-scheduler hook (see :class:`SchedulerStrategy`).
+        factory = type(self).strategy_factory
+        self._mc_strategy: Optional[SchedulerStrategy] = (
+            factory() if factory is not None else None
+        )
 
     # -- clock & queue -----------------------------------------------------
 
@@ -623,6 +694,7 @@ class Environment:
             event._value = _PENDING
             event._ok = True
             event._defused = False
+            event._mc_label = None
             pool.append(event)
 
     def run(self, until: Any = None) -> Any:
@@ -632,6 +704,8 @@ class Environment:
         (run until that simulated time), or an :class:`Event` (run until it
         is processed; its value is returned).
         """
+        if self._mc_strategy is not None:
+            return self._run_controlled(until)
         stop_at: Optional[float] = None
         stop_ev: Optional[Event] = None
         if until is not None:
@@ -688,6 +762,7 @@ class Environment:
                             event._value = _PENDING
                             event._ok = True
                             event._defused = False
+                            event._mc_label = None
                             pool.append(event)
             finally:
                 # The counter is only observed between run() calls; batching
@@ -724,6 +799,118 @@ class Environment:
                 cb(event)
             if not event._ok and not event._defused:
                 raise event._value
+        if stop_ev is not None:
+            if not stop_ev.triggered:
+                return None
+            if not stop_ev._ok:
+                raise stop_ev._value
+            return stop_ev._value
+        return None
+
+    def _run_controlled(self, until: Any = None) -> Any:
+        """Run loop with the :class:`SchedulerStrategy` hook engaged.
+
+        Semantics match :meth:`run` except: (1) at each step all co-enabled
+        heap entries (equal ``(time, priority)``; plus, when the head is a
+        labeled delivery and ``strategy.window > 0``, labeled
+        ``PRIORITY_NORMAL`` deliveries within the window) are collected and
+        the strategy picks which one to process; (2) a window pick with a
+        later timestamp is processed clamped to the head's timestamp, so
+        simulated time never runs backwards; (3) no event recycling, so
+        labels and identities stay stable for the exploring strategy;
+        (4) ``strategy.executed(label)`` fires after each labeled event and
+        ``strategy.abort`` abandons the run.
+
+        With the base strategy (window 0, choose→0) the processed event
+        sequence is identical to :meth:`run`'s.
+        """
+        strategy = self._mc_strategy
+        stop_at: Optional[float] = None
+        stop_ev: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_ev = until
+                if stop_ev.callbacks is None:
+                    if not stop_ev._ok:
+                        raise stop_ev._value
+                    return stop_ev._value
+            else:
+                stop_at = float(until)
+                if stop_at < self._now:
+                    raise ValueError(
+                        f"until={stop_at} is in the past (now={self._now})"
+                    )
+
+        queue = self._queue
+        pop = _heappop
+        push = _heappush
+        on_event = self.on_event
+        hit: list = []
+        if stop_ev is not None:
+            stop_ev.callbacks.append(hit.append)
+        window = strategy.window
+        while True:
+            if stop_ev is not None and hit:
+                break
+            if not queue:
+                if stop_ev is not None:
+                    raise SimulationError(
+                        "simulation queue drained before the awaited event "
+                        f"{stop_ev!r} triggered (deadlock?)"
+                    )
+                if stop_at is not None:
+                    self._now = stop_at
+                break
+            if stop_at is not None and queue[0][0] > stop_at:
+                self._now = stop_at
+                break
+            root = pop(queue)
+            t0 = root[0]
+            prio0 = root[1]
+            candidates = [root]
+            # Exact (time, priority) ties are always co-enabled.
+            while queue and queue[0][0] == t0 and queue[0][1] == prio0:
+                candidates.append(pop(queue))
+            # Commutation window: near-tie labeled deliveries are co-enabled
+            # too, but only when the head itself is a labeled delivery —
+            # pulling a delivery ahead of an unlabeled internal step would
+            # not correspond to a legal reordering of the network.
+            if window > 0.0 and root[3]._mc_label is not None:
+                horizon = t0 + window
+                spill = []
+                while queue and queue[0][0] <= horizon:
+                    entry = pop(queue)
+                    if entry[1] == PRIORITY_NORMAL and entry[3]._mc_label is not None:
+                        candidates.append(entry)
+                    else:
+                        spill.append(entry)
+                for entry in spill:
+                    push(queue, entry)
+            if len(candidates) > 1:
+                idx = strategy.choose(t0, candidates)
+                chosen = candidates[idx]
+                for i, entry in enumerate(candidates):
+                    if i != idx:
+                        push(queue, entry)
+            else:
+                chosen = root
+            event = chosen[3]
+            # Clamp window picks to the head timestamp (monotonic time).
+            self._now = t0
+            callbacks = event.callbacks
+            event.callbacks = None
+            self.events_processed += 1
+            if on_event is not None:
+                on_event(t0, event)
+            label = event._mc_label
+            if label is not None:
+                strategy.executed(label)
+            for cb in callbacks:
+                cb(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            if strategy.abort:
+                break
         if stop_ev is not None:
             if not stop_ev.triggered:
                 return None

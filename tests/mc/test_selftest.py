@@ -1,0 +1,34 @@
+"""The RMCheck oracle self-test: all three fuzz mutants found by exploration."""
+
+from __future__ import annotations
+
+from repro.mc.selftest import MC_MUTANT_PINS, check_pin, run_mc_self_test
+
+
+def test_pins_cover_every_fuzz_mutant():
+    from repro.fuzz.selftest import MUTANTS
+
+    assert {p.mutant for p in MC_MUTANT_PINS} == {m.name for m in MUTANTS}
+
+
+def test_every_mutant_caught_with_attribution():
+    result = run_mc_self_test()
+    rendered = result.render()
+    assert result.all_caught(), rendered
+    for r in result.results:
+        # A catch requires the full chain: counterexample found, replay
+        # fails under the patch, and the same schedule is clean without it.
+        assert r.replay_confirmed, rendered
+        assert r.clean_schedule_ok, rendered
+        assert r.violation_kinds, rendered
+        assert r.counterexample is not None
+    assert "ORACLE VALIDATED" in rendered
+
+
+def test_check_pin_is_deterministic():
+    pin = MC_MUTANT_PINS[0]
+    a = check_pin(pin)
+    b = check_pin(pin)
+    assert a.schedules_run == b.schedules_run
+    assert a.violation_kinds == b.violation_kinds
+    assert a.counterexample == b.counterexample

@@ -487,3 +487,64 @@ class TestDeterminism:
             return trace
 
         assert build_and_run() == build_and_run()
+
+
+class TestCoEnabledOrderingContract:
+    """The documented co-enabled ordering contract (see the module docstring).
+
+    Events are keyed ``(time, priority, seq)``; ``seq`` is assigned once
+    per scheduling in program order with no gaps or reuse, and co-enabled
+    events (equal ``(time, priority)``) resolve FIFO by ``seq``.  The
+    controlled-scheduler hook with the default strategy must reproduce
+    this order byte-for-byte.
+    """
+
+    def test_seq_is_monotonic_and_gapless(self, env):
+        before = env._seq
+        for _ in range(5):
+            env.timeout(1.0)
+        assert env._seq == before + 5
+
+    def test_rescheduling_consumes_fresh_seq(self, env):
+        ev = Event(env)
+        ev.succeed()
+        seq_after_first = env._seq
+        ev2 = Event(env)
+        ev2.succeed()
+        assert env._seq == seq_after_first + 1
+
+    @staticmethod
+    def _trace_run(strategy_factory):
+        from repro.sim.core import SchedulerStrategy
+
+        class Env(Environment):
+            pass
+
+        Env.strategy_factory = strategy_factory
+        env = Env()
+        trace = []
+
+        def worker(wid):
+            # Deliberate exact ties: every worker fires at the same times.
+            for i in range(4):
+                yield env.timeout(2.0)
+                trace.append((env.now, wid, i))
+
+        for w in range(5):
+            env.process(worker(w))
+        env.run()
+        return trace
+
+    def test_default_strategy_is_byte_identical_to_fifo(self):
+        from repro.sim.core import SchedulerStrategy
+
+        baseline = self._trace_run(None)
+        controlled = self._trace_run(SchedulerStrategy)
+        assert controlled == baseline
+
+    def test_default_strategy_choose_picks_queue_head(self):
+        from repro.sim.core import SchedulerStrategy
+
+        s = SchedulerStrategy()
+        assert s.window == 0.0
+        assert s.choose(0.0, [object(), object()]) == 0

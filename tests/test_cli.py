@@ -286,3 +286,80 @@ class TestFuzzCommand:
 
         data = json.loads(out_path.read_text())
         assert data["ok"] is True and data["seeds_run"] == 2
+
+
+class TestLintStrict:
+    def test_clean_repo_passes_strict(self, capsys):
+        assert main(["check", "--lint", "--strict"]) == 0
+        assert "lint: no findings" in capsys.readouterr().out
+
+    def test_findings_are_report_only_without_strict(self, capsys, monkeypatch):
+        import repro.analysis
+        from repro.analysis.lint import LintFinding
+
+        finding = LintFinding("x.py", 1, "op-done-mutation", "planted")
+        monkeypatch.setattr(
+            repro.analysis, "run_lint", lambda root=None: [finding]
+        )
+        assert main(["check", "--lint"]) == 0
+        assert "planted" in capsys.readouterr().out
+        assert main(["check", "--lint", "--strict"]) == 1
+
+
+class TestMcCommand:
+    def test_named_target(self, capsys):
+        assert main(["mc", "ticket-handoff"]) == 0
+        out = capsys.readouterr().out
+        assert "RMCheck ticket-handoff" in out
+        assert "OK: every explored schedule satisfies the oracle" in out
+
+    def test_unknown_target_is_cli_error(self, capsys):
+        assert main(["mc", "no-such-target"]) == 2
+        assert "unknown mc target" in capsys.readouterr().err
+
+    def test_json_out(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "mc.json"
+        assert main(
+            ["mc", "ticket-handoff", "--json-out", str(path)]
+        ) == 0
+        [entry] = json.loads(path.read_text())
+        assert entry["target"] == "ticket-handoff"
+        assert entry["ok"] is True and entry["exhausted"] is True
+
+    def test_schedule_replay_of_clean_counterexample(self, capsys, tmp_path):
+        import json
+
+        from repro.fuzz.scenario import scenario_to_json
+        from repro.mc import get_target
+        from repro.mc.explore import COUNTEREXAMPLE_FORMAT
+
+        ce = {
+            "format": COUNTEREXAMPLE_FORMAT,
+            "scenario": json.loads(
+                scenario_to_json(get_target("ticket-handoff").scenario)
+            ),
+            "window": 0.0,
+            "sim_cap_us": 20_000.0,
+            "schedule": [],
+            "violation_kinds": [],
+        }
+        path = tmp_path / "ce.json"
+        path.write_text(json.dumps(ce))
+        assert main(["mc", "--schedule", str(path)]) == 0
+        assert "[ok]" in capsys.readouterr().out
+
+    def test_schedule_rejects_foreign_json(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ValueError, match="not an RMCheck counterexample"):
+            main(["mc", "--schedule", str(path)])
+
+    def test_scenario_seed_exploration(self, capsys):
+        assert main(
+            ["mc", "--scenario", "0", "--budget", "5", "--cap", "20000"]
+        ) == 0
+        assert "RMCheck seed 0" in capsys.readouterr().out
