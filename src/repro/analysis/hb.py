@@ -122,6 +122,7 @@ class _OpRecord:
         "applied",
         "issue_snap",
         "apply_snap",
+        "issue_time",
     )
 
     def __init__(self, actor: str, op: str, node: int, dst_rank: int):
@@ -132,6 +133,7 @@ class _OpRecord:
         self.applied = False
         self.issue_snap: Optional[Dict[str, int]] = None
         self.apply_snap: Optional[Dict[str, int]] = None
+        self.issue_time = 0.0
 
 
 class HBAnalyzer:
@@ -177,6 +179,21 @@ class HBAnalyzer:
         self._written_off_ops: Set[int] = set()
         self._lock_revoked: Dict[str, Set[int]] = {}
         self._view_epoch = 0
+        # Partition state (populated only by transient-fault events).
+        #: Actors currently excluded from the membership view.
+        self._excluded_actors: Set[str] = set()
+        #: actor -> [start, end] exclusion windows (end None while open):
+        #: used to excuse barrier releases owing ops whose endpoint was
+        #: out of the view at release time (the resilient barrier wrote
+        #: them off; the suspended frames apply at the heal).
+        self._excluded_spans: Dict[str, List[List[Optional[float]]]] = {}
+        #: lock -> actors whose lease was revoked *live* (partition
+        #: exclusion): any lock action by them before rejoin is the
+        #: split-brain the fencing tokens exist to prevent.
+        self._fenced_stale: Dict[str, Set[str]] = {}
+        #: cell -> excluded actor that last wrote it from the minority
+        #: side; a conflicting majority access makes the race split-brain.
+        self._minority_cells: Dict[Tuple[str, int], str] = {}
         self.report = SanReport()
 
     # -- vector clock helpers ------------------------------------------------
@@ -271,18 +288,33 @@ class HBAnalyzer:
                         self._race(ev, key, actor, mode, r_actor, r_mode, True)
                 cell.write = (actor, tick, mode)
                 cell.reads.clear()
+                if self._excluded_actors and actor in self._excluded_actors:
+                    self._minority_cells[key] = actor
+                elif self._minority_cells:
+                    self._minority_cells.pop(key, None)
             else:
                 cell.reads[actor] = (tick, mode)
 
     def _race(self, ev, key, actor, mode, other, other_mode, is_write) -> None:
         access = "write" if is_write else "read"
+        # A race with one foot on the minority side of a partition (the
+        # accessor is excluded right now, or the earlier write was made
+        # from the minority and survived the heal) is split-brain, not a
+        # garden-variety data race: quorum freezing should have made it
+        # impossible.
+        split_brain = (
+            actor in self._excluded_actors
+            or other in self._excluded_actors
+            or self._minority_cells.get(key) == other
+        )
         self.report.add(
             Violation(
-                kind="data-race",
+                kind="split-brain" if split_brain else "data-race",
                 time=ev.time,
                 message=(
                     f"{actor} {access}s {key[0]}[{key[1]}] ({mode}) unordered "
                     f"with earlier access by {other} ({other_mode})"
+                    + (" across a partition" if split_brain else "")
                 ),
                 details={"region": key[0], "addr": key[1], "actors": [other, actor]},
             )
@@ -293,6 +325,7 @@ class HBAnalyzer:
     def _on_issue(self, ev, actor, tick, data) -> None:
         record = _OpRecord(actor, data["op"], data["node"], data["dst_rank"])
         record.issue_snap = dict(self._clock(actor))
+        record.issue_time = ev.time
         self._ops[data["op_id"]] = record
         self._issued_to.setdefault((actor, data["node"]), []).append(data["op_id"])
         self._outstanding.setdefault(actor, set()).add(data["op_id"])
@@ -477,6 +510,41 @@ class HBAnalyzer:
     def _on_view_change(self, ev, actor, tick, data) -> None:
         self._view_epoch = data["epoch"]
 
+    def _on_proc_excluded(self, ev, actor, tick, data) -> None:
+        excluded = f"p{data['rank']}"
+        self._excluded_actors.add(excluded)
+        self._excluded_spans.setdefault(excluded, []).append([ev.time, None])
+
+    def _on_proc_rejoined(self, ev, actor, tick, data) -> None:
+        rejoined = f"p{data['rank']}"
+        self._excluded_actors.discard(rejoined)
+        spans = self._excluded_spans.get(rejoined)
+        if spans and spans[-1][1] is None:
+            spans[-1][1] = ev.time
+        for stale in self._fenced_stale.values():
+            stale.discard(rejoined)
+        if not data.get("resynced", True):
+            self.report.add(
+                Violation(
+                    kind="split-brain",
+                    time=ev.time,
+                    message=(
+                        f"{rejoined} rejoined the view (epoch "
+                        f"{data.get('epoch')}) without state "
+                        f"resynchronization: stale tokens and credit "
+                        f"baselines survive the heal"
+                    ),
+                    details={"rank": data["rank"], "epoch": data.get("epoch")},
+                )
+            )
+
+    def _on_lock_fence_rejected(self, ev, actor, tick, data) -> None:
+        # The fencing token did its job: the stale holder's release was
+        # rejected without touching the protocol.  Nothing stale survives.
+        stale = self._fenced_stale.get(data["lock"])
+        if stale is not None:
+            stale.discard(actor)
+
     def _on_lease_revoked(self, ev, actor, tick, data) -> None:
         lock = data["lock"]
         ticket = data.get("ticket")
@@ -492,6 +560,12 @@ class HBAnalyzer:
             # joins the membership service's clock at revocation.
             holders.discard(dead_actor)
             self._lock_clock[lock] = dict(self._clock(actor))
+        if data.get("live"):
+            # Live (partition) revocation: the holder is alive on the
+            # minority side and still believes it holds the lock.  Any
+            # protocol action it takes on this lock before rejoining is
+            # split-brain (see _on_lock_acq/_on_lock_rel).
+            self._fenced_stale.setdefault(lock, set()).add(dead_actor)
         self._lock_pending.pop((dead_actor, lock), None)
 
     # -- message-passing collectives -----------------------------------------
@@ -585,6 +659,19 @@ class HBAnalyzer:
     def _on_lock_acq(self, ev, actor, tick, data) -> None:
         lock = data["lock"]
         self._lock_pending.pop((actor, lock), None)
+        if actor in self._fenced_stale.get(lock, ()):
+            self.report.add(
+                Violation(
+                    kind="split-brain",
+                    time=ev.time,
+                    message=(
+                        f"{actor} re-granted lock {lock} on a fenced "
+                        f"(partition-revoked) lease: two sides of the "
+                        f"partition hold the lock"
+                    ),
+                    details={"lock": lock, "actor": actor},
+                )
+            )
         if actor in self._dead_actors:
             self.report.add(
                 Violation(
@@ -636,6 +723,21 @@ class HBAnalyzer:
     def _on_lock_rel(self, ev, actor, tick, data) -> None:
         lock = data["lock"]
         holders = self._lock_holders.setdefault(lock, set())
+        if actor in self._fenced_stale.get(lock, ()):
+            self.report.add(
+                Violation(
+                    kind="split-brain",
+                    time=ev.time,
+                    message=(
+                        f"{actor} released lock {lock} on a fenced "
+                        f"(partition-revoked) lease: the fencing-token "
+                        f"check should have rejected this release"
+                    ),
+                    details={"lock": lock, "actor": actor},
+                )
+            )
+            self._fenced_stale[lock].discard(actor)
+            return
         if actor not in holders:
             self.report.add(
                 Violation(
@@ -649,6 +751,15 @@ class HBAnalyzer:
         self._lock_clock[lock] = dict(self._clock(actor))
 
     # -- end-of-trace checks -------------------------------------------------
+
+    def _excluded_while_in_flight(
+        self, actor_name: str, issued: float, released: float
+    ) -> bool:
+        """Did ``actor_name``'s view exclusion overlap ``[issued, released]``?"""
+        for start, end in self._excluded_spans.get(actor_name, ()):
+            if start <= released and (end is None or issued < end):
+                return True
+        return False
 
     def _finish(self, end_time: float) -> None:
         for exit_time, epoch, actor, op_id in self._pending_release_viols:
@@ -669,6 +780,19 @@ class HBAnalyzer:
                 # RMCheck schedule exploration: the default schedule
                 # always applied or dropped such puts before the crash
                 # declaration, so the fuzzer never saw this path.
+                continue
+            if self._excluded_while_in_flight(
+                f"p{record.dst_rank}", record.issue_time, exit_time
+            ) or self._excluded_while_in_flight(
+                record.actor, record.issue_time, exit_time
+            ):
+                # One endpoint sat on the minority side of a partition
+                # while the operation was in flight: the resilient barrier
+                # wrote it off (quorum semantics) and the suspended frame
+                # applies at the heal — the straggler rule keeps that
+                # monotone.  (Covers a just-rejoined rank releasing its
+                # adopted barrier instance while its own flushed puts are
+                # still in transit.)
                 continue
             self.report.add(
                 Violation(

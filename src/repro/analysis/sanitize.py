@@ -25,7 +25,7 @@ from .monitor import SyncMonitor
 __all__ = ["TARGETS", "run_sanitized_target"]
 
 #: Recognized ``repro check`` targets (``all`` expands to every entry).
-TARGETS = ("fig7", "locks", "faultbench", "chaos", "nic")
+TARGETS = ("fig7", "locks", "faultbench", "chaos", "nic", "partition")
 
 
 def _sanitized_spmd(nprocs: int, main, *args, **runtime_kwargs):
@@ -190,12 +190,62 @@ def _check_nic() -> List[Tuple[str, SanReport]]:
     return out
 
 
+def _check_partition() -> List[Tuple[str, SanReport]]:
+    """Partition windows cutting lock/barrier traffic, then healing.
+
+    Exercises the quorum-membership vocabulary end to end:
+    ``proc_excluded`` / ``partition_heal`` / ``proc_rejoined`` /
+    ``sync_frozen`` emissions, live-lease revocation with fencing
+    (``lease_revoked live=True`` followed by either a clean fenced
+    release or the split-brain rule firing), and the minority-write
+    quarantine in the race detector.  A clean tree reports zero
+    violations: the fencing token rejects the stale release and the
+    rejoin resync replays the regenerated token view, so no split-brain
+    rule should ever fire here.
+    """
+    from ..fuzz.runner import _fuzz_workload, _make_params
+    from ..fuzz.scenario import Scenario
+
+    out = []
+    for lock_kind, label in (("naimi", "partition[token]"), ("mcs", "partition[mcs]")):
+        scenario = Scenario(
+            seed=0,
+            nprocs=6,
+            procs_per_node=2,
+            workload="mixed",
+            barrier_algorithm="exchange",
+            lock_kind=lock_kind,
+            phases=("puts", "lock", "barrier", "puts", "barrier"),
+            cells=4,
+            lock_iters=2,
+            partitions=(((2,), 80.0, 700.0),),
+        )
+        shared = {
+            "requests": [],
+            "grants": [],
+            "preemptions": [],
+            "cs_owner": None,
+            "mutex_ok": True,
+        }
+        report = _sanitized_spmd(
+            scenario.nprocs,
+            _fuzz_workload,
+            scenario,
+            shared,
+            procs_per_node=scenario.procs_per_node,
+            params=_make_params(scenario),
+        )
+        out.append((label, report))
+    return out
+
+
 _RUNNERS = {
     "fig7": _check_fig7,
     "locks": _check_locks,
     "faultbench": _check_faultbench,
     "chaos": _check_chaos,
     "nic": _check_nic,
+    "partition": _check_partition,
 }
 
 

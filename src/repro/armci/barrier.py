@@ -91,6 +91,11 @@ def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
         )
     if algorithm == "auto":
         algorithm = _auto_select(armci)
+    if armci.membership is not None:
+        # Partition tolerance: a minority-side rank queues here (it does
+        # not fail) until it is back in a majority view and resynced.
+        # Immediate no-op under crash-only plans.
+        yield from armci.membership.freeze_gate(armci.rank)
 
     monitor = armci._monitor
     epoch = 0
@@ -261,6 +266,13 @@ def _nic(armci: "Armci"):
     if params.nic_doorbell_us > 0.0:
         yield armci.env.timeout(params.nic_doorbell_us)
     release = engine.post_doorbell(epoch, armci.rank, armci.op_init)
+    if release is None:
+        # Fenced at the doorbell: this rank is partition-excluded from the
+        # current view.  Degrade to the resilient exchange, whose freeze
+        # gate queues the rank until it rejoins.
+        armci.stats["nic_degraded"] = armci.stats.get("nic_degraded", 0) + 1
+        yield from _exchange_resilient(armci)
+        return
     if membership is None:
         yield release
     else:
@@ -339,8 +351,24 @@ def _exchange_resilient(armci: "Armci"):
     rank that finishes before a view change cannot strand restarted peers.
     """
     membership = armci.membership
+    # Entered both directly and as the degrade target of the NIC path, so
+    # the freeze gate runs here too: an excluded rank must rejoin before
+    # it may participate in (or adopt results of) the collective.
+    yield from membership.freeze_gate(armci.rank)
     inst = armci._chaos_barrier_seq
     armci._chaos_barrier_seq = inst + 1
+    if membership._transient:
+        entry = membership.ledger_get(("allreduce", inst))
+        if entry is not None and entry[1] < membership.epoch:
+            # This instance completed in the majority while we were cut
+            # off: we will adopt its recorded result instead of re-running
+            # the exchange, so the collective cannot transitively fence
+            # *our* outstanding operations (nobody waits on our op_init).
+            # Fence them explicitly to keep the barrier's fence-inclusion
+            # guarantee for the rejoined rank.
+            from .fence import allfence_linear
+
+            yield from allfence_linear(armci)
     totals, result_epoch = yield from collectives.resilient_allreduce_sum(
         armci.comm, membership, armci.op_init, inst
     )

@@ -45,6 +45,10 @@ def fence_node(armci: "Armci", node: int):
         return
     monitor = armci._monitor
     membership = armci.membership  # None unless a crash fault plan is active
+    if membership is not None:
+        # Partition tolerance: a minority-side rank queues here until it is
+        # back in a majority view.  Immediate no-op under crash-only plans.
+        yield from membership.freeze_gate(armci.rank)
     if membership is not None and membership.node_dead(node):
         # Degraded fence: the target machine crashed, so its server will
         # never confirm.  The outstanding operations are written off (the

@@ -38,6 +38,13 @@ failure of RANK at AT_US simulated microseconds.  Kills before the barrier
 hold point strike mid-exchange inside ``ARMCI_Barrier()``; later kills
 strike while RANK holds the contended lock (``--lock`` picks the
 algorithm).  ``--kill-seed`` pins the heartbeat/detector RNG stream.
+``--partition NODES:FROM_US:UNTIL_US`` cuts a node group (comma-separated)
+off the fabric for the window — its ranks freeze on quorum loss and rejoin
+with a state resync at the heal; ``--stall RANK:FROM_US:UNTIL_US`` pauses
+one rank transiently.  Whenever faults or transients are injected the
+reliable layer estimates its retransmission timeout adaptively
+(Jacobson/Karn RTT estimation with a jittered cap); passing
+``--retry-timeout`` pins the fixed timeout instead.
 """
 
 from __future__ import annotations
@@ -94,7 +101,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "for 'check': which workload to sanitize "
-            "(fig7, locks, faultbench, chaos, nic; default all); "
+            "(fig7, locks, faultbench, chaos, nic, partition; default all); "
             "for 'mc': which model-checking target to explore "
             "(see repro.mc.targets; default all)"
         ),
@@ -203,6 +210,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SEED",
         help="chaos: seed for the heartbeat/failure-detector RNG stream",
+    )
+    parser.add_argument(
+        "--partition",
+        action="append",
+        default=None,
+        metavar="NODES:FROM_US:UNTIL_US",
+        help=(
+            "chaos: cut the comma-separated node group off the fabric for "
+            "the simulated-time window (repeatable); the minority freezes "
+            "on quorum loss and rejoins with a state resync at the heal"
+        ),
+    )
+    parser.add_argument(
+        "--stall",
+        action="append",
+        default=None,
+        metavar="RANK:FROM_US:UNTIL_US",
+        help="chaos: pause RANK for the window, then resume it (no crash)",
     )
     parser.add_argument(
         "--lock",
@@ -360,6 +385,55 @@ def _parse_kill(spec: str):
     return rank, at_us
 
 
+def _parse_window(spec: str, flag: str, what: str):
+    """Split ``HEAD:FROM_US:UNTIL_US`` and validate the time window."""
+    try:
+        head, from_s, until_s = spec.rsplit(":", 2)
+        from_us, until_us = float(from_s), float(until_s)
+    except ValueError:
+        raise _CliError(
+            f"bad {flag} spec {spec!r}: expected {what}:FROM_US:UNTIL_US"
+        )
+    if not 0.0 <= from_us < until_us:
+        raise _CliError(
+            f"bad {flag} spec {spec!r}: need 0 <= FROM_US < UNTIL_US"
+        )
+    return head, from_us, until_us
+
+
+def _parse_partition(spec: str):
+    """Parse one ``--partition NODES:FROM_US:UNTIL_US`` spec.
+
+    ``NODES`` is a comma-separated group of node ids cut off the fabric
+    for the window; legality against the topology (node 0 stays in the
+    majority, the group is a strict minority) is checked by chaosbench.
+    """
+    head, from_us, until_us = _parse_window(spec, "--partition", "NODES")
+    try:
+        nodes = tuple(sorted({int(n) for n in head.split(",") if n.strip()}))
+    except ValueError:
+        raise _CliError(
+            f"bad --partition spec {spec!r}: NODES must be comma-separated ints"
+        )
+    if not nodes:
+        raise _CliError(f"bad --partition spec {spec!r}: empty node group")
+    if any(n < 0 for n in nodes):
+        raise _CliError(f"bad --partition spec {spec!r}: node ids must be >= 0")
+    return nodes, from_us, until_us
+
+
+def _parse_stall(spec: str):
+    """Parse one ``--stall RANK:FROM_US:UNTIL_US`` spec."""
+    head, from_us, until_us = _parse_window(spec, "--stall", "RANK")
+    try:
+        rank = int(head)
+    except ValueError:
+        raise _CliError(f"bad --stall spec {spec!r}: RANK must be an int")
+    if rank < 0:
+        raise _CliError(f"bad --stall spec {spec!r}: RANK must be >= 0")
+    return rank, from_us, until_us
+
+
 def _network_params(args):
     """Resolve the preset plus any fault/reliability options."""
     from .net.faults import FaultPlan
@@ -375,6 +449,11 @@ def _network_params(args):
             dup_rate=args.drop_rate / 2.0,
             seed=args.fault_seed,
         )
+        if args.retry_timeout is None:
+            # Default on faulty networks: estimate the retransmission
+            # timeout adaptively (Jacobson/Karn) instead of the fixed
+            # preset value.  An explicit --retry-timeout pins it fixed.
+            overrides["adaptive_retry"] = True
     return params.with_(**overrides) if overrides else params
 
 
@@ -513,8 +592,33 @@ def _chaos(args) -> int:
                 lock_kills.append((rank, at_us))
         overrides["barrier_kills"] = tuple(barrier_kills)
         overrides["lock_kills"] = tuple(lock_kills)
-    overrides["params"] = _preset(args.network)
-    result = run_chaosbench(ChaosBenchConfig(**overrides))
+    if args.partition:
+        overrides["partitions"] = tuple(
+            _parse_partition(spec) for spec in args.partition
+        )
+    if args.stall:
+        overrides["stalls"] = tuple(_parse_stall(spec) for spec in args.stall)
+    if (args.partition or args.stall) and not args.kill:
+        # A transient-only run: measure freeze/heal/rejoin without the
+        # stock crash schedule (which assumes the default process count).
+        overrides.setdefault("barrier_kills", ())
+        overrides.setdefault("lock_kills", ())
+    params = _preset(args.network)
+    retry = getattr(args, "retry_timeout", None)
+    if retry is not None:
+        _validate_fault_args(args)
+        params = params.with_(retry_timeout_us=retry)
+    elif args.kill or args.partition or args.stall:
+        # Same default as _network_params: under injected faults the
+        # retransmission timeout is RTT-estimated unless pinned.
+        params = params.with_(adaptive_retry=True)
+    overrides["params"] = params
+    try:
+        result = run_chaosbench(ChaosBenchConfig(**overrides))
+    except ValueError as exc:
+        # Topology-level legality (node 0 stays, strict majority, rank 0
+        # never stalled) is checked by chaosbench against --procs/--ppn.
+        raise _CliError(str(exc))
     print(result.render())
     return 0 if result.all_ok() else 1
 

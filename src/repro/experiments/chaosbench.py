@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..locks import make_lock
-from ..net.faults import FaultPlan, ProcessCrash
+from ..net.faults import FaultPlan, Partition, ProcessCrash, ProcessStall
 from ..net.params import NetworkParams
 from ..runtime.cluster import ClusterRuntime
 from ..runtime.memory import GlobalAddress
@@ -92,6 +92,14 @@ class ChaosBenchConfig:
     cs_us: float = 5.0
     cells: int = 4
     kill_seed: int = 20030422
+    #: Partition windows ``(nodes, from_us, until_us)``: the node group is
+    #: cut off for the window, its ranks freeze (quorum loss) and rejoin
+    #: with a state resync at the heal.  Node 0 (the lock home) must stay
+    #: on the majority side.
+    partitions: Tuple[Tuple[Tuple[int, ...], float, float], ...] = ()
+    #: Transient stalls ``(rank, from_us, until_us)``: the rank pauses and
+    #: resumes (no crash).
+    stalls: Tuple[Tuple[int, float, float], ...] = ()
     params: Optional[NetworkParams] = None
 
     def victims(self) -> Tuple[int, ...]:
@@ -111,6 +119,10 @@ class ChaosBenchResult:
     detections: List[Dict[str, Any]] = field(default_factory=list)
     recoveries: List[Dict[str, Any]] = field(default_factory=list)
     preemptions: List[Dict[str, Any]] = field(default_factory=list)
+    #: Partition-mode telemetry (empty under crash-only configs).
+    freezes: List[Dict[str, Any]] = field(default_factory=list)
+    heals: List[Dict[str, Any]] = field(default_factory=list)
+    rejoins: List[Dict[str, Any]] = field(default_factory=list)
     survivor_grants: List[Tuple[int, int]] = field(default_factory=list)
     checks: Dict[str, Optional[bool]] = field(default_factory=dict)
     finished_us: float = 0.0
@@ -157,6 +169,37 @@ class ChaosBenchResult:
                 f"preemption: rank {p['dead_holder']} died in its CS; lease "
                 f"revoked, lock granted to rank {p['granted_to']} "
                 f"at {p['at_us']:.1f}us"
+            )
+        if self.freezes:
+            rows = [["rank", "frozen (us)", "thawed (us)", "freeze duration (us)"]]
+            for f in self.freezes:
+                rows.append(
+                    [
+                        str(f["rank"]),
+                        f"{f['frozen_at_us']:.1f}",
+                        f"{f['unfrozen_at_us']:.1f}",
+                        f"{f['frozen_for_us']:.1f}",
+                    ]
+                )
+            lines.append(format_table(rows))
+        for h in self.heals:
+            # Heal latency: cut restored -> last frozen rank back in
+            # business (quorum regained, rejoin resync applied, thawed).
+            thaws = [
+                f["unfrozen_at_us"]
+                for f in self.freezes
+                if f["unfrozen_at_us"] >= h["healed_at_us"]
+            ]
+            latency = (max(thaws) - h["healed_at_us"]) if thaws else 0.0
+            lines.append(
+                f"heal: cut {h['nodes']} from {h['from_us']:.1f}us healed at "
+                f"{h['healed_at_us']:.1f}us, rejoined ranks {h['rejoined']} "
+                f"-> epoch {h['epoch']} (heal latency {latency:.1f}us)"
+            )
+        for r in self.rejoins:
+            lines.append(
+                f"rejoin: rank {r['rank']} resynced into the view at "
+                f"{r['rejoined_at_us']:.1f}us"
             )
         for name, ok in sorted(self.checks.items()):
             status = "skipped" if ok is None else ("ok" if ok else "FAILED")
@@ -207,7 +250,9 @@ def chaos_workload(ctx, cfg: ChaosBenchConfig, shared: Dict[str, Any]):
             continue
         cells = ctx.region.read_many(base + peer * slot_cells, slot_cells)
         want = 100 * (peer + 1)
-        if membership is None or membership.is_alive(peer):
+        if membership is None or (
+            membership.is_alive(peer) and membership.in_view(peer)
+        ):
             slots_ok = slots_ok and all(v == want for v in cells)
         else:
             dead_slots_ok = dead_slots_ok and (
@@ -218,7 +263,13 @@ def chaos_workload(ctx, cfg: ChaosBenchConfig, shared: Dict[str, Any]):
     def note_grant(it: int):
         prev = shared["cs_owner"]
         if prev is not None:
-            if prev in lock_victims:
+            if membership is not None and not membership.in_view(prev):
+                # The previous holder is on the minority side of an active
+                # partition; its lease was revoked and fenced.
+                shared["preemptions"].append(
+                    {"at_us": env.now, "dead_holder": prev, "granted_to": ctx.rank}
+                )
+            elif prev in lock_victims:
                 # The previous holder died inside its critical section and
                 # recovery revoked the lease — expected, and evidence the
                 # grant really was preempted from a dead holder.
@@ -246,9 +297,13 @@ def chaos_workload(ctx, cfg: ChaosBenchConfig, shared: Dict[str, Any]):
         yield from lock.acquire()
         note_grant(it)
         yield env.timeout(cfg.cs_us)
-        if shared["cs_owner"] != ctx.rank:
+        if shared["cs_owner"] == ctx.rank:
+            shared["cs_owner"] = None
+        elif membership is None or membership.in_view(ctx.rank):
+            # A fenced (out-of-view) holder's stale CS exit is quarantined
+            # by design; anything else is a mutual-exclusion breach.
             shared["mutex_ok"] = False  # someone entered our CS
-        shared["cs_owner"] = None
+            shared["cs_owner"] = None
         yield from lock.release()
 
     # -- Final combined barrier over the survivor view --------------------
@@ -268,7 +323,21 @@ def _make_params(cfg: ChaosBenchConfig) -> NetworkParams:
         ProcessCrash(at_us=at_us, rank=rank)
         for rank, at_us in tuple(cfg.barrier_kills) + tuple(cfg.lock_kills)
     )
-    return params.with_(faults=FaultPlan(crashes=crashes, seed=cfg.kill_seed))
+    partitions = tuple(
+        Partition(nodes=tuple(nodes), from_us=f, until_us=u)
+        for nodes, f, u in cfg.partitions
+    )
+    pauses = tuple(
+        ProcessStall(rank=r, from_us=f, until_us=u) for r, f, u in cfg.stalls
+    )
+    return params.with_(
+        faults=FaultPlan(
+            crashes=crashes,
+            partitions=partitions,
+            pauses=pauses,
+            seed=cfg.kill_seed,
+        )
+    )
 
 
 def _validate(cfg: ChaosBenchConfig) -> None:
@@ -292,6 +361,34 @@ def _validate(cfg: ChaosBenchConfig) -> None:
                 f"lock kill at {at_us}us must follow "
                 f"barrier_hold_us={cfg.barrier_hold_us}us"
             )
+    if cfg.partitions:
+        procs_per_node = (
+            cfg.nprocs if cfg.lock_kind in _LOCAL_KINDS else cfg.procs_per_node
+        )
+        nnodes = cfg.nprocs // procs_per_node
+        for nodes, from_us, until_us in cfg.partitions:
+            if until_us <= from_us:
+                raise ValueError(
+                    f"partition window [{from_us}, {until_us}) is empty"
+                )
+            if 0 in nodes:
+                raise ValueError(
+                    "node 0 (the lock home) must stay on the majority side"
+                )
+            if any(not (0 < n < nnodes) for n in nodes):
+                raise ValueError(
+                    f"partition nodes {nodes} out of range 1..{nnodes - 1}"
+                )
+            if 2 * len(set(nodes)) >= nnodes:
+                raise ValueError(
+                    f"cut {nodes} leaves no strict node majority "
+                    f"({nnodes} nodes total)"
+                )
+    for rank, from_us, until_us in cfg.stalls:
+        if not (0 < rank < cfg.nprocs):
+            raise ValueError(f"stall rank {rank} out of range 1..{cfg.nprocs - 1}")
+        if until_us <= from_us:
+            raise ValueError(f"stall window [{from_us}, {until_us}) is empty")
 
 
 def run_chaosbench(
@@ -335,6 +432,9 @@ def run_chaosbench(
         detections=report.get("detections", []),
         recoveries=report.get("recoveries", []),
         preemptions=list(shared["preemptions"]),
+        freezes=report.get("freezes", []),
+        heals=report.get("heals", []),
+        rejoins=report.get("rejoins", []),
         survivor_grants=[
             (rank, it) for _t, rank, it in shared["grants"] if rank in set(survivors)
         ],
@@ -370,7 +470,13 @@ def run_chaosbench(
     checks["every survivor served"] = all(
         n == cfg.lock_iters for n in grants_per_survivor.values()
     )
-    if cfg.lock_kind in FIFO_KINDS:
+    if cfg.lock_kind not in FIFO_KINDS:
+        checks["fifo among survivors"] = None  # token algorithms are not FIFO
+    elif cfg.partitions or cfg.stalls:
+        # A frozen rank's requests are queued across the window, so grant
+        # order legitimately diverges from request-send order.
+        checks["fifo among survivors"] = None
+    else:
         survivor_set = set(survivors)
         request_order = [
             (rank, it)
@@ -378,9 +484,12 @@ def run_chaosbench(
             if rank in survivor_set
         ]
         checks["fifo among survivors"] = request_order == result.survivor_grants
-    else:
-        checks["fifo among survivors"] = None  # token algorithms are not FIFO
     checks["locks recovered"] = all(
         r.get("recovery_latency_us") is not None for r in result.recoveries
     )
+    if cfg.partitions or cfg.stalls:
+        # Post-heal correctness: nobody is left outside the view, and the
+        # survivor memory / mutual-exclusion / every-survivor-served checks
+        # above already ran over the healed view.
+        checks["partition healed"] = not report.get("excluded", ())
     return result

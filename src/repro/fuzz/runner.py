@@ -27,7 +27,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..net.faults import FaultPlan, LinkFaults, ProcessCrash
+from ..net.faults import (
+    FaultPlan,
+    LinkFaults,
+    Partition,
+    ProcessCrash,
+    ProcessStall,
+)
 from ..net.params import NetworkParams, myrinet2000
 from ..sim.core import CRASHED
 from .scenario import Scenario
@@ -100,6 +106,8 @@ class FuzzOutcome:
             f"barrier={sc.barrier_algorithm}"
             + (f", lock={sc.lock_kind}" if sc.lock_kind else "")
             + (f", crashes={list(sc.crashes)}" if sc.crashes else "")
+            + (f", partitions={list(sc.partitions)}" if sc.partitions else "")
+            + (f", stalls={list(sc.stalls)}" if sc.stalls else "")
             + (
                 f", faults(drop={sc.drop_rate} dup={sc.dup_rate} "
                 f"delay={sc.delay_rate})"
@@ -139,10 +147,20 @@ def _make_params(scenario: Scenario) -> NetworkParams:
     else:
         default = LinkFaults(**rates)
         links = ()
+    partitions = tuple(
+        Partition(nodes=tuple(nodes), from_us=f, until_us=u)
+        for nodes, f, u in scenario.partitions
+    )
+    pauses = tuple(
+        ProcessStall(rank=r, from_us=f, until_us=u)
+        for r, f, u in scenario.stalls
+    )
     plan = FaultPlan(
         default=default,
         links=links,
         crashes=crashes,
+        partitions=partitions,
+        pauses=pauses,
         seed=scenario.seed,
         reliable=True,
     )
@@ -150,13 +168,19 @@ def _make_params(scenario: Scenario) -> NetworkParams:
         "faults": plan,
         "nic_algorithm": scenario.nic_algorithm,
     }
-    if scenario.crashes:
-        # Tight retry budget so a silent (crashed) endpoint exhausts its
-        # retransmissions — and escalates to suspicion — well inside the
-        # cap.  Only with a crash schedule: on a merely-lossy network the
-        # default budget keeps false suspicion of live peers negligible.
+    if scenario.crashes or scenario.has_transients():
+        # Tight retry budget so a silent (crashed or cut-off) endpoint
+        # exhausts its retransmissions — and escalates to suspicion — well
+        # inside the cap.  Only with a crash/partition schedule: on a
+        # merely-lossy network the default budget keeps false suspicion of
+        # live peers negligible.
         overrides["retry_timeout_us"] = 30.0
         overrides["max_retries"] = 6
+    if scenario.has_transients():
+        # Partitioned runs exercise the adaptive estimator too (it is the
+        # default in fault-bearing CLI runs); crash-only scenarios keep
+        # the fixed timeout so historical corpus replays are unchanged.
+        overrides["adaptive_retry"] = True
     return myrinet2000().with_(**overrides)
 
 
@@ -194,20 +218,42 @@ def _fuzz_workload(ctx, scenario: Scenario, shared: Dict[str, Any]):
                 yield from lock.acquire()
                 prev = shared["cs_owner"]
                 if prev is not None:
-                    if membership is not None and not membership.is_alive(prev):
-                        # Holder died in its CS; the lease was revoked.
+                    if membership is not None and (
+                        not membership.is_alive(prev)
+                        or not membership.in_view(prev)
+                    ):
+                        # Holder died (or was partitioned away) in its CS;
+                        # the lease was revoked and its effects quarantined.
                         shared["preemptions"].append((prev, ctx.rank, env.now))
                     else:
                         shared["mutex_ok"] = False
                 shared["cs_owner"] = ctx.rank
                 shared["grants"].append((env.now, ctx.rank, it))
                 yield env.timeout(_CS_US)
-                if shared["cs_owner"] != ctx.rank:
+                if shared["cs_owner"] == ctx.rank:
+                    shared["cs_owner"] = None
+                elif membership is None or membership.in_view(ctx.rank):
+                    # A fenced (out-of-view) holder's stale CS exit is the
+                    # expected quarantine, not a mutual-exclusion breach.
                     shared["mutex_ok"] = False
-                shared["cs_owner"] = None
+                    shared["cs_owner"] = None
                 yield from lock.release()
         elif phase == "barrier":
             yield from ctx.armci.barrier(algorithm=scenario.barrier_algorithm)
+
+    if membership is not None and scenario.has_transients():
+        # Quiesce before auditing: wait until every live peer is back in
+        # view (partitions healed, stalls resumed, rejoins resynced), then
+        # fence with one more barrier so the minority's puts — flushed at
+        # the heal — are ordered before the audit reads.  Without this the
+        # audit races the flush by construction: the majority's barrier
+        # wrote the cut-off ranks' contributions off.
+        while not membership.in_view(ctx.rank) or any(
+            membership.is_alive(p) and not membership.in_view(p)
+            for p in range(ctx.nprocs)
+        ):
+            yield env.timeout(50.0)
+        yield from ctx.armci.barrier(algorithm=scenario.barrier_algorithm)
 
     # Post-barrier memory audit: the final phase is always a barrier, so
     # every live peer's last puts round must be visible here.
@@ -221,7 +267,9 @@ def _fuzz_workload(ctx, scenario: Scenario, shared: Dict[str, Any]):
         got = ctx.region.read_many(base + peer * cells, cells)
         slots.append([peer, list(got)])
         want = 100 * (peer + 1) + rounds
-        if membership is None or membership.is_alive(peer):
+        if membership is None or (
+            membership.is_alive(peer) and membership.in_view(peer)
+        ):
             slots_ok = slots_ok and all(v == want for v in got)
         else:
             allowed = {0} | {100 * (peer + 1) + r for r in range(1, rounds + 1)}
@@ -384,6 +432,7 @@ def run_scenario(
     if (
         scenario.lock_kind in _FIFO_LOCKS
         and not scenario.reorders_messages()
+        and not scenario.has_transients()
         and not stuck
     ):
         request_order = [

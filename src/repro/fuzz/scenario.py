@@ -18,7 +18,12 @@ unrunnable scenario):
   require it) and therefore only take plain rank crashes;
 * phase lists end with a barrier so the final memory check is fenced;
 * scenarios always run the reliable delivery layer (drops/dups/delays
-  are recovered, not silently lost — that is the property under test).
+  are recovered, not silently lost — that is the property under test);
+* partition windows are pairwise disjoint, never cut off node 0, and
+  leave a strict majority of nodes connected even if every scheduled
+  node crash lands on the majority side — so a majority component
+  exists during every window and frozen minority ranks always thaw;
+* stalls never pause rank 0 or a rank already scheduled to die.
 """
 
 from __future__ import annotations
@@ -75,11 +80,24 @@ class Scenario:
     fault_links: Tuple[Tuple[int, int], ...] = ()
     #: Crash schedule: ``(kind, target, at_us)`` with kind rank|node|nic.
     crashes: Tuple[Tuple[str, int, float], ...] = ()
+    #: Partition windows: ``(nodes, from_us, until_us)`` — the node group
+    #: is cut off from the rest for the half-open window, then heals.
+    #: Legalization guarantees the remainder keeps a strict majority of
+    #: nodes (even against scheduled node crashes) and windows are
+    #: disjoint, so exactly one cut is active at a time.
+    partitions: Tuple[Tuple[Tuple[int, ...], float, float], ...] = ()
+    #: Transient process stalls: ``(rank, from_us, until_us)`` — the rank
+    #: pauses (no crash) and resumes at the window end.
+    stalls: Tuple[Tuple[int, float, float], ...] = ()
 
     def has_faults(self) -> bool:
         return any(
             r > 0.0 for r in (self.drop_rate, self.dup_rate, self.delay_rate)
         )
+
+    def has_transients(self) -> bool:
+        """Any partition or stall window (freeze/rejoin machinery active)."""
+        return bool(self.partitions or self.stalls)
 
     def reorders_messages(self) -> bool:
         """Whether faults can reorder request arrival (unsoundness guard
@@ -109,6 +127,14 @@ def scenario_from_json(text: str) -> Scenario:
     data["phases"] = tuple(data["phases"])
     data["fault_links"] = tuple((a, b) for a, b in data["fault_links"])
     data["crashes"] = tuple((k, t, float(at)) for k, t, at in data["crashes"])
+    # Transient axes postdate the first corpus entries; default to none.
+    data["partitions"] = tuple(
+        (tuple(int(n) for n in nodes), float(f), float(u))
+        for nodes, f, u in data.get("partitions", ())
+    )
+    data["stalls"] = tuple(
+        (int(r), float(f), float(u)) for r, f, u in data.get("stalls", ())
+    )
     return Scenario(**data)
 
 
@@ -165,6 +191,12 @@ def generate(seed: int, constrain: Optional[Dict[str, Any]] = None) -> Scenario:
 
     choice["crashes"] = _pick_crashes(rng, choice)
 
+    # Transient faults draw from a *separate* stream so pre-existing seeds
+    # expand to the same topology/workload/crash schedule they always did.
+    transient_rng = random.Random(f"fuzz-transient:{seed}")
+    choice["partitions"] = _pick_partitions(transient_rng)
+    choice["stalls"] = _pick_stalls(transient_rng)
+
     if constrain:
         choice.update(constrain)
         if "workload" in constrain and "phases" not in constrain:
@@ -198,6 +230,29 @@ def _pick_crashes(
         at_us = round(rng.uniform(20.0, 1500.0), 1)
         crashes.append((kind, 0, at_us))  # target filled by _legalize
     return tuple(crashes)
+
+
+def _pick_partitions(
+    rng: random.Random,
+) -> Tuple[Tuple[Any, float, float], ...]:
+    """Draw partition windows; node groups are size *hints* (ints) that
+    :func:`_legalize` resolves against the final topology."""
+    if rng.random() >= 0.25:
+        return ()
+    windows = []
+    for _ in range(rng.choice((1, 1, 2))):
+        from_us = round(rng.uniform(30.0, 1200.0), 1)
+        duration = rng.choice((120.0, 300.0, 700.0))
+        windows.append((rng.choice((1, 1, 2)), from_us, round(from_us + duration, 1)))
+    return tuple(windows)
+
+
+def _pick_stalls(rng: random.Random) -> Tuple[Tuple[int, float, float], ...]:
+    if rng.random() >= 0.15:
+        return ()
+    from_us = round(rng.uniform(30.0, 1200.0), 1)
+    duration = rng.choice((150.0, 400.0))
+    return ((rng.randrange(64), from_us, round(from_us + duration, 1)),)
 
 
 def _legalize(choice: Dict[str, Any]) -> Scenario:
@@ -268,6 +323,56 @@ def _legalize(choice: Dict[str, Any]) -> Scenario:
             crashes.append((kind, picked, at_us))
     crashes.sort(key=lambda c: (c[2], c[0], c[1]))
 
+    # Partition windows (satellite of the partition-tolerance work): the
+    # un-partitioned remainder must hold a *strict majority* of nodes even
+    # if every scheduled node crash lands on the majority side, so the
+    # minority never exceeds (surviving_nodes - 1) // 2 and node 0 (every
+    # lock's home) is never cut off.  Windows are kept pairwise disjoint —
+    # one active cut means exactly two components, so a majority always
+    # exists and every frozen rank is guaranteed to thaw.
+    node_crashes = sum(1 for k, _t, _at in crashes if k == "node")
+    max_minority = (nnodes - node_crashes - 1) // 2
+    partitions = []
+    used_windows = []
+    for nodes, from_us, until_us in choice.get("partitions", ()):
+        if max_minority < 1:
+            break
+        from_us, until_us = float(from_us), float(until_us)
+        if until_us <= from_us:
+            continue
+        if any(from_us < u and until_us > f for f, u in used_windows):
+            continue
+        if isinstance(nodes, int):
+            size = max(1, min(nodes, max_minority))
+            pool = list(range(1, nnodes))
+            rng.shuffle(pool)
+            group = tuple(sorted(pool[:size]))
+        else:
+            group = tuple(
+                sorted({int(n) for n in nodes if 0 < int(n) < nnodes})
+            )[:max_minority]
+        if not group:
+            continue
+        used_windows.append((from_us, until_us))
+        partitions.append((group, round(from_us, 1), round(until_us, 1)))
+    partitions.sort(key=lambda p: (p[1], p[2], p[0]))
+
+    # Stalls: never pause rank 0, one window per rank, windows well-formed.
+    stalls = []
+    stalled_ranks = set()
+    for rank, from_us, until_us in choice.get("stalls", ()):
+        if nprocs < 3:
+            break  # a 2-rank run has no majority once one rank pauses
+        from_us, until_us = float(from_us), float(until_us)
+        if until_us <= from_us:
+            continue
+        rank = 1 + (int(rank) % (nprocs - 1))
+        if rank in stalled_ranks or rank in planned_dead:
+            continue
+        stalled_ranks.add(rank)
+        stalls.append((rank, round(from_us, 1), round(until_us, 1)))
+    stalls.sort(key=lambda s: (s[1], s[0]))
+
     return Scenario(
         seed=int(choice["seed"]),
         nprocs=nprocs,
@@ -285,4 +390,6 @@ def _legalize(choice: Dict[str, Any]) -> Scenario:
         delay_spike_us=float(choice["delay_spike_us"]),
         fault_links=fault_links,
         crashes=tuple(crashes),
+        partitions=tuple(partitions),
+        stalls=tuple(stalls),
     )

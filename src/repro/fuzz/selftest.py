@@ -94,12 +94,17 @@ class Mutant:
     constrain: Dict[str, Any]
 
 
+#: Every mutant also pins the transient axes off: a fuzzed partition or
+#: stall window freezes traffic for its duration, which can mask the
+#: microsecond-scale timing a seeded protocol bug needs to surface.
 _NO_FAULTS: Dict[str, Any] = {
     "drop_rate": 0.0,
     "dup_rate": 0.0,
     "delay_rate": 0.0,
     "delay_spike_us": 0.0,
     "fault_links": (),
+    "partitions": (),
+    "stalls": (),
 }
 
 MUTANTS: Tuple[Mutant, ...] = (
@@ -120,6 +125,8 @@ MUTANTS: Tuple[Mutant, ...] = (
             "delay_rate": 0.0,
             "delay_spike_us": 0.0,
             "fault_links": (),
+            "partitions": (),
+            "stalls": (),
         },
     ),
     Mutant(
@@ -140,6 +147,8 @@ MUTANTS: Tuple[Mutant, ...] = (
             "delay_rate": 0.0,
             "delay_spike_us": 0.0,
             "fault_links": (),
+            "partitions": (),
+            "stalls": (),
         },
     ),
     Mutant(
@@ -157,6 +166,8 @@ MUTANTS: Tuple[Mutant, ...] = (
             "delay_rate": 1.0,
             "delay_spike_us": 600.0,
             "fault_links": ((0, 1),),
+            "partitions": (),
+            "stalls": (),
         },
     ),
 )

@@ -69,6 +69,10 @@ class BaseLock:
         #: registers the handle for lease tracking and holder-death
         #: recovery.  Every hook below is a single ``is None`` check.
         self._membership_svc = getattr(ctx, "membership", None)
+        #: Fencing token snapshotted at grant time; a mismatch at release
+        #: means the lease was revoked (crash recovery or partition
+        #: exclusion regenerated the lock) and the release is rejected.
+        self._acq_fence = 0
         if self._membership_svc is not None:
             self._membership_svc.register_lock(self)
 
@@ -94,6 +98,11 @@ class BaseLock:
         """Sub-generator: block until the lock is held."""
         if self._held:
             raise RuntimeError(f"{self!r}: recursive acquire")
+        if self._membership_svc is not None:
+            # Partition tolerance: a minority-side (or mid-rejoin) rank
+            # queues here until it is back in a majority view and
+            # resynced.  Immediate no-op on crash-only and healthy runs.
+            yield from self._membership_svc.freeze_gate(self.ctx.rank)
         if self.params.api_call_us > 0.0:
             yield self.env.timeout(self.params.api_call_us)
         if self._monitor is not None:
@@ -107,6 +116,12 @@ class BaseLock:
         if self._membership_svc is not None:
             # Lease: record holder + grant ticket so crash recovery can
             # revoke the acquisition if this process dies in its CS.
+            # The fencing token is snapshotted at the same instant: a
+            # revocation after this point bumps it, and the release-side
+            # check below rejects the then-stale holder.
+            self._acq_fence = self._membership_svc.fence_token(
+                self._membership_svc.lock_key(self)
+            )
             self._membership_svc.lease_acquire(self, self._san_ticket())
         if self._monitor is not None:
             self._monitor.emit(
@@ -119,6 +134,31 @@ class BaseLock:
             raise RuntimeError(f"{self!r}: release without acquire")
         if self.params.api_call_us > 0.0:
             yield self.env.timeout(self.params.api_call_us)
+        if self._membership_svc is not None:
+            current = self._membership_svc.fence_token(
+                self._membership_svc.lock_key(self)
+            )
+            if current != self._acq_fence:
+                # Fenced: our lease was revoked while we held the lock —
+                # we were excluded by a partition (or stalled past the
+                # suspicion window) and the view regenerated the lock for
+                # the survivors.  Touching the protocol again would hand
+                # a second grant into a chain that has moved on, so the
+                # release is rejected and local state reset to idle.
+                self._held = False
+                self.stats.bump("fenced_releases")
+                self._fence_reset()
+                self.release_sw.start()
+                self.release_sw.stop()
+                self.total_sw.stop()
+                if self._monitor is not None:
+                    self._monitor.emit(
+                        "lock_fence_rejected",
+                        lock=self._san_key,
+                        expected=self._acq_fence,
+                        current=current,
+                    )
+                return
         self.release_sw.start()
         self._held = False
         yield from self._release()
@@ -139,6 +179,25 @@ class BaseLock:
             # next holder strictly later, so release precedes the matching
             # acquire in the event stream.
             self._monitor.emit("lock_rel", lock=self._san_key)
+
+    def _fence_reset(self) -> None:
+        """Drop local grant state after a fenced (rejected) release.
+
+        The survivors' regeneration already handed the lock onward; this
+        handle must land back in its idle state without touching shared
+        words or sending protocol messages.  Resets are by-attribute so
+        every flavor (ticket/_my_ticket, LH-MCS/_phase, Naimi/in_cs+
+        requesting, Raymond/using) reaches idle through one generic hook.
+        """
+        for attr, value in (
+            ("_phase", "idle"),
+            ("in_cs", False),
+            ("requesting", False),
+            ("using", False),
+            ("_my_ticket", -1),
+        ):
+            if hasattr(self, attr):
+                setattr(self, attr, value)
 
     def _san_ticket(self):
         """FIFO-checkable grant number, for ticket-based algorithms."""

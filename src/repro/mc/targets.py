@@ -24,6 +24,14 @@ that make its schedule space both interesting and exhaustible:
   in the PR 3 review fix.
 * ``reliable`` — the ACK/retransmit/resequence layer under a dropping
   link: frame, duplicate, and ACK deliveries interleave.
+* ``partition-heal`` — a two-node cut across a token-lock workload: the
+  minority holder is excluded, its lease fenced and the token
+  regenerated in the majority, then the cut heals and the rank rejoins
+  with a state resync.  The suspension flush, heal executor, rejoin
+  view_change, and post-heal lock traffic all race; the stale-token
+  release and the resync/local-request FIFO ordering are exactly the
+  schedules this target explores.  Detector heartbeats bound the space,
+  so like ``nic-barrier-crash`` it is budget-bounded, not exhaustive.
 
 ``window`` choices: the fault-free network is deterministic with zero
 jitter, so most interesting races are *near*-ties (deliveries a few
@@ -167,6 +175,26 @@ TARGETS: Dict[str, MCTarget] = {
             window=1.0,
             budget=600,
             sim_cap_us=8_000.0,
+            exhaustive=False,
+        ),
+        _t(
+            "partition-heal",
+            "token lock across a healing two-node cut with rejoin resync, N=4",
+            Scenario(
+                seed=0,
+                nprocs=4,
+                procs_per_node=1,
+                workload="mixed",
+                barrier_algorithm="exchange",
+                lock_kind="naimi",
+                phases=("lock", "barrier"),
+                cells=1,
+                lock_iters=1,
+                partitions=(((3,), 60.0, 600.0),),
+            ),
+            window=1.0,
+            budget=400,
+            sim_cap_us=30_000.0,
             exhaustive=False,
         ),
     )

@@ -409,6 +409,14 @@ def resilient_allreduce_sum(comm: Comm, membership, values: Sequence[Any], inst:
     """
     key = ("allreduce", inst)
     while True:
+        if not membership.in_view(comm.rank):
+            # Excluded (partition minority): wait out the freeze instead of
+            # spinning on a view that omits us.  The rejoin advances the
+            # epoch, so the adoption check below picks up the instance the
+            # majority completed in the meantime.  No-op for crash plans —
+            # a dead rank's process never runs.
+            yield from membership.freeze_gate(comm.rank)
+            continue
         epoch0 = membership.epoch
         entry = membership.ledger_get(key)
         if entry is not None and entry[1] < epoch0:
@@ -495,6 +503,11 @@ def resilient_barrier(comm: Comm, membership, inst: int):
     """Crash-aware dissemination barrier over the survivor view."""
     key = ("barrier", inst)
     while True:
+        if not membership.in_view(comm.rank):
+            # See resilient_allreduce_sum: an excluded rank freezes here
+            # rather than busy-looping on a view it is not part of.
+            yield from membership.freeze_gate(comm.rank)
+            continue
         epoch0 = membership.epoch
         entry = membership.ledger_get(key)
         if entry is not None and entry[1] < epoch0:

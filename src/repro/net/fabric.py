@@ -84,6 +84,13 @@ class FabricStats:
     #: Deliveries swallowed by a silently-crashed endpoint (dead NIC):
     #: dropped at arrival without an ACK, so the sender keeps retrying.
     blackholed: int = 0
+    #: Reliable layer: frames whose retry budget exhausted during a
+    #: transient fault window (partition / process pause) and were parked
+    #: until the window closed instead of declaring the peer dead.
+    retry_suspended: int = 0
+    #: Adaptive retry: round-trip-time samples fed to the per-channel
+    #: Jacobson estimator (first-attempt ACKs only, per Karn's rule).
+    rtt_samples: int = 0
 
     def record(self, envelope: Envelope) -> None:
         self.messages += 1

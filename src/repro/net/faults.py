@@ -42,6 +42,8 @@ __all__ = [
     "LinkFaults",
     "StallWindow",
     "ProcessCrash",
+    "Partition",
+    "ProcessStall",
     "FaultPlan",
     "FaultInjector",
     "FaultStats",
@@ -178,6 +180,76 @@ class ProcessCrash:
 
 
 @dataclass(frozen=True)
+class Partition:
+    """A transient network partition: one side of a full bipartite cut.
+
+    During ``[from_us, until_us)`` no inter-node transmission crosses
+    between ``nodes`` and its complement — in either direction, requests
+    and replies alike.  Traffic *within* each side is unaffected.  The cut
+    heals at ``until_us``; from then on the reliable layer's retransmits
+    get through and both sides reconcile (the job of
+    :mod:`repro.runtime.membership`).
+
+    Partition drops are deterministic — no RNG draw — so the same plan
+    cuts exactly the same transmissions on every run, and enabling a
+    partition does not perturb the probabilistic link-fault stream.
+    """
+
+    nodes: Tuple[int, ...]
+    from_us: float
+    until_us: float
+
+    def __post_init__(self) -> None:
+        normalized = tuple(sorted(set(int(n) for n in self.nodes)))
+        if not normalized:
+            raise ValueError("a partition needs at least one node on its side")
+        if any(n < 0 for n in normalized):
+            raise ValueError(f"partition nodes must be non-negative, got {self.nodes}")
+        if normalized != self.nodes:
+            object.__setattr__(self, "nodes", normalized)
+        if self.from_us < 0.0 or self.until_us <= self.from_us:
+            raise ValueError(
+                f"need 0 <= from_us < until_us, got [{self.from_us}, {self.until_us})"
+            )
+
+    def covers(self, when: float) -> bool:
+        return self.from_us <= when < self.until_us
+
+    def separates(self, node_a: int, node_b: int, when: float) -> bool:
+        """True when the cut is active and the two nodes sit on opposite sides."""
+        return self.covers(when) and ((node_a in self.nodes) != (node_b in self.nodes))
+
+
+@dataclass(frozen=True)
+class ProcessStall:
+    """A transient pause of one rank: descheduled, not killed.
+
+    During ``[from_us, until_us)`` every delivery addressed to the rank's
+    mailbox (``("mp", rank)``) is held and arrives when the window closes,
+    intra-node traffic included — a swapped-out or GC-frozen process
+    receives nothing while it is off the CPU.  Nothing is lost; the rank
+    resumes with its backlog.  Peers experience the pause as silence
+    (retransmits go unacknowledged) and may transiently exclude the rank;
+    it rejoins on resume.
+    """
+
+    rank: int
+    from_us: float
+    until_us: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be non-negative, got {self.rank}")
+        if self.from_us < 0.0 or self.until_us <= self.from_us:
+            raise ValueError(
+                f"need 0 <= from_us < until_us, got [{self.from_us}, {self.until_us})"
+            )
+
+    def covers(self, when: float) -> bool:
+        return self.from_us <= when < self.until_us
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, immutable description of how the network misbehaves.
 
@@ -189,6 +261,12 @@ class FaultPlan:
         Per-link overrides: ``(((src_node, dst_node), LinkFaults), ...)``.
     stalls:
         Timed server stall/crash windows.
+    partitions:
+        Transient network partitions (full bipartite cuts between node
+        groups).  Require ``reliable=True``: healing relies on the
+        retransmit layer redelivering what the cut swallowed.
+    pauses:
+        Transient process stalls (a rank pauses without dying).
     seed:
         Fault-stream RNG seed; ``None`` derives it from the network seed.
         Independent from the jitter stream either way.
@@ -207,6 +285,8 @@ class FaultPlan:
     links: Tuple[Tuple[Tuple[int, int], LinkFaults], ...] = ()
     stalls: Tuple[StallWindow, ...] = ()
     crashes: Tuple[ProcessCrash, ...] = ()
+    partitions: Tuple[Partition, ...] = ()
+    pauses: Tuple[ProcessStall, ...] = ()
     seed: Optional[int] = None
     reliable: bool = True
     apply_to_replies: bool = True
@@ -215,6 +295,29 @@ class FaultPlan:
         for crash in self.crashes:
             if not isinstance(crash, ProcessCrash):
                 raise TypeError(f"crashes must hold ProcessCrash, got {crash!r}")
+        for part in self.partitions:
+            if not isinstance(part, Partition):
+                raise TypeError(f"partitions must hold Partition, got {part!r}")
+        for pause in self.pauses:
+            if not isinstance(pause, ProcessStall):
+                raise TypeError(f"pauses must hold ProcessStall, got {pause!r}")
+        if self.partitions and not self.reliable:
+            raise ValueError(
+                "partitions require reliable=True: healing redelivers cut "
+                "traffic through the retransmit layer"
+            )
+        # Normalize transient windows chronologically for deterministic
+        # iteration (heal executors fire in this order).
+        normalized_parts = tuple(
+            sorted(self.partitions, key=lambda p: (p.from_us, p.until_us, p.nodes))
+        )
+        if normalized_parts != self.partitions:
+            object.__setattr__(self, "partitions", normalized_parts)
+        normalized_pauses = tuple(
+            sorted(self.pauses, key=lambda s: (s.from_us, s.until_us, s.rank))
+        )
+        if normalized_pauses != self.pauses:
+            object.__setattr__(self, "pauses", normalized_pauses)
         # Normalize the schedule deterministically: chronological order,
         # and at most one entry per target (a process can only die once —
         # the earliest entry wins, later duplicates are dropped).  A node
@@ -244,6 +347,8 @@ class FaultPlan:
         reorder_window_us: float = 0.0,
         stalls: Tuple[StallWindow, ...] = (),
         crashes: Tuple[ProcessCrash, ...] = (),
+        partitions: Tuple[Partition, ...] = (),
+        pauses: Tuple[ProcessStall, ...] = (),
         seed: Optional[int] = None,
         reliable: bool = True,
     ) -> "FaultPlan":
@@ -259,6 +364,8 @@ class FaultPlan:
             ),
             stalls=stalls,
             crashes=crashes,
+            partitions=partitions,
+            pauses=pauses,
             seed=seed,
             reliable=reliable,
         )
@@ -268,6 +375,62 @@ class FaultPlan:
             if src == src_node and dst == dst_node:
                 return faults
         return self.default
+
+    # -- transient-fault queries (partitions and pauses) ---------------------
+
+    @property
+    def transient(self) -> bool:
+        """Does the plan contain recoverable faults (partitions / pauses)?"""
+        return bool(self.partitions or self.pauses)
+
+    @property
+    def transient_end_us(self) -> float:
+        """When the last transient window closes (0.0 without any)."""
+        ends = [p.until_us for p in self.partitions]
+        ends += [s.until_us for s in self.pauses]
+        return max(ends) if ends else 0.0
+
+    def partitioned(self, node_a: int, node_b: int, when: float) -> bool:
+        """Is the fabric cut between the two nodes at ``when``?"""
+        return any(p.separates(node_a, node_b, when) for p in self.partitions)
+
+    def partition_until(self, node_a: int, node_b: int, when: float) -> Optional[float]:
+        """End of the last active cut separating the nodes, else ``None``."""
+        until: Optional[float] = None
+        for part in self.partitions:
+            if part.separates(node_a, node_b, when):
+                if until is None or part.until_us > until:
+                    until = part.until_us
+        return until
+
+    def stalled(self, rank: int, when: float) -> bool:
+        return any(s.rank == rank and s.covers(when) for s in self.pauses)
+
+    def stall_until(self, rank: int, when: float) -> Optional[float]:
+        """End of the last active pause of ``rank``, else ``None``."""
+        until: Optional[float] = None
+        for pause in self.pauses:
+            if pause.rank == rank and pause.covers(when):
+                if until is None or pause.until_us > until:
+                    until = pause.until_us
+        return until
+
+    def components(self, nodes: Tuple[int, ...], when: float) -> List[Tuple[int, ...]]:
+        """Connectivity components of ``nodes`` under the cuts active at ``when``.
+
+        Each partition is a full bipartite cut, so two nodes communicate
+        iff they fall on the same side of *every* active cut: group by the
+        signature of side memberships.  Components are returned sorted by
+        their smallest node (deterministic for view merges).
+        """
+        active = [p for p in self.partitions if p.covers(when)]
+        if not active:
+            return [tuple(sorted(nodes))] if nodes else []
+        groups: Dict[Tuple[bool, ...], List[int]] = {}
+        for node in nodes:
+            signature = tuple(node in p.nodes for p in active)
+            groups.setdefault(signature, []).append(node)
+        return sorted((tuple(sorted(g)) for g in groups.values()), key=lambda c: c[0])
 
 
 @dataclass
@@ -280,6 +443,8 @@ class FaultStats:
     reordered: int = 0
     stall_held: int = 0
     crash_dropped: int = 0
+    partition_dropped: int = 0
+    pause_held: int = 0
 
     @property
     def total(self) -> int:
@@ -290,6 +455,8 @@ class FaultStats:
             + self.reordered
             + self.stall_held
             + self.crash_dropped
+            + self.partition_dropped
+            + self.pause_held
         )
 
 
@@ -332,8 +499,15 @@ class FaultInjector:
         """
         if intra_node:
             # The shared-memory queue is reliable; only an outage of the
-            # server itself affects it.
-            return self._apply_stalls(dst, now, [base_delay])
+            # server itself (or a pause of the destination rank) affects it.
+            return self._apply_pauses(
+                dst, now, self._apply_stalls(dst, now, [base_delay])
+            )
+        if self.plan.partitions and self.plan.partitioned(src_node, dst_node, now):
+            # Deterministic cut: no RNG draw, so the probabilistic link
+            # fault stream is unperturbed by partition windows.
+            self.stats.partition_dropped += 1
+            return []
         faults = self.link(src_node, dst_node)
         delays: List[float] = []
         if faults.active:
@@ -354,7 +528,7 @@ class FaultInjector:
                     delays.append(delay + rng.uniform(0.0, faults.dup_lag_us))
         else:
             delays.append(base_delay)
-        return self._apply_stalls(dst, now, delays)
+        return self._apply_pauses(dst, now, self._apply_stalls(dst, now, delays))
 
     def _apply_stalls(
         self, dst: Optional[Endpoint], now: float, delays: List[float]
@@ -379,3 +553,20 @@ class FaultInjector:
             if window.node == node and window.covers(when):
                 return window
         return None
+
+    def _apply_pauses(
+        self, dst: Optional[Endpoint], now: float, delays: List[float]
+    ) -> List[float]:
+        """Hold deliveries addressed to a paused rank until it resumes."""
+        if not self.plan.pauses or dst is None or dst[0] != "mp":
+            return delays
+        rank = dst[1]
+        out: List[float] = []
+        for delay in delays:
+            until = self.plan.stall_until(rank, now + delay)
+            if until is None:
+                out.append(delay)
+            else:
+                self.stats.pause_held += 1
+                out.append(until - now)
+        return out

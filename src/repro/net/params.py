@@ -116,6 +116,21 @@ class NetworkParams:
         Reliable layer and fence watchdog: attempts after which the
         transport gives up and raises (declaring the link/server dead)
         instead of retrying forever.
+    adaptive_retry:
+        Reliable layer: when True the retransmission timeout is estimated
+        per channel from observed round-trip times (Jacobson-style EWMA of
+        RTT and its variance, ``RTO = srtt + 4 * rttvar``), starting from
+        ``retry_timeout_us`` until the first sample arrives and clamped to
+        ``[adaptive_rto_min_us, adaptive_rto_max_us]`` with a deterministic
+        per-channel jitter on the cap.  Off by default so existing fault
+        configurations keep the fixed schedule byte-for-byte.
+    adaptive_rto_min_us:
+        Floor of the adaptive retransmission timeout (guards against a
+        few fast ACKs collapsing the RTO under the real tail latency).
+    adaptive_rto_max_us:
+        Cap of the adaptive timeout *before* the per-channel jitter
+        (which adds up to 10%); bounds how long a backed-off channel
+        waits between probes during a long outage.
     watchdog_timeout_us:
         Protocol watchdogs (0 = disabled, the default): a fence waiting
         this long without a confirmation retransmits its request, and a
@@ -198,6 +213,9 @@ class NetworkParams:
     retry_timeout_us: float = 60.0
     retry_backoff: float = 2.0
     max_retries: int = 12
+    adaptive_retry: bool = False
+    adaptive_rto_min_us: float = 20.0
+    adaptive_rto_max_us: float = 2000.0
     watchdog_timeout_us: float = 0.0
     heartbeat_us: float = 25.0
     suspect_timeout_us: float = 120.0
@@ -240,6 +258,7 @@ class NetworkParams:
             )
         for field_name in (
             "retry_timeout_us",
+            "adaptive_rto_min_us",
             "watchdog_timeout_us",
             "heartbeat_us",
             "suspect_timeout_us",
@@ -262,6 +281,11 @@ class NetworkParams:
         if self.retry_backoff < 1.0:
             raise ValueError(
                 f"retry_backoff must be >= 1, got {self.retry_backoff}"
+            )
+        if self.adaptive_rto_max_us < self.adaptive_rto_min_us:
+            raise ValueError(
+                f"adaptive_rto_max_us ({self.adaptive_rto_max_us}) must be >= "
+                f"adaptive_rto_min_us ({self.adaptive_rto_min_us})"
             )
         if self.max_retries < 0:
             raise ValueError(

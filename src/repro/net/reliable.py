@@ -38,6 +38,7 @@ Retry, timeout, and duplicate-suppression counters are surfaced through
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
@@ -83,6 +84,7 @@ class _Frame:
         "attempts",
         "acked",
         "acks_sent",
+        "sent_at",
     )
 
     def __init__(
@@ -109,6 +111,7 @@ class _Frame:
         self.attempts = 0
         self.acked = False
         self.acks_sent = 0
+        self.sent_at = 0.0
 
     def __repr__(self) -> str:
         state = "acked" if self.acked else f"attempt {self.attempts}"
@@ -119,6 +122,12 @@ class _Frame:
 class _SendChannel:
     next_seq: int = 0
     unacked: Dict[int, _Frame] = field(default_factory=dict)
+    #: Jacobson RTT estimator state (adaptive_retry only): smoothed RTT and
+    #: its mean deviation, fed by first-attempt ACKs (Karn's rule).
+    srtt: Optional[float] = None
+    rttvar: float = 0.0
+    #: Deterministic per-channel jitter factor on the RTO cap, in [0, 1).
+    cap_jitter: Optional[float] = None
 
 
 @dataclass
@@ -213,6 +222,7 @@ class ReliableDelivery:
         fabric = self.fabric
         env = self.env
         frame.attempts += 1
+        frame.sent_at = env.now
         latency = None
         if frame.kind == "msg" and frame.dst is not None:
             latency = fabric.wire_latency_override(
@@ -250,12 +260,39 @@ class ReliableDelivery:
 
     def _arm_timer(self, key: ChannelKey, channel: _SendChannel, frame: _Frame) -> None:
         p = self.params
-        timeout = p.retry_timeout_us * (p.retry_backoff ** (frame.attempts - 1))
+        if p.adaptive_retry:
+            timeout = self._adaptive_rto(key, channel, frame.attempts)
+        else:
+            timeout = p.retry_timeout_us * (p.retry_backoff ** (frame.attempts - 1))
         generation = frame.attempts
         timer = self.env.timeout(timeout)
         timer.callbacks.append(
             lambda _ev: self._on_timer(key, channel, frame, generation)
         )
+
+    def _adaptive_rto(self, key: ChannelKey, channel: _SendChannel, attempt: int) -> float:
+        """Jacobson-style RTO: ``srtt + 4 * rttvar``, backed off and capped.
+
+        Until the channel has an RTT sample the configured fixed timeout
+        serves as the initial estimate.  The cap carries a deterministic
+        per-channel jitter (up to +10%) so channels that exhausted their
+        backoff against a partitioned peer do not re-probe in lockstep when
+        the cut heals.
+        """
+        p = self.params
+        if channel.srtt is None:
+            base = p.retry_timeout_us
+        else:
+            base = channel.srtt + 4.0 * channel.rttvar
+        base = max(base, p.adaptive_rto_min_us)
+        timeout = base * (p.retry_backoff ** (attempt - 1))
+        if channel.cap_jitter is None:
+            # String seeding: stable across runs and PYTHONHASHSEED values.
+            channel.cap_jitter = random.Random(
+                f"rto:{p.seed}:{key!r}"
+            ).random()
+        cap = p.adaptive_rto_max_us * (1.0 + 0.1 * channel.cap_jitter)
+        return min(timeout, cap)
 
     def _on_timer(
         self, key: ChannelKey, channel: _SendChannel, frame: _Frame, generation: int
@@ -265,9 +302,68 @@ class ReliableDelivery:
         stats = self.fabric.stats
         stats.timeouts += 1
         if frame.attempts > self.params.max_retries:
+            hold_until = self._transient_hold(key, frame)
+            if hold_until is not None:
+                self._suspend(key, channel, frame, hold_until)
+                return
             self._declare_dead(key, frame)
             return
         stats.retransmits += 1
+        self._transmit(key, channel, frame)
+
+    # -- transient suspension (partitions / pauses) ---------------------------
+
+    def _transient_hold(self, key: ChannelKey, frame: _Frame) -> Optional[float]:
+        """When exhaustion is attributable to a transient fault, the time to
+        resume retransmitting; ``None`` means the silence is unexplained
+        (dead peer) and fail-stop declaration should proceed."""
+        faults = self.fabric.faults
+        if faults is None or not faults.plan.transient:
+            return None
+        plan = faults.plan
+        now = self.env.now
+        until = plan.partition_until(frame.src_node, frame.dst_node, now)
+        endpoint = key[1]
+        if endpoint[0] == "mp":
+            stall = plan.stall_until(endpoint[1], now)
+            if stall is not None and (until is None or stall > until):
+                until = stall
+        if until is not None:
+            return until
+        # The window may have closed between the last (cut) transmission
+        # and this timer firing: resume immediately with a fresh budget.
+        if plan.partitioned(frame.src_node, frame.dst_node, frame.sent_at) or (
+            endpoint[0] == "mp" and plan.stalled(endpoint[1], frame.sent_at)
+        ):
+            return now
+        return None
+
+    def _suspend(
+        self, key: ChannelKey, channel: _SendChannel, frame: _Frame, until: float
+    ) -> None:
+        """Queue, do not fail: park the frame until the transient clears.
+
+        The frame keeps its channel slot (in-order release at the receiver
+        still works), its retry budget is refilled, and the peer is
+        *suspected* — the membership detector decides whether the suspicion
+        is partition-attributable (transient exclusion, rejoin on heal)
+        rather than this layer declaring fail-stop death.
+        """
+        self.fabric.stats.retry_suspended += 1
+        membership = self.fabric._membership
+        if membership is not None:
+            membership.suspect(key[1], reason="retry suspended (transient fault)")
+        resume_at = max(until - self.env.now, 0.0) + self.params.membership_poll_us
+        frame.attempts = 0
+        timer = self.env.timeout(resume_at)
+        timer.callbacks.append(lambda _ev: self._resume(key, channel, frame))
+
+    def _resume(self, key: ChannelKey, channel: _SendChannel, frame: _Frame) -> None:
+        if frame.acked or key[1] in self._dead_endpoints:
+            return
+        if frame.attempts != 0:
+            return  # a racing path already restarted this frame
+        self.fabric.stats.retransmits += 1
         self._transmit(key, channel, frame)
 
     def _declare_dead(self, key: ChannelKey, frame: _Frame) -> None:
@@ -387,3 +483,18 @@ class ReliableDelivery:
         channel = self._send_channels.get(key)
         if channel is not None:
             channel.unacked.pop(frame.seq, None)
+            if self.params.adaptive_retry and frame.attempts == 1:
+                # Karn's rule: only un-retransmitted frames give unambiguous
+                # RTT samples (an ACK after a retransmit could belong to
+                # either copy).
+                self._sample_rtt(channel, self.env.now - frame.sent_at)
+
+    def _sample_rtt(self, channel: _SendChannel, rtt: float) -> None:
+        if channel.srtt is None:
+            channel.srtt = rtt
+            channel.rttvar = rtt / 2.0
+        else:
+            # RFC 6298 gains: alpha = 1/8, beta = 1/4.
+            channel.rttvar += 0.25 * (abs(channel.srtt - rtt) - channel.rttvar)
+            channel.srtt += 0.125 * (rtt - channel.srtt)
+        self.fabric.stats.rtt_samples += 1

@@ -143,6 +143,22 @@ class NicEngine:
         barrier completion.  The host never polls remote state.
         """
         p = self.params
+        membership = getattr(self.fabric, "_membership", None)
+        if (
+            membership is not None
+            and getattr(membership, "_transient", False)
+            and not membership.in_view(rank)
+        ):
+            # Fencing at the doorbell: a partition-excluded rank must not
+            # seed a barrier epoch the majority view is running without
+            # it.  The host sees ``None`` and degrades to the resilient
+            # exchange, whose freeze gate queues it until rejoin.
+            if self._monitor is not None:
+                self._monitor.emit(
+                    "nic_doorbell_rejected", epoch=epoch, rank=rank,
+                    node=self.node,
+                )
+            return None
         if self._monitor is not None:
             self._monitor.emit(
                 "nic_doorbell", epoch=epoch, rank=rank, node=self.node,

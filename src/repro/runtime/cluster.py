@@ -68,11 +68,12 @@ class ClusterRuntime:
         )
         self.fabric = Fabric(self.env, self.topology, self.params)
         # Crash-stop membership: only constructed when the fault plan
-        # schedules ProcessCrash events, so fault-free runs stay
+        # schedules ProcessCrash events (or transient partition / pause
+        # windows, which need quorum tracking), so fault-free runs stay
         # byte-identical ("disabled means absent").
         self.membership = None
         plan = self.params.faults
-        if plan is not None and plan.crashes:
+        if plan is not None and (plan.crashes or plan.partitions or plan.pauses):
             from .membership import MembershipService
 
             self.membership = MembershipService(self)

@@ -35,11 +35,28 @@ crash-stop failure model needs on top of the existing stack:
   barrier waits subtract the still-owed portion (snapshot minus the
   per-pair applied count maintained by :meth:`note_apply`).
 
+* **Partition tolerance (transient faults).**  When the plan schedules
+  :class:`~repro.net.faults.Partition` or
+  :class:`~repro.net.faults.ProcessStall` windows, failures become
+  *recoverable*: a rank cut off from the strict majority of live nodes
+  (or paused) is **excluded** — epoch bump, revoked leases, write-off
+  snapshot — without being killed, and the minority side **freezes** its
+  sync operations (:meth:`freeze_gate` queues; it never declares
+  survivors).  Healing merges views deterministically in one epoch bump
+  per window and resynchronizes each returning rank: its credit
+  snapshot is retired (queued cross-cut writes land monotonically), and
+  token locks regenerated during its absence replay a ``view_change`` so
+  a stale token it still holds is dropped.  Epoch **fencing tokens**
+  (one counter per lock, bumped at every lease revocation) let the lock
+  layer and the NIC engine reject actions by stale holders on heal.
+
 **Disabled means absent**: the service is only constructed when the fault
-plan schedules :class:`~repro.net.faults.ProcessCrash` events.  Every
-hook in the fabric, server, locks, and collectives is a single ``is
-None`` check, so fault-free runs are byte-identical to a build without
-this module.
+plan schedules :class:`~repro.net.faults.ProcessCrash` events or
+transient windows.  Every hook in the fabric, server, locks, and
+collectives is a single ``is None`` check, so fault-free runs are
+byte-identical to a build without this module; with crashes but no
+transient windows, every new code path hides behind one ``_transient``
+flag and crash-stop behavior is unchanged.
 """
 
 from __future__ import annotations
@@ -137,6 +154,43 @@ class MembershipService:
         #: instance key -> (value, epoch the instance completed under).
         self._ledger: Dict[Any, Tuple[Any, int]] = {}
 
+        # -- transient-fault (partition / pause) state.  All of it stays
+        # empty (and every consulting code path is gated on ``_transient``)
+        # unless the plan schedules partition or pause windows, so
+        # crash-only runs are byte-identical to the pre-partition build.
+        self._transient = plan.transient
+        #: Ranks transiently excluded from the view (alive, not dead).
+        self._excluded: Set[int] = set()
+        self._excluded_at: Dict[int, float] = {}
+        self._excluded_epoch: Dict[int, int] = {}
+        self.rejoined_at: Dict[int, float] = {}
+        #: Per-lock fencing tokens, bumped at every lease revocation: a
+        #: holder whose acquisition-time token no longer matches is stale.
+        self._fence_tokens: Dict[Tuple[str, str, int], int] = {}
+        #: Token-lock regenerations: key -> (epoch, view_change payload),
+        #: replayed to a rejoining rank so its stale token is dropped.
+        self._token_regen: Dict[Tuple[str, str, int], Tuple[int, Dict[str, Any]]] = {}
+        #: Ranks mid-rejoin: readmitted to the view but whose state resync
+        #: messages are not yet posted (the freeze gate holds them).
+        self._resyncing: Set[int] = set()
+        #: Tests patch this off to demonstrate the sanitizer catching an
+        #: un-resynchronized rejoin (stale token survives the heal).
+        self.resync_enabled = True
+        #: Freeze bookkeeping: rank -> freeze start (active), plus logs.
+        self._freeze_started: Dict[int, float] = {}
+        self.freeze_log: List[Dict[str, Any]] = []
+        self.heal_log: List[Dict[str, Any]] = []
+        self.suspicions_discarded = 0
+        #: Keep the heartbeat/detector loops alive through the last
+        #: transient window plus one full detection cycle.
+        self._loops_until = (
+            plan.transient_end_us
+            + self.params.suspect_timeout_us
+            + self.params.membership_check_us
+            if self._transient
+            else 0.0
+        )
+
         #: Recovery trail (chaosbench reporting + tests).
         self.recovery_log: List[Dict[str, Any]] = []
         self._subscribers: List[Any] = []
@@ -175,6 +229,16 @@ class MembershipService:
         env._process_factory = process_with_ownership
         for crash in self.plan.crashes:
             env.process(self._crash_executor(crash), name=f"crash@{crash.at_us}")
+        if self._transient:
+            for part in self.plan.partitions:
+                env.process(
+                    self._heal_executor(part), name=f"heal@{part.until_us}"
+                )
+            for pause in self.plan.pauses:
+                env.process(
+                    self._resume_executor(pause),
+                    name=f"resume[{pause.rank}]@{pause.until_us}",
+                )
         for rank in sorted(self._alive):
             proc = env.process(self._heartbeat_loop(rank), name=f"hb[{rank}]")
             self.adopt(proc, rank)
@@ -207,24 +271,147 @@ class MembershipService:
     def dead_ranks(self) -> Tuple[int, ...]:
         return tuple(sorted(self._dead))
 
+    def excluded_ranks(self) -> Tuple[int, ...]:
+        """Ranks transiently excluded from the view (alive, not dead)."""
+        return tuple(sorted(self._excluded))
+
+    def in_view(self, rank: int) -> bool:
+        """Is ``rank`` a member of the current view (alive and included)?"""
+        return rank in self._alive and rank not in self._excluded
+
     def subscribe(self, callback) -> None:
         """``callback(epoch)`` fires after every view change."""
         self._subscribers.append(callback)
 
+    # -- quorum (transient faults only) ----------------------------------------
+
+    def _window_active(self, when: float) -> bool:
+        return any(p.covers(when) for p in self.plan.partitions)
+
+    def _live_nodes(self) -> Tuple[int, ...]:
+        return tuple(
+            n for n in range(self.topology.nnodes) if n not in self._killed_nodes
+        )
+
+    def _in_majority_component(self, node: int, when: float) -> bool:
+        """Is ``node`` in a component holding a strict majority of live nodes?
+
+        The quorum rule is a *strict* majority (``2 * |component| >
+        |live nodes|``): an even split freezes both sides, which is the
+        only safe answer — healing is scheduled, so freezing cannot
+        deadlock, while letting both halves of a 2-2 split proceed is
+        exactly the split-brain this subsystem exists to prevent.
+        """
+        live = self._live_nodes()
+        for comp in self.plan.components(live, when):
+            if node in comp:
+                return 2 * len(comp) > len(live)
+        return False
+
+    def _majority_exists(self, when: float) -> bool:
+        """Does *some* component hold a strict majority of live nodes?"""
+        live = self._live_nodes()
+        if not self._window_active(when):
+            return True
+        return any(
+            2 * len(comp) > len(live) for comp in self.plan.components(live, when)
+        )
+
+    def quorum_ok(self, rank: int) -> bool:
+        """May ``rank`` run sync operations right now (quorum side, not
+        paused)?  Always true without transient windows."""
+        if not self._transient:
+            return True
+        now = self.env.now
+        if self.plan.stalled(rank, now):
+            return False
+        if not self._window_active(now):
+            return True
+        return self._in_majority_component(self.topology.node_of(rank), now)
+
+    def _transient_attributable(self, rank: int, when: float) -> bool:
+        """Is ``rank``'s silence explained by an active transient window
+        (paused, or cut off from the majority component)?"""
+        if not self._transient:
+            return False
+        if self.plan.stalled(rank, when):
+            return True
+        if not self._window_active(when):
+            return False
+        return not self._in_majority_component(self.topology.node_of(rank), when)
+
     # -- liveness inputs -------------------------------------------------------
 
     def note_traffic(self, src_rank: Any) -> None:
-        """Piggybacked liveness: any accepted fabric post refreshes the rank."""
+        """Piggybacked liveness: any accepted fabric post refreshes the rank.
+
+        During a transient window the refresh is suppressed for ranks the
+        majority cannot hear (paused, or on the minority side of a cut):
+        their local sends do not reach the detector's side, so letting
+        them refresh would blind the failure detector to the partition.
+        """
         if src_rank in self._alive:
+            if self._transient and self._refresh_suppressed(src_rank):
+                return
             self._last_heard[src_rank] = self.env.now
 
     def heartbeat(self, rank: int, now: float) -> None:
         if rank in self._alive:
+            if self._transient and self._refresh_suppressed(rank):
+                return
             self._last_heard[rank] = now
 
+    def _refresh_suppressed(self, rank: Any) -> bool:
+        now = self.env.now
+        plan = self.plan
+        if plan.pauses and isinstance(rank, int) and plan.stalled(rank, now):
+            return True
+        if not plan.partitions or not self._window_active(now):
+            return False
+        if not isinstance(rank, int):
+            return False  # NIC engines stamp tuple sources; no rank liveness
+        return not self._in_majority_component(self.topology.node_of(rank), now)
+
     def suspect(self, endpoint: Endpoint, reason: str = "suspected") -> None:
-        """Transport-level suspicion (retry budget exhausted on a peer)."""
+        """Transport-level suspicion (retry budget exhausted on a peer).
+
+        With transient windows in the plan, a suspicion needs
+        *corroboration* before it escalates: the raiser may itself be the
+        partitioned-away party.  A target the majority component can
+        still hear is never declared on transport evidence alone while a
+        cut is active (the suspicion is discarded); a target that is
+        paused or cut off from the majority is transiently *excluded* —
+        reversible, no kill — and only when no window explains the
+        silence does the crash-stop declaration proceed as before.
+        """
         kind, which = endpoint
+        if self._transient:
+            now = self.env.now
+            if kind == "mp":
+                targets: Tuple[int, ...] = (which,)
+            else:
+                targets = tuple(self.topology.ranks_on(which))
+            for rank in targets:
+                if rank not in self._alive or rank in self._excluded:
+                    continue
+                if self._transient_attributable(rank, now):
+                    if self._majority_exists(now):
+                        self._exclude_rank(rank, reason=reason)
+                    else:
+                        # Even split: no side has quorum, nobody may act.
+                        self.suspicions_discarded += 1
+                elif self._window_active(now):
+                    # A cut is active and the target sits on the majority
+                    # side: a quorum of peers still hears it, so the
+                    # raiser is the partitioned one.  Discard.
+                    self.suspicions_discarded += 1
+                else:
+                    if kind in ("srv", "nic"):
+                        self._killed_nodes.add(which)
+                        self._declare_dead(rank, reason=f"node {which}: {reason}")
+                    else:
+                        self._declare_dead(rank, reason=reason)
+            return
         if kind == "mp":
             self._declare_dead(which, reason=reason)
         elif kind in ("srv", "nic"):
@@ -324,12 +511,26 @@ class MembershipService:
     def _all_planned_declared(self) -> bool:
         return self._planned_ranks <= self._dead
 
+    def _loops_done(self) -> bool:
+        """May the heartbeat/detector loops retire?
+
+        Crash-only runs retire once every planned death is declared (the
+        original rule).  Transient runs additionally stay up through the
+        last window plus one detection cycle, and while any rank is still
+        excluded (its rejoin needs a live detector epoch).
+        """
+        if not self._all_planned_declared():
+            return False
+        if self._transient and (self.env.now < self._loops_until or self._excluded):
+            return False
+        return True
+
     def _heartbeat_loop(self, rank: int):
         rng = random.Random(f"membership:{self._seed}:{rank}")
         interval = self.params.heartbeat_us
         if interval <= 0.0:  # heartbeats disabled: rely on traffic + retries
             return
-        while not self._all_planned_declared():
+        while not self._loops_done():
             yield self.env.timeout(interval * (0.75 + 0.5 * rng.random()))
             if rank in self._dead:
                 return
@@ -340,11 +541,20 @@ class MembershipService:
         check = p.membership_check_us if p.membership_check_us > 0.0 else p.heartbeat_us
         if check <= 0.0:  # pragma: no cover - degenerate configuration
             return
-        while not self._all_planned_declared():
+        while not self._loops_done():
             yield self.env.timeout(check)
             now = self.env.now
             for rank in sorted(self._alive):
+                if self._transient and rank in self._excluded:
+                    continue
                 if now - self._last_heard[rank] > p.suspect_timeout_us:
+                    if self._transient and self._transient_attributable(rank, now):
+                        # Silence explained by an active window: transient
+                        # exclusion (if a quorum exists to corroborate it),
+                        # never a death declaration.
+                        if self._majority_exists(now):
+                            self._exclude_rank(rank, reason="heartbeat silence")
+                        continue
                     self._declare_dead(rank, reason="heartbeat silence")
 
     # -- declaration + view change ---------------------------------------------
@@ -360,9 +570,16 @@ class MembershipService:
             self._kill_rank(rank)
         self._alive.discard(rank)
         self._dead.add(rank)
+        # Death trumps transient exclusion: a rank that crashed while
+        # partitioned away must not linger in the excluded set (it will
+        # never rejoin, and the loops wait for exclusions to drain).
+        if self._excluded:
+            self._excluded.discard(rank)
+            self._excluded_at.pop(rank, None)
+            self._excluded_epoch.pop(rank, None)
         self.declared_at[rank] = now
         self.epoch += 1
-        view = tuple(sorted(self._alive))
+        view = tuple(sorted(self._alive - self._excluded))
         self._views[self.epoch] = view
         if self.monitor is not None:
             node = self.topology.node_of(rank)
@@ -377,17 +594,22 @@ class MembershipService:
                 detect_latency_us=now - self.crashed_at[rank],
                 reason=reason,
             )
+            extra = (
+                {"excluded": sorted(self._excluded)} if self._transient else {}
+            )
             self.monitor.emit(
                 "view_change",
                 actor=MEMBERSHIP_ACTOR,
                 epoch=self.epoch,
                 alive=list(view),
                 dead=sorted(self._dead),
+                **extra,
             )
         # Revoke any lease the dead rank held.
         for key, lease in list(self._leases.items()):
             if lease.holder == rank:
                 del self._leases[key]
+                self._bump_fence(key)
                 if self.monitor is not None:
                     self.monitor.emit(
                         "lease_revoked",
@@ -433,6 +655,300 @@ class MembershipService:
             for engine in engines.values():
                 engine.force_release(epoch)
 
+    # -- transient exclusion, heal, and rejoin -----------------------------------
+
+    def _exclude_rank(self, rank: int, reason: str) -> None:
+        """Reversibly remove a partition/stall casualty from the view.
+
+        Unlike :meth:`_declare_dead` the rank is *not* killed: its
+        processes keep running (on the minority side they freeze at their
+        next sync operation), its memory survives, and it rejoins through
+        :meth:`_rejoin_ranks` once the fault window closes.  Any lease it
+        holds is revoked and fenced so the majority can regenerate the
+        lock — the excluded ex-holder's own release is rejected by the
+        fencing-token check when it eventually runs.
+        """
+        if rank not in self._alive or rank in self._excluded:
+            return
+        now = self.env.now
+        self._excluded.add(rank)
+        self._excluded_at[rank] = now
+        # Snapshot issued-op counters exactly as the crash path does, so
+        # majority-side barriers can write off credits the excluded rank's
+        # frozen traffic will not deliver until heal.
+        armci = self.runtime.armcis.get(rank)
+        if armci is not None:
+            self._op_init_snapshot[rank] = list(armci.op_init)
+        self.epoch += 1
+        self._excluded_epoch[rank] = self.epoch
+        view = tuple(sorted(self._alive - self._excluded))
+        self._views[self.epoch] = view
+        if self.monitor is not None:
+            self.monitor.emit(
+                "proc_excluded",
+                actor=MEMBERSHIP_ACTOR,
+                rank=rank,
+                node=self.topology.node_of(rank),
+                excluded_at=now,
+                epoch=self.epoch,
+                reason=reason,
+            )
+            self.monitor.emit(
+                "view_change",
+                actor=MEMBERSHIP_ACTOR,
+                epoch=self.epoch,
+                alive=list(view),
+                dead=sorted(self._dead),
+                excluded=sorted(self._excluded),
+            )
+        # Revoke + fence any lease the excluded rank holds and regenerate
+        # the lock for the majority.  Token locks are message-based and
+        # always recoverable; the shared-memory families need the lock's
+        # home region on the majority side — when the home node is cut off
+        # too, the lease stays put and majority requesters simply queue
+        # until heal (safe: nobody can reach the lock words either way).
+        for key, lease in list(self._leases.items()):
+            if lease.holder != rank:
+                continue
+            kind = self._locks[key]["kind"] if key in self._locks else key[0]
+            if kind not in ("naimi", "raymond"):
+                home_node = self.topology.node_of(key[2])
+                if not self._in_majority_component(home_node, now):
+                    continue
+            del self._leases[key]
+            self._bump_fence(key)
+            if self.monitor is not None:
+                self.monitor.emit(
+                    "lease_revoked",
+                    actor=MEMBERSHIP_ACTOR,
+                    lock=f"{key[0]}:{key[1]}@{key[2]}",
+                    rank=rank,
+                    ticket=lease.ticket,
+                    epoch=self.epoch,
+                    live=True,
+                )
+            self.env.process(
+                self._recover_lock(key, rank, transient=True),
+                name=f"recover:{key[0]}:{key[1]}:{rank}",
+            )
+        self._resolve_nic_epochs()
+        for callback in list(self._subscribers):
+            callback(self.epoch)
+
+    def _heal_executor(self, part):
+        """Runs at a partition's ``until_us``: reset silence clocks and
+        rejoin every excluded rank that is back in a majority component."""
+        yield self.env.timeout(part.until_us)
+        now = self.env.now
+        # The disruption is over; pre-heal silence must not be
+        # misattributed to post-heal crash suspicion.
+        for r in self._alive:
+            self._last_heard[r] = now
+        # Excluded ranks that crashed while away will never rejoin.
+        for r in sorted(self._excluded):
+            if r in self.crashed_at:
+                self._declare_dead(r, reason="crashed while excluded")
+        healing = [r for r in sorted(self._excluded) if self.quorum_ok(r)]
+        if self.monitor is not None:
+            self.monitor.emit(
+                "partition_heal",
+                actor=MEMBERSHIP_ACTOR,
+                nodes=list(part.nodes),
+                from_us=part.from_us,
+                healed_at=now,
+                rejoining=list(healing),
+            )
+        yield from self._rejoin_ranks(healing)
+        self.heal_log.append(
+            {
+                "nodes": list(part.nodes),
+                "from_us": part.from_us,
+                "healed_at_us": now,
+                "rejoined": list(healing),
+                "epoch": self.epoch,
+            }
+        )
+
+    def _resume_executor(self, pause):
+        """Runs at a process stall's ``until_us``: the rank starts making
+        progress again, so clear its silence clock and rejoin it."""
+        yield self.env.timeout(pause.until_us)
+        rank = pause.rank
+        now = self.env.now
+        if rank in self._alive:
+            self._last_heard[rank] = now
+        if rank not in self._excluded:
+            return
+        if rank in self.crashed_at:
+            self._declare_dead(rank, reason="crashed while excluded")
+            return
+        yield from self._rejoin_ranks([rank])
+
+    def _rejoin_ranks(self, ranks):
+        """Readmit excluded ranks under one new epoch and resynchronize
+        their state from the majority before the freeze gate releases them.
+
+        Resynchronization covers (a) the issued-op snapshot taken at
+        exclusion — popped here, so credit accounting re-baselines on the
+        rank's live counters (queued cross-cut traffic delivered after
+        heal bumps ``op_done`` and the applied counts monotonically) — and
+        (b) token locks regenerated while the rank was away: the recorded
+        ``view_change`` is replayed into the rank's own mailbox, intra-node
+        FIFO ahead of any acquire it could issue once unfrozen, so a stale
+        token can never grant before the daemon learns the new epoch floor.
+        """
+        eligible = [
+            r
+            for r in sorted(set(ranks))
+            if r in self._excluded
+            and r in self._alive
+            and r not in self.crashed_at
+            and self.quorum_ok(r)
+        ]
+        if not eligible:
+            return
+        now = self.env.now
+        self._resyncing.update(eligible)
+        details = []
+        for r in eligible:
+            self._excluded.discard(r)
+            excluded_at = self._excluded_at.pop(r, now)
+            exc_epoch = self._excluded_epoch.pop(r, 0)
+            self._op_init_snapshot.pop(r, None)
+            self.rejoined_at[r] = now
+            self._last_heard[r] = now
+            details.append((r, excluded_at, exc_epoch))
+        self.epoch += 1
+        view = tuple(sorted(self._alive - self._excluded))
+        self._views[self.epoch] = view
+        if self.monitor is not None:
+            self.monitor.emit(
+                "view_change",
+                actor=MEMBERSHIP_ACTOR,
+                epoch=self.epoch,
+                alive=list(view),
+                dead=sorted(self._dead),
+                excluded=sorted(self._excluded),
+            )
+        for r, excluded_at, exc_epoch in details:
+            if self.resync_enabled:
+                yield from self._token_resync(r, exc_epoch)
+            if self.monitor is not None:
+                self.monitor.emit(
+                    "proc_rejoined",
+                    actor=MEMBERSHIP_ACTOR,
+                    rank=r,
+                    epoch=self.epoch,
+                    rejoined_at=self.env.now,
+                    excluded_for_us=self.env.now - excluded_at,
+                    resynced=self.resync_enabled,
+                )
+        for r, _, _ in details:
+            self._resyncing.discard(r)
+        self._resolve_nic_epochs()
+        for callback in list(self._subscribers):
+            callback(self.epoch)
+
+    def _token_resync(self, rank: int, exc_epoch: int):
+        """Replay token-lock regenerations the rank missed while excluded.
+
+        The recorded ``view_change`` payload is re-sent *from the rank's
+        own comm* (an intra-node self-send): per-pair FIFO delivery then
+        guarantees the lock daemon applies it before any ``local_request``
+        the application can post after the freeze gate opens, closing the
+        stale-token window without a handshake.
+        """
+        from ..locks.token_base import LockMessage
+
+        comm = self.runtime.comms[rank]
+        for key in sorted(self._token_regen):
+            regen_epoch, payload = self._token_regen[key]
+            if regen_epoch < exc_epoch:
+                continue  # regenerated before this rank left: already seen
+            handle = self._locks.get(key, {}).get("handles", {}).get(rank)
+            if handle is None:
+                continue
+            refreshed = dict(payload)
+            # Point the rejoiner at the *current* holder when a lease
+            # exists — the token may have moved since regeneration — and
+            # keep the regeneration epoch so its request/floor epochs stay
+            # consistent with what the majority daemons applied.
+            target = self.lease_holder(key)
+            if target is None or target == rank or not self._present(target):
+                target = payload["holder"]
+            if target == rank or not self._present(target):
+                others = [v for v in self._views[self.epoch] if v != rank]
+                target = min(others) if others else rank
+            refreshed["holder"] = target
+            refreshed["alive"] = sorted(set(payload["alive"]) | {rank})
+            yield from comm.send(
+                rank, LockMessage("view_change", target, refreshed), tag=handle.tag
+            )
+
+    # -- sync freeze gate ---------------------------------------------------------
+
+    def freeze_gate(self, rank: int):
+        """Block ``rank`` while it lacks quorum or is mid-rejoin.
+
+        Sync operations (locks, barriers, fences) call this on entry: a
+        minority-side or stalled rank queues here — it does *not* fail —
+        and proceeds once it is back in a majority view and resynced.
+        No-op (and never yields) when the plan has no transient faults.
+        """
+        if not self._transient:
+            return
+
+        def clear() -> bool:
+            return (
+                self.quorum_ok(rank)
+                and rank not in self._excluded
+                and rank not in self._resyncing
+            )
+
+        if clear():
+            return
+        start = self.env.now
+        self._freeze_started[rank] = start
+        if self.monitor is not None:
+            self.monitor.emit(
+                "sync_frozen", actor=MEMBERSHIP_ACTOR, rank=rank, frozen_at=start
+            )
+        while not clear():
+            yield self.env.timeout(self._freeze_wait_us(rank))
+        now = self.env.now
+        self._freeze_started.pop(rank, None)
+        self.freeze_log.append(
+            {
+                "rank": rank,
+                "frozen_at_us": start,
+                "unfrozen_at_us": now,
+                "frozen_for_us": now - start,
+            }
+        )
+        if self.monitor is not None:
+            self.monitor.emit(
+                "sync_unfrozen",
+                actor=MEMBERSHIP_ACTOR,
+                rank=rank,
+                unfrozen_at=now,
+                frozen_for_us=now - start,
+            )
+
+    def _freeze_wait_us(self, rank: int) -> float:
+        """Sleep until the earliest fault window covering ``rank`` can end
+        (then fall back to the membership poll period for the rejoin)."""
+        now = self.env.now
+        poll = self.params.membership_poll_us or 1.0
+        ends = [p.until_us for p in self.plan.partitions if p.covers(now)]
+        ends += [
+            s.until_us
+            for s in self.plan.pauses
+            if s.rank == rank and s.covers(now)
+        ]
+        if ends:
+            return max(min(ends) - now, poll)
+        return poll
+
     # -- lock registry + leases ------------------------------------------------
 
     def lock_key(self, handle) -> Tuple[str, str, int]:
@@ -463,6 +979,23 @@ class MembershipService:
     def lease_holder(self, key: Tuple[str, str, int]) -> Optional[int]:
         lease = self._leases.get(key)
         return lease.holder if lease is not None else None
+
+    def fence_token(self, key: Tuple[str, str, int]) -> int:
+        """Monotonic per-lock fencing counter; bumped at every revocation.
+
+        A holder that snapshots this at grant time and finds it changed at
+        release time lost its lease while it held the lock (crash recovery
+        or partition exclusion regenerated the lock for the survivors) —
+        its release must not touch the lock protocol again.
+        """
+        return self._fence_tokens.get(key, 0)
+
+    def _bump_fence(self, key: Tuple[str, str, int]) -> None:
+        self._fence_tokens[key] = self._fence_tokens.get(key, 0) + 1
+
+    def _present(self, rank: int) -> bool:
+        """Alive and inside the current view (not partition-excluded)."""
+        return rank in self._alive and rank not in self._excluded
 
     def skip_revoked(self, home_rank: int, base_addr: int, value: int) -> int:
         """Advance a ticket counter value past revoked (dead) tickets."""
@@ -532,17 +1065,32 @@ class MembershipService:
             }
             for rank in sorted(self.declared_at)
         ]
-        return {
+        out = {
             "epoch": self.epoch,
             "alive": list(self.alive_ranks()),
             "dead": sorted(self._dead),
             "detections": detections,
             "recoveries": list(self.recovery_log),
         }
+        if self._transient:
+            out["excluded"] = sorted(self._excluded)
+            out["rejoins"] = [
+                {
+                    "rank": rank,
+                    "rejoined_at_us": self.rejoined_at[rank],
+                }
+                for rank in sorted(self.rejoined_at)
+            ]
+            out["freezes"] = list(self.freeze_log)
+            out["heals"] = list(self.heal_log)
+            out["suspicions_discarded"] = self.suspicions_discarded
+        return out
 
     # -- lock recovery coordinators ----------------------------------------------
 
-    def _recover_lock(self, key: Tuple[str, str, int], dead: int):
+    def _recover_lock(
+        self, key: Tuple[str, str, int], dead: int, transient: bool = False
+    ):
         kind = self._locks[key]["kind"]
         started = self.env.now
         entry = {
@@ -552,13 +1100,15 @@ class MembershipService:
             "declared_at_us": started,
             "recovered_at_us": None,
         }
+        if transient:
+            entry["transient"] = True
         self.recovery_log.append(entry)
         if kind in ("ticket", "hybrid", "server"):
             yield from self._recover_ticket_family(key, dead)
         elif kind == "lh":
-            yield from self._recover_lh(key, dead)
+            yield from self._recover_lh(key, dead, transient)
         elif kind == "mcs":
-            yield from self._recover_mcs(key, dead)
+            yield from self._recover_mcs(key, dead, transient)
         elif kind in ("naimi", "raymond"):
             yield from self._recover_token(key, dead, kind)
         entry["recovered_at_us"] = self.env.now
@@ -618,10 +1168,18 @@ class MembershipService:
             ticket = getattr(h, "_my_ticket", -1)
             if ticket >= counter and ticket not in revoked:
                 note_revoked(ticket, rank)
+        # ``rank != dead`` matters only for a transient exclusion (the
+        # excluded holder is alive, but its at-head ticket must be ghost-
+        # advanced past); for a crash ``dead`` is never in ``_alive``, so
+        # the crash-only behaviour is unchanged.  Excluded *waiters* keep
+        # their tickets — the head scan stops at them and they are served
+        # after they rejoin.
         live_tickets = {
             h._my_ticket
             for rank, h in handles.items()
-            if rank in self._alive and getattr(h, "_my_ticket", -1) >= 0
+            if rank in self._alive
+            and rank != dead
+            and getattr(h, "_my_ticket", -1) >= 0
         }
         new = counter
         while new < next_ticket and new not in live_tickets and new not in waiters:
@@ -642,7 +1200,7 @@ class MembershipService:
 
     # .. LH ........................................................................
 
-    def _recover_lh(self, key: Tuple[str, str, int], dead: int):
+    def _recover_lh(self, key: Tuple[str, str, int], dead: int, transient: bool = False):
         """Repair the LH queue: ghost-release for a dead holder, or chain a
         ghost forwarder for a dead waiter (grant flows through its cell)."""
         from ..locks.lh import _GRANTED
@@ -651,6 +1209,10 @@ class MembershipService:
         region = handle._region
         p = self.params
         phase = getattr(handle, "_phase", "idle")
+        if transient and phase != "held":
+            # Exclusion only ghost-releases the fenced holder; an excluded
+            # waiter keeps its queue slot and resumes spinning after heal.
+            return
         if phase == "held":
             if p.shm_access_us > 0.0:
                 yield self.env.timeout(p.shm_access_us)
@@ -669,7 +1231,7 @@ class MembershipService:
 
     # .. MCS .......................................................................
 
-    def _recover_mcs(self, key: Tuple[str, str, int], dead: int):
+    def _recover_mcs(self, key: Tuple[str, str, int], dead: int, transient: bool = False):
         """Splice a dead rank out of the MCS chain by direct region surgery."""
         from ..locks.mcs import _FALSE, _OFF_LOCKED, _OFF_NEXT, _TRUE
         from .memory import NULL_PTR
@@ -677,6 +1239,10 @@ class MembershipService:
         handle = self._locks[key]["handles"][dead]
         phase = getattr(handle, "_phase", "idle")
         p = self.params
+        if transient and phase not in ("held", "releasing"):
+            # Exclusion only ghost-releases the fenced holder; an excluded
+            # waiter keeps its chain position and resumes after heal.
+            return
         if phase in ("held", "releasing"):
             # "releasing": killed mid-release — after entering _release()
             # but before the handoff put / tail CAS completed.  The ghost
@@ -840,7 +1406,7 @@ class MembershipService:
         injected ``view_change`` messages (star re-request topology)."""
         handles = self._locks[key]["handles"]
         alive_handles = {
-            r: h for r, h in handles.items() if r in self._alive
+            r: h for r, h in handles.items() if self._present(r)
         }
         if not alive_handles:
             return
@@ -864,6 +1430,10 @@ class MembershipService:
             "alive": sorted(alive_handles),
             "token_lost": token_lost,
         }
+        # Remember the regeneration so a rank excluded at this point can
+        # replay the view change when it rejoins (it never receives the
+        # sends below).
+        self._token_regen[key] = (self.epoch, dict(payload))
         # Deliver the view change holder-first, then earliest requester
         # first, so the rebuilt request chain preserves arrival order of
         # the surviving requests.

@@ -70,6 +70,61 @@ class TestScenarioGeneration:
             assert list(s.crashes) == sorted(set(s.crashes), key=lambda c: c[2])
 
 
+class TestTransientGeneration:
+    """Legality of the partition/stall fuzz axes (see ``_legalize``)."""
+
+    def test_partitions_always_leave_a_strict_majority(self):
+        for seed in range(200):
+            s = generate(seed)
+            nnodes = s.nprocs // s.procs_per_node
+            node_crashes = sum(1 for k, _t, _at in s.crashes if k == "node")
+            for nodes, from_us, until_us in s.partitions:
+                assert 0.0 <= from_us < until_us
+                # Node 0 (lock homes, recovery services) is never cut off,
+                # and the remainder out-votes the minority even if every
+                # planned node crash lands on the majority side.
+                assert nodes and 0 not in nodes
+                assert all(0 < n < nnodes for n in nodes)
+                assert 2 * len(nodes) < nnodes - node_crashes
+
+    def test_partition_windows_are_pairwise_disjoint(self):
+        for seed in range(200):
+            s = generate(seed)
+            windows = [(f, u) for _nodes, f, u in s.partitions]
+            for i, (f1, u1) in enumerate(windows):
+                for f2, u2 in windows[i + 1 :]:
+                    assert u1 <= f2 or u2 <= f1
+
+    def test_stalls_never_hit_rank0_or_planned_dead(self):
+        for seed in range(200):
+            s = generate(seed)
+            dead = s.dead_ranks_planned()
+            ranks = [r for r, _f, _u in s.stalls]
+            assert len(set(ranks)) == len(ranks)
+            for rank, from_us, until_us in s.stalls:
+                assert 0 < rank < s.nprocs
+                assert rank not in dead
+                assert 0.0 <= from_us < until_us
+
+    def test_both_axes_are_exercised(self):
+        scenarios = [generate(seed) for seed in range(200)]
+        assert any(s.partitions for s in scenarios)
+        assert any(s.stalls for s in scenarios)
+        # ...but not always: crash-only scenarios keep their coverage too.
+        assert any(not s.has_transients() for s in scenarios)
+
+    def test_json_without_transient_keys_still_parses(self):
+        # Backward compatibility: corpus entries written before the
+        # partition axes existed carry no partitions/stalls keys.
+        s = generate(7)
+        data = json.loads(scenario_to_json(s))
+        data.pop("partitions")
+        data.pop("stalls")
+        legacy = scenario_from_json(json.dumps(data))
+        assert legacy.partitions == () and legacy.stalls == ()
+        assert legacy == dataclasses.replace(s, partitions=(), stalls=())
+
+
 class TestReplay:
     def test_replay_seed_byte_identical(self):
         first = replay_seed(4)

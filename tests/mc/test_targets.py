@@ -15,6 +15,7 @@ def test_expected_targets_present():
         "ticket-handoff",
         "mcs-handoff",
         "reliable",
+        "partition-heal",
     }
 
 
@@ -37,3 +38,4 @@ def test_crash_free_targets_expect_exhaustion():
     assert get_target("mcs-handoff").expect_exhaustive
     assert not get_target("nic-barrier-crash").expect_exhaustive
     assert not get_target("reliable").expect_exhaustive
+    assert not get_target("partition-heal").expect_exhaustive

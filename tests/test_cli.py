@@ -133,6 +133,39 @@ class TestChaosCommand:
         assert "[ok] chaos[hybrid]" in out and "[ok] chaos[mcs]" in out
         assert "FAIL" not in out
 
+    def test_chaos_partition_mode(self, capsys):
+        assert main(["chaos", "--procs", "6",
+                     "--partition", "4,5:200:1400"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASSED" in out
+        assert "check partition healed: ok" in out
+        assert "freeze duration" in out
+        assert "heal: cut [4, 5]" in out and "rejoined ranks [4, 5]" in out
+        # Transient-only runs drop the stock kill schedule.
+        assert "dead: []" in out
+
+    def test_chaos_stall_mode(self, capsys):
+        assert main(["chaos", "--procs", "6", "--stall", "3:300:900"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASSED" in out
+        assert "rejoin: rank 3" in out
+
+    def test_chaos_partition_composes_with_kills(self, capsys):
+        assert main(["chaos", "--procs", "6", "--lock", "naimi",
+                     "--kill", "3:900", "--partition", "5:200:1400"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASSED" in out
+        assert "dead: [3]" in out
+        assert "check partition healed: ok" in out
+
+    def test_chaos_partition_byte_identical(self, capsys):
+        argv = ["chaos", "--procs", "6", "--partition", "4:250:1200",
+                "--stall", "2:300:700"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
     def test_chaos_same_kill_seed_byte_identical(self, capsys):
         argv = ["chaos", "--kill-seed", "7"]
         assert main(argv) == 0
@@ -220,6 +253,44 @@ class TestCliRobustness:
         assert phrase in captured.err
         # One line, no traceback.
         assert captured.err.strip().count("\n") == 0
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize(
+        "spec, phrase",
+        [
+            ("banana", "expected NODES:FROM_US:UNTIL_US"),
+            ("1:50", "expected NODES:FROM_US:UNTIL_US"),
+            ("1:abc:50", "expected NODES:FROM_US:UNTIL_US"),
+            ("1:50:50", "need 0 <= FROM_US < UNTIL_US"),
+            ("1:-5:50", "need 0 <= FROM_US < UNTIL_US"),
+            ("x,y:10:50", "NODES must be comma-separated ints"),
+            (",:10:50", "empty node group"),
+            ("0:10:50", "node 0"),
+            ("1,2,3,4:10:50", "majority"),
+        ],
+        ids=["word", "two-fields", "bad-time", "empty-window", "neg-start",
+             "bad-nodes", "empty-group", "cuts-node0", "no-majority"],
+    )
+    def test_bad_partition_specs(self, capsys, spec, phrase):
+        assert main(["chaos", f"--partition={spec}"]) == 2
+        captured = capsys.readouterr()
+        assert phrase in captured.err
+        assert "Traceback" not in captured.err
+
+    @pytest.mark.parametrize(
+        "spec, phrase",
+        [
+            ("banana", "expected RANK:FROM_US:UNTIL_US"),
+            ("1.5:10:50", "RANK must be an int"),
+            ("-1:10:50", "RANK must be >= 0"),
+            ("0:10:50", "rank 0"),
+        ],
+        ids=["word", "float-rank", "neg-rank", "stalls-rank0"],
+    )
+    def test_bad_stall_specs(self, capsys, spec, phrase):
+        assert main(["chaos", f"--stall={spec}"]) == 2
+        captured = capsys.readouterr()
+        assert phrase in captured.err
         assert "Traceback" not in captured.err
 
     @pytest.mark.parametrize("experiment", ["faults", "fig7"])
