@@ -25,7 +25,7 @@ from .monitor import SyncMonitor
 __all__ = ["TARGETS", "run_sanitized_target"]
 
 #: Recognized ``repro check`` targets (``all`` expands to every entry).
-TARGETS = ("fig7", "locks", "faultbench", "chaos", "nic", "partition")
+TARGETS = ("fig7", "locks", "faultbench", "chaos", "nic", "partition", "topo")
 
 
 def _sanitized_spmd(nprocs: int, main, *args, **runtime_kwargs):
@@ -239,6 +239,51 @@ def _check_partition() -> List[Tuple[str, SanReport]]:
     return out
 
 
+def _check_topo() -> List[Tuple[str, SanReport]]:
+    """Topology-aware barriers on a two-level hierarchy (PR 9).
+
+    Runs the put+barrier fuzz workload with each of the k-ary tree,
+    dissemination, and two-level node-leader algorithms under a
+    ``two_level(2)`` hierarchy at N=6 (ppn=2).  Each algorithm emits
+    ``coll_enter``/``coll_exit`` plus the generic barrier bracketing, so
+    the happens-before engine checks every put is fenced before the
+    epoch's reads regardless of which level the completing message
+    crossed.
+    """
+    from ..fuzz.runner import _fuzz_workload, _make_params
+    from ..fuzz.scenario import Scenario
+
+    out = []
+    for algorithm in ("kary", "dissemination", "twolevel"):
+        scenario = Scenario(
+            seed=0,
+            nprocs=6,
+            procs_per_node=2,
+            workload="strips",
+            barrier_algorithm=algorithm,
+            phases=("puts", "barrier", "puts", "barrier"),
+            cells=4,
+            hier_arity=2,
+        )
+        shared = {
+            "requests": [],
+            "grants": [],
+            "preemptions": [],
+            "cs_owner": None,
+            "mutex_ok": True,
+        }
+        report = _sanitized_spmd(
+            scenario.nprocs,
+            _fuzz_workload,
+            scenario,
+            shared,
+            procs_per_node=scenario.procs_per_node,
+            params=_make_params(scenario),
+        )
+        out.append((f"topo[{algorithm}]", report))
+    return out
+
+
 _RUNNERS = {
     "fig7": _check_fig7,
     "locks": _check_locks,
@@ -246,6 +291,7 @@ _RUNNERS = {
     "chaos": _check_chaos,
     "nic": _check_nic,
     "partition": _check_partition,
+    "topo": _check_topo,
 }
 
 

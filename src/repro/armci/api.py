@@ -107,6 +107,10 @@ class Armci:
         self._chaos_barrier_info: Optional[Dict[str, int]] = None
         #: NIC-offloaded barrier epoch counter (same SPMD-order contract).
         self._nic_barrier_seq = 0
+        #: Topology-aware barrier sequence (kary/dissemination/twolevel);
+        #: one bump per barrier keeps successive barriers' tags distinct
+        #: across every rank regardless of its role in the algorithm.
+        self._topo_barrier_seq = 0
         #: Operation counters (diagnostics / tests).
         self.stats: Dict[str, int] = {
             "puts_local": 0,

@@ -51,10 +51,15 @@ __all__ = [
     "estimate_linear_us",
     "estimate_exchange_us",
     "estimate_nic_us",
+    "estimate_kary_us",
+    "estimate_dissemination_us",
+    "estimate_twolevel_us",
     "predicted_crossover_targets",
 ]
 
-ALGORITHMS = ("exchange", "linear", "auto", "nic")
+ALGORITHMS = (
+    "exchange", "linear", "auto", "nic", "kary", "dissemination", "twolevel"
+)
 
 
 def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
@@ -63,7 +68,9 @@ def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
     ``"exchange"`` is the paper's new operation; ``"linear"`` is the
     original AllFence + message-passing barrier; ``"nic"`` offloads all
     three stages to the programmable NIC co-processors (see
-    :mod:`repro.nic.engine`); ``"auto"`` implements the paper's closing
+    :mod:`repro.nic.engine`); ``"kary"``, ``"dissemination"``, and
+    ``"twolevel"`` are the topology-aware host algorithms of
+    :mod:`repro.topo.algorithms`; ``"auto"`` implements the paper's closing
     suggestion — compare the calibrated cost-model estimates of the
     candidate algorithms (see :func:`estimate_linear_us` and friends) and
     pick the cheapest.  The NIC path joins the comparison only when
@@ -112,10 +119,21 @@ def armci_barrier(armci: "Armci", algorithm: str = "exchange"):
     elif armci.membership is not None:
         # Crash-stop fault plan active: every host algorithm routes to the
         # resilient exchange (the linear path's MPI barrier has no
-        # survivor handling and would wedge on a dead rank).
+        # survivor handling and would wedge on a dead rank).  This covers
+        # the topology-aware algorithms too: their fixed tree/leader roles
+        # have no survivor compaction story of their own.
         yield from _exchange_resilient(armci)
     elif algorithm == "linear":
         yield from _linear(armci)
+    elif algorithm in ("kary", "dissemination", "twolevel"):
+        from ..topo import algorithms as topo_algorithms
+
+        sync = {
+            "kary": topo_algorithms.kary_sync,
+            "dissemination": topo_algorithms.dissemination_sync,
+            "twolevel": topo_algorithms.twolevel_sync,
+        }[algorithm]
+        yield from sync(armci)
     else:
         yield from _exchange(armci)
     # After stage 3 every operation in the system has completed; all fence
@@ -157,15 +175,155 @@ def estimate_linear_us(params, nprocs: int, dirty_count: int) -> float:
     )
 
 
-def estimate_exchange_us(params, nprocs: int) -> float:
-    """Analytic estimate of the host three-stage barrier (µs)."""
+def _level_link(params, node_a: int, node_b: int):
+    """Analytic ``(latency_us, per_byte_us)`` for a node pair's link.
+
+    Resolves the pair's crossing level when a hierarchy is configured;
+    flat params return the single inter-node figures.  Same-node pairs
+    are the caller's responsibility (intra-node costs differ in kind).
+    """
+    h = params.hierarchy
+    if h is None or node_a == node_b:
+        return params.inter_latency_us, params.per_byte_us
+    lat, per_byte = h.resolve(params.inter_latency_us, params.per_byte_us)
+    level = h.crossing_level(node_a, node_b)
+    return lat[level], per_byte[level]
+
+
+def estimate_exchange_us(params, nprocs: int, ppn: int = 1) -> float:
+    """Analytic estimate of the host three-stage barrier (µs).
+
+    The default (flat, one rank per node) keeps the exact historical
+    closed form, so existing auto-selections are byte-identical.  With
+    ``ppn > 1`` or a hierarchy, each phase is priced from the partner
+    distance: phases below ``ppn`` stay intra-node; inter-node phases
+    charge the crossing level's latency and — the effect that dominates
+    at scale — the convoy of ``ppn`` per-rank vectors serializing on
+    each node's one NIC.
+    """
     vec_bytes = 8 * nprocs
-    allreduce = 0.0
-    if nprocs >= 2:
-        phases = math.ceil(math.log2(nprocs))
-        allreduce = phases * (2 * params.mp_call_us + params.one_way(vec_bytes))
-    stage2 = params.poll_detect_us
-    return allreduce + stage2 + _mp_barrier_estimate_us(params, nprocs)
+    if ppn <= 1 and params.hierarchy is None:
+        allreduce = 0.0
+        if nprocs >= 2:
+            phases = math.ceil(math.log2(nprocs))
+            allreduce = phases * (2 * params.mp_call_us + params.one_way(vec_bytes))
+        stage2 = params.poll_detect_us
+        return allreduce + stage2 + _mp_barrier_estimate_us(params, nprocs)
+    ppn = max(1, ppn)
+    total = params.poll_detect_us
+    for stage_bytes in (vec_bytes, SMALL_MSG_BYTES):
+        distance = 1
+        while distance < nprocs:
+            if distance < ppn:
+                total += (
+                    2 * params.mp_call_us
+                    + params.shm_access_us
+                    + params.intra_latency_us
+                )
+            else:
+                lat, per_byte = _level_link(params, 0, distance // ppn)
+                xfer = ppn * (stage_bytes + MSG_HEADER_BYTES) * per_byte
+                total += (
+                    2 * params.mp_call_us
+                    + params.o_send_us
+                    + xfer
+                    + lat
+                    + params.o_recv_us
+                )
+            distance *= 2
+    return total
+
+
+def estimate_dissemination_us(params, nprocs: int, ppn: int = 1) -> float:
+    """Analytic estimate of the dissemination barrier (µs).
+
+    Topology-oblivious: the shifted ``rank + d`` pattern makes some rank
+    cross a node boundary in *every* round (the critical path), with up
+    to ``min(d, ppn)`` vectors convoying per NIC.
+    """
+    if nprocs < 2:
+        return params.poll_detect_us
+    ppn = max(1, ppn)
+    vec_bytes = 8 * nprocs
+    total = params.poll_detect_us
+    for stage_bytes in (vec_bytes, SMALL_MSG_BYTES):
+        distance = 1
+        while distance < nprocs:
+            node_off = max(1, distance // ppn)
+            lat, per_byte = _level_link(params, 0, node_off)
+            xfer = min(distance, ppn) * (stage_bytes + MSG_HEADER_BYTES) * per_byte
+            total += (
+                2 * params.mp_call_us
+                + params.o_send_us
+                + xfer
+                + lat
+                + params.o_recv_us
+            )
+            distance *= 2
+    return total
+
+
+def estimate_kary_us(params, nprocs: int, ppn: int = 1) -> float:
+    """Analytic estimate of the k-ary combining-tree barrier (µs).
+
+    Per tree tier: the parent serializes ``k`` receives (reduce) and
+    ``k`` sends (broadcast) of the totals vector, then the same shape on
+    control messages for stage 3.  Tiers whose subtree fits in one SMP
+    node ride the intra-node queue.
+    """
+    if nprocs < 2:
+        return params.poll_detect_us
+    ppn = max(1, ppn)
+    k = params.tree_radix
+    vec = 8 * nprocs + MSG_HEADER_BYTES
+    ctl = SMALL_MSG_BYTES + MSG_HEADER_BYTES
+    total = params.poll_detect_us
+    span = 1
+    while span < nprocs:
+        node_off = span // ppn
+        if node_off == 0:
+            hop_lat = params.intra_latency_us + params.shm_access_us
+            vec_xfer = 0.0
+            ctl_xfer = 0.0
+        else:
+            lat, per_byte = _level_link(params, 0, node_off)
+            hop_lat = lat + params.o_send_us + params.o_recv_us
+            vec_xfer = vec * per_byte
+            ctl_xfer = ctl * per_byte
+        total += 2 * (k + 1) * params.mp_call_us + 2 * (k * vec_xfer + hop_lat)
+        total += 2 * (k + 1) * params.mp_call_us + 2 * (k * ctl_xfer + hop_lat)
+        span *= k
+    return total
+
+
+def estimate_twolevel_us(params, nprocs: int, ppn: int = 1) -> float:
+    """Analytic estimate of the two-level leader barrier (µs).
+
+    Intra-node phases are bounded by the leader serializing ``ppn - 1``
+    queue operations; the inter-node exchange and stage-3 barrier run
+    over one leader per node — a single vector per NIC, no convoy.
+    """
+    ppn = max(1, ppn)
+    nnodes = math.ceil(nprocs / ppn)
+    vec = 8 * nprocs + MSG_HEADER_BYTES
+    ctl = SMALL_MSG_BYTES + MSG_HEADER_BYTES
+    local_hop = params.mp_call_us + params.shm_access_us
+    local_round = (ppn - 1) * local_hop + params.intra_latency_us
+    # gather + scatter (stage 1) and signal + release (stage 3).
+    total = 4 * local_round + params.poll_detect_us
+    for stage_bytes in (vec, ctl):
+        distance = 1
+        while distance < nnodes:
+            lat, per_byte = _level_link(params, 0, distance)
+            total += (
+                2 * params.mp_call_us
+                + params.o_send_us
+                + stage_bytes * per_byte
+                + lat
+                + params.o_recv_us
+            )
+            distance *= 2
+    return total
 
 
 def estimate_nic_us(params, nprocs: int, nnodes: int, ppn: int = 1) -> float:
@@ -224,6 +382,20 @@ def _auto_select(armci: "Armci") -> str:
         topology = armci.topology
         ppn = max(len(topology.ranks_on(n)) for n in range(topology.nnodes))
         estimates["nic"] = estimate_nic_us(params, nprocs, topology.nnodes, ppn)
+    if params.hierarchy is not None:
+        # Topology-aware candidates join the comparison only under a
+        # hierarchy, so flat auto-selections stay byte-identical.  ppn
+        # and the hierarchy are globally agreed, preserving the
+        # symmetric-decision contract.
+        topology = armci.topology
+        ppn = max(len(topology.ranks_on(n)) for n in range(topology.nnodes))
+        estimates["exchange"] = estimate_exchange_us(params, nprocs, ppn=ppn)
+        estimates["kary"] = estimate_kary_us(params, nprocs, ppn=ppn)
+        estimates["dissemination"] = estimate_dissemination_us(
+            params, nprocs, ppn=ppn
+        )
+        if ppn > 1:
+            estimates["twolevel"] = estimate_twolevel_us(params, nprocs, ppn=ppn)
     return min(sorted(estimates), key=estimates.get)
 
 

@@ -238,6 +238,36 @@ def _build_parser() -> argparse.ArgumentParser:
             "(ticket, lh, server, hybrid, mcs, naimi, raymond; default hybrid)"
         ),
     )
+    topo = parser.add_argument_group("topology options")
+    topo.add_argument(
+        "--topo",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "hierarchical network topology, innermost level first: "
+            "comma-separated NAME:ARITY[:LATENCY_US[:PER_BYTE_US"
+            "[:CONTENTION]]] (empty numeric field = inherit the preset's "
+            "flat figure), e.g. 'switch:8:26,spine:512:48::2.0'; enables "
+            "the topology-aware barrier algorithms"
+        ),
+    )
+    topo.add_argument(
+        "--radix",
+        type=int,
+        default=None,
+        metavar="K",
+        help="k-ary combining-tree radix for the 'kary' barrier (default 4)",
+    )
+    topo.add_argument(
+        "--coalesce",
+        action="store_true",
+        help=(
+            "scalebench: one simulator actor per node instead of per rank "
+            "(requires --ppn > 1); intra-node phases are charged "
+            "analytically, inter-node phases simulated — what makes "
+            "N=16384 tractable"
+        ),
+    )
     fuzz = parser.add_argument_group("fuzz options")
     fuzz.add_argument(
         "--seeds",
@@ -259,7 +289,8 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="S",
-        help="fuzz: stop starting new seeds after S wall-clock seconds",
+        help="fuzz: stop starting new seeds after S wall-clock seconds; "
+        "scalebench: skip remaining cells once S seconds have elapsed",
     )
     fuzz.add_argument(
         "--replay",
@@ -299,8 +330,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json-out",
         metavar="PATH",
         default=None,
-        help="fuzz/mc: also write the campaign/replay/exploration result "
-        "as JSON to PATH",
+        help="fuzz/mc/scalebench: also write the campaign/replay/"
+        "exploration/scaling result as JSON to PATH",
     )
     mc = parser.add_argument_group("mc options")
     mc.add_argument(
@@ -434,13 +465,34 @@ def _parse_stall(spec: str):
     return rank, from_us, until_us
 
 
+def _parse_topo(args):
+    """Resolve ``--topo`` to a :class:`~repro.topo.Hierarchy` (or None)."""
+    spec = getattr(args, "topo", None)
+    if spec is None:
+        return None
+    from .topo import parse_topo_spec
+
+    try:
+        return parse_topo_spec(spec)
+    except ValueError as exc:
+        raise _CliError(str(exc))
+
+
 def _network_params(args):
-    """Resolve the preset plus any fault/reliability options."""
+    """Resolve the preset plus any fault/reliability/topology options."""
     from .net.faults import FaultPlan
 
     _validate_fault_args(args)
     params = _preset(args.network)
     overrides = {}
+    hierarchy = _parse_topo(args)
+    if hierarchy is not None:
+        overrides["hierarchy"] = hierarchy
+    radix = getattr(args, "radix", None)
+    if radix is not None:
+        if radix < 2:
+            raise _CliError(f"--radix must be >= 2, got {radix!r}")
+        overrides["tree_radix"] = radix
     if args.retry_timeout is not None:
         overrides["retry_timeout_us"] = args.retry_timeout
     if args.drop_rate:
@@ -643,8 +695,14 @@ def _nic(args) -> None:
 
 
 def _scalebench(args) -> None:
+    import json
+    from pathlib import Path
+
+    from .experiments.report import scalebench_to_csv, write_csv
     from .experiments.scalebench import ScaleBenchConfig, run_scalebench
 
+    if args.coalesce and args.ppn < 2:
+        raise _CliError("--coalesce requires --ppn > 1")
     cfg = ScaleBenchConfig(
         nprocs_list=(
             tuple(args.procs) if args.procs else ScaleBenchConfig.nprocs_list
@@ -652,8 +710,24 @@ def _scalebench(args) -> None:
         iterations=args.iterations or ScaleBenchConfig.iterations,
         procs_per_node=args.ppn,
         params=_network_params(args),
+        coalesce=args.coalesce,
+        wall_budget_s=args.time_budget,
     )
-    print(run_scalebench(cfg, jobs=args.jobs).render())
+    try:
+        result = run_scalebench(cfg, jobs=args.jobs)
+    except ValueError as exc:
+        # Variant/coalesce legality (divisibility, coalescible variants)
+        # is checked by scalebench against --procs/--ppn.
+        raise _CliError(str(exc))
+    print(result.render())
+    if args.csv:
+        path = write_csv(scalebench_to_csv(result), args.csv, "scalebench")
+        print(f"csv written: {path}")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(result.to_json(), indent=2) + "\n"
+        )
+        print(f"json written: {args.json_out}")
 
 
 def _chaos_defaults(args) -> int:

@@ -15,11 +15,13 @@ from typing import Dict, Optional, Union
 from .common import Comparison
 from .lockbench import LockPoint
 from .nicbench import NicBenchResult
+from .scalebench import ScaleBenchResult
 
 __all__ = [
     "comparison_to_csv",
     "lock_series_to_csv",
     "nicbench_to_csv",
+    "scalebench_to_csv",
     "write_csv",
 ]
 
@@ -69,6 +71,29 @@ def nicbench_to_csv(result: NicBenchResult) -> str:
             writer.writerow([variant, nprocs, f"{series[nprocs]:.3f}"])
     for nprocs in result.nprocs_list():
         writer.writerow(["factor", nprocs, f"{result.factor(nprocs):.4f}"])
+    return buffer.getvalue()
+
+
+def scalebench_to_csv(result: ScaleBenchResult) -> str:
+    """Tidy CSV for the scaling study: one row per (variant, nprocs) cell.
+
+    ``events``/``wall_s`` are machine-dependent; ``sync_us`` is the
+    deterministic simulated mean.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["variant", "nprocs", "sync_us", "events", "wall_s"])
+    for variant in result.variants:
+        for nprocs, cell in sorted(result.cells.get(variant, {}).items()):
+            writer.writerow(
+                [
+                    variant,
+                    nprocs,
+                    f"{cell.sync_us:.3f}",
+                    cell.events,
+                    f"{cell.wall_s:.4f}",
+                ]
+            )
     return buffer.getvalue()
 
 

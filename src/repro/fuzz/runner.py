@@ -104,6 +104,7 @@ class FuzzOutcome:
             f"seed {sc.seed}: {sc.workload} x{len(sc.phases)} phases, "
             f"{sc.nprocs} procs ({sc.procs_per_node}/node), "
             f"barrier={sc.barrier_algorithm}"
+            + (f", topo=two_level({sc.hier_arity})" if sc.hier_arity else "")
             + (f", lock={sc.lock_kind}" if sc.lock_kind else "")
             + (f", crashes={list(sc.crashes)}" if sc.crashes else "")
             + (f", partitions={list(sc.partitions)}" if sc.partitions else "")
@@ -168,6 +169,10 @@ def _make_params(scenario: Scenario) -> NetworkParams:
         "faults": plan,
         "nic_algorithm": scenario.nic_algorithm,
     }
+    if scenario.hier_arity >= 2:
+        from ..topo import two_level
+
+        overrides["hierarchy"] = two_level(scenario.hier_arity)
     if scenario.crashes or scenario.has_transients():
         # Tight retry budget so a silent (crashed or cut-off) endpoint
         # exhausts its retransmissions — and escalates to suspicion — well

@@ -50,6 +50,11 @@ WORKLOADS = ("strips", "locks", "mixed")
 #: documents it as unsafe under divergent views).
 _BARRIERS = ("exchange", "linear", "nic")
 
+#: Topology-aware barrier algorithms (:mod:`repro.topo.algorithms`),
+#: drawn from a separate RNG stream so pre-existing seeds keep their
+#: historical expansions.
+_TOPO_BARRIERS = ("twolevel", "kary", "dissemination")
+
 _LOCK_KINDS = ("ticket", "lh", "server", "hybrid", "mcs", "raymond", "naimi")
 
 #: Lock algorithms that require all ranks on the lock's home node.
@@ -89,6 +94,9 @@ class Scenario:
     #: Transient process stalls: ``(rank, from_us, until_us)`` — the rank
     #: pauses (no crash) and resumes at the window end.
     stalls: Tuple[Tuple[int, float, float], ...] = ()
+    #: Hierarchical topology: 0 = flat network, >= 2 = a two-level
+    #: hierarchy with ``hier_arity`` nodes per leaf switch.
+    hier_arity: int = 0
 
     def has_faults(self) -> bool:
         return any(
@@ -135,6 +143,8 @@ def scenario_from_json(text: str) -> Scenario:
     data["stalls"] = tuple(
         (int(r), float(f), float(u)) for r, f, u in data.get("stalls", ())
     )
+    # The topology axis also postdates the first corpus entries.
+    data["hier_arity"] = int(data.get("hier_arity", 0))
     return Scenario(**data)
 
 
@@ -196,6 +206,16 @@ def generate(seed: int, constrain: Optional[Dict[str, Any]] = None) -> Scenario:
     transient_rng = random.Random(f"fuzz-transient:{seed}")
     choice["partitions"] = _pick_partitions(transient_rng)
     choice["stalls"] = _pick_stalls(transient_rng)
+
+    # Topology axis, also from its own stream: a minority of scenarios
+    # run on a two-level hierarchy and/or swap in a topology-aware
+    # barrier, leaving all other draws untouched.
+    topo_rng = random.Random(f"fuzz-topo:{seed}")
+    choice["hier_arity"] = (
+        topo_rng.choice((2, 2, 4)) if topo_rng.random() < 0.3 else 0
+    )
+    if topo_rng.random() < 0.3 and choice["barrier_algorithm"] != "nic":
+        choice["barrier_algorithm"] = topo_rng.choice(_TOPO_BARRIERS)
 
     if constrain:
         choice.update(constrain)
@@ -392,4 +412,9 @@ def _legalize(choice: Dict[str, Any]) -> Scenario:
         crashes=tuple(crashes),
         partitions=tuple(partitions),
         stalls=tuple(stalls),
+        hier_arity=(
+            int(choice.get("hier_arity", 0))
+            if int(choice.get("hier_arity", 0)) >= 2
+            else 0
+        ),
     )

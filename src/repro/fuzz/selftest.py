@@ -127,6 +127,9 @@ MUTANTS: Tuple[Mutant, ...] = (
             "fault_links": (),
             "partitions": (),
             "stalls": (),
+            # Pinned flat: a fuzzed hierarchy reprices messages and can
+            # mask the mutant's timing window (same rule as transients).
+            "hier_arity": 0,
         },
     ),
     Mutant(
@@ -149,6 +152,9 @@ MUTANTS: Tuple[Mutant, ...] = (
             "fault_links": (),
             "partitions": (),
             "stalls": (),
+            # Pinned flat: a fuzzed hierarchy reprices messages and can
+            # mask the mutant's timing window (same rule as transients).
+            "hier_arity": 0,
         },
     ),
     Mutant(
@@ -168,6 +174,9 @@ MUTANTS: Tuple[Mutant, ...] = (
             "fault_links": ((0, 1),),
             "partitions": (),
             "stalls": (),
+            # Pinned flat: a fuzzed hierarchy reprices messages and can
+            # mask the mutant's timing window (same rule as transients).
+            "hier_arity": 0,
         },
     ),
 )

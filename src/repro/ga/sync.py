@@ -12,6 +12,9 @@ system have completed and that all processes have reached the same point.
   pattern (linear when few servers were touched).
 * ``nic`` — the NIC-offloaded barrier: the programmable NIC co-processors
   run all three stages without host involvement (``repro.nic``).
+* ``kary`` / ``dissemination`` / ``twolevel`` — the topology-aware host
+  algorithms of :mod:`repro.topo.algorithms` (k-ary combining tree,
+  dissemination sum, node-leader two-level).
 """
 
 from __future__ import annotations
@@ -32,7 +35,10 @@ def ga_sync(ctx, mode: str = "new"):
         yield from ctx.armci.barrier(algorithm="auto")
     elif mode == "nic":
         yield from ctx.armci.barrier(algorithm="nic")
+    elif mode in ("kary", "dissemination", "twolevel"):
+        yield from ctx.armci.barrier(algorithm=mode)
     else:
         raise ValueError(
-            f"unknown GA_Sync mode {mode!r}; use current/new/auto/nic"
+            f"unknown GA_Sync mode {mode!r}; use "
+            "current/new/auto/nic/kary/dissemination/twolevel"
         )

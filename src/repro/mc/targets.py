@@ -24,6 +24,11 @@ that make its schedule space both interesting and exhaustible:
   in the PR 3 review fix.
 * ``reliable`` — the ACK/retransmit/resequence layer under a dropping
   link: frame, duplicate, and ACK deliveries interleave.
+* ``twolevel-barrier`` — the topology-aware node-leader fence+barrier
+  (PR 9) on a two-node SMP hierarchy at N=4: the intra-node gathers,
+  leaders' inter-node exchange, scatter, and release signals race with
+  the outstanding put's completion across two fabric levels.  The
+  four-rank space does not exhaust tractably; budget-bounded.
 * ``partition-heal`` — a two-node cut across a token-lock workload: the
   minority holder is excluded, its lease fenced and the token
   regenerated in the majority, then the cut heals and the rank rejoins
@@ -175,6 +180,29 @@ TARGETS: Dict[str, MCTarget] = {
             window=1.0,
             budget=600,
             sim_cap_us=8_000.0,
+            exhaustive=False,
+        ),
+        _t(
+            "twolevel-barrier",
+            "two-level node-leader fence+barrier on a 2x2 hierarchy, N=4",
+            Scenario(
+                seed=0,
+                nprocs=4,
+                procs_per_node=2,
+                workload="strips",
+                barrier_algorithm="twolevel",
+                lock_kind=None,
+                phases=("puts", "barrier"),
+                cells=1,
+                hier_arity=2,
+            ),
+            # Four ranks' puts, gathers, the leaders' exchange, and the
+            # release fan-out race across two fabric levels — the space
+            # does not exhaust at any tractable budget, so this target is
+            # budget-bounded like nic-barrier-crash.
+            window=3.0,
+            budget=400,
+            sim_cap_us=5_000.0,
             exhaustive=False,
         ),
         _t(

@@ -123,6 +123,18 @@ class Fabric:
         self.params = params
         self._mailboxes: Dict[Endpoint, Any] = {}
         self._nic_free = [0.0] * topology.nnodes
+        #: Hierarchical topology (repro.topo): per-level latency/per-byte
+        #: tables resolved once against the base params.  ``None`` (flat
+        #: model) keeps _path_delay on the exact pre-hierarchy arithmetic.
+        if params.hierarchy is not None:
+            self._hier_caps = params.hierarchy.caps
+            lat, per_byte = params.hierarchy.resolve(
+                params.inter_latency_us, params.per_byte_us
+            )
+            self._hier_lat = lat
+            self._hier_pb = per_byte
+        else:
+            self._hier_caps = None
         self._seq = 0
         # Hot-path alias of the topology's rank->node table (post/send
         # resolve nodes once per message; a list index beats a method call).
@@ -239,15 +251,30 @@ class Fabric:
         (serialization queueing) as part of the delay.  ``latency_us``
         overrides the wire latency (NIC-to-NIC frames skip the host-side
         bus crossings folded into ``inter_latency_us``).
+
+        With ``params.hierarchy`` set, latency and per-byte cost come
+        from the node pair's crossing level instead of the flat figures
+        (see :mod:`repro.topo.hierarchy`).  An explicit ``latency_us``
+        override (NIC-to-NIC frames) keeps the flat arithmetic: the NIC
+        engines model a dedicated flat inter-NIC fabric.
         """
         p = self.params
         now = self.env._now
         if src_node == dst_node:
             return p.intra_latency_us
         depart = max(now, self._nic_free[src_node])
-        xfer = p.xfer_time(size_bytes)
+        if self._hier_caps is not None and latency_us is None:
+            level = len(self._hier_caps) - 1
+            for i, cap in enumerate(self._hier_caps):
+                if src_node // cap == dst_node // cap:
+                    level = i
+                    break
+            xfer = size_bytes * self._hier_pb[level]
+            latency = self._hier_lat[level]
+        else:
+            xfer = p.xfer_time(size_bytes)
+            latency = p.inter_latency_us if latency_us is None else latency_us
         self._nic_free[src_node] = depart + xfer
-        latency = p.inter_latency_us if latency_us is None else latency_us
         delay = (depart - now) + xfer + latency
         if p.jitter_us > 0.0:
             delay += self._jitter_rng.uniform(0.0, p.jitter_us)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from .faults import FaultPlan
+from ..topo.hierarchy import Hierarchy
 
 __all__ = ["NetworkParams", "myrinet2000", "gige", "quadrics_like", "SMALL_MSG_BYTES", "MSG_HEADER_BYTES"]
 
@@ -188,6 +189,21 @@ class NetworkParams:
         NIC-offloaded path (``algorithm="nic"`` can always be requested
         explicitly).  Off by default so existing configurations are
         byte-identical.
+    hierarchy:
+        Optional :class:`repro.topo.hierarchy.Hierarchy` describing the
+        multi-level network above the SMP nodes (switch/rack/cluster
+        tiers).  ``None`` (default) is the flat model: every inter-node
+        message costs ``inter_latency_us`` regardless of distance, the
+        exact pre-hierarchy code path, so all flat results are
+        byte-identical.  When set, the fabric derives each message's
+        latency and per-byte cost from the sender/receiver nodes'
+        crossing level (per-level values inherit the flat figures
+        unless overridden), and the ``auto`` barrier algorithm widens
+        its comparison to the topology-aware candidates.
+    tree_radix:
+        Fan-out of the ``kary`` combining-tree barrier (children per
+        tree node).  Matching it to ``procs_per_node`` aligns the leaf
+        tier of the tree with SMP nodes under block placement.
     """
 
     inter_latency_us: float = 6.5
@@ -228,6 +244,8 @@ class NetworkParams:
     nic_wire_latency_us: float = 2.6
     nic_algorithm: str = "exchange"
     nic_offload: bool = False
+    hierarchy: Optional[Hierarchy] = None
+    tree_radix: int = 4
 
     def __post_init__(self) -> None:
         for field_name in (
@@ -294,6 +312,14 @@ class NetworkParams:
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise TypeError(
                 f"faults must be a FaultPlan or None, got {self.faults!r}"
+            )
+        if self.hierarchy is not None and not isinstance(self.hierarchy, Hierarchy):
+            raise TypeError(
+                f"hierarchy must be a Hierarchy or None, got {self.hierarchy!r}"
+            )
+        if self.tree_radix < 2:
+            raise ValueError(
+                f"tree_radix must be >= 2, got {self.tree_radix}"
             )
 
     def with_(self, **changes) -> "NetworkParams":

@@ -1,0 +1,81 @@
+"""Parse ``--topo`` command-line specs into a :class:`Hierarchy`.
+
+Grammar (innermost level first, comma-separated)::
+
+    SPEC  ::= LEVEL ("," LEVEL)*
+    LEVEL ::= NAME ":" ARITY [":" LATENCY_US [":" PER_BYTE_US [":" CONTENTION]]]
+
+Empty numeric fields inherit the base ``NetworkParams`` value, so
+``switch:8,rack:16:26.0`` builds 8-node leaf switches at the flat
+inter-node latency under racks whose uplinks cost 26 µs, and
+``switch:8::0.008`` overrides only the per-byte cost.  Malformed specs
+raise :class:`ValueError` with a one-line message; the CLI converts that
+to its ``_CliError`` stderr + exit-code-2 convention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .hierarchy import Hierarchy, LevelSpec
+
+__all__ = ["parse_topo_spec"]
+
+
+def _float_field(text: str, spec: str, what: str) -> Optional[float]:
+    if text == "":
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(
+            f"bad --topo spec {spec!r}: {what} must be a number, got {text!r}"
+        ) from None
+
+
+def parse_topo_spec(spec: str) -> Hierarchy:
+    """Parse a topology spec string; raises ``ValueError`` when malformed."""
+    if not spec or not spec.strip():
+        raise ValueError("bad --topo spec: empty")
+    levels = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            raise ValueError(f"bad --topo spec {spec!r}: empty level entry")
+        fields = part.split(":")
+        if len(fields) < 2 or len(fields) > 5:
+            raise ValueError(
+                f"bad --topo spec {spec!r}: level {part!r} must be "
+                "NAME:ARITY[:LATENCY_US[:PER_BYTE_US[:CONTENTION]]]"
+            )
+        name = fields[0].strip()
+        if not name:
+            raise ValueError(f"bad --topo spec {spec!r}: level needs a name")
+        try:
+            arity = int(fields[1])
+        except ValueError:
+            raise ValueError(
+                f"bad --topo spec {spec!r}: arity must be an int, "
+                f"got {fields[1]!r}"
+            ) from None
+        latency = _float_field(fields[2], spec, "latency_us") if len(fields) > 2 else None
+        per_byte = _float_field(fields[3], spec, "per_byte_us") if len(fields) > 3 else None
+        contention = (
+            _float_field(fields[4], spec, "contention") if len(fields) > 4 else None
+        )
+        try:
+            levels.append(
+                LevelSpec(
+                    name=name,
+                    arity=arity,
+                    latency_us=latency,
+                    per_byte_us=per_byte,
+                    contention=1.0 if contention is None else contention,
+                )
+            )
+        except ValueError as exc:
+            raise ValueError(f"bad --topo spec {spec!r}: {exc}") from None
+    try:
+        return Hierarchy(levels=tuple(levels))
+    except ValueError as exc:
+        raise ValueError(f"bad --topo spec {spec!r}: {exc}") from None

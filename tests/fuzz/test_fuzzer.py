@@ -226,3 +226,46 @@ class TestCampaignArtifacts:
         s = generate(1)
         assert dataclasses.replace(s) == s
         assert dataclasses.replace(s, cells=s.cells + 1) != s
+
+
+class TestTopologyAxis:
+    def test_hier_arity_defaults_to_flat(self):
+        assert generate(0).hier_arity in (0, 2, 4)
+        assert Scenario(seed=0, nprocs=4, procs_per_node=2).hier_arity == 0
+
+    def test_legacy_json_without_hier_arity_parses(self):
+        s = generate(5)
+        data = json.loads(scenario_to_json(s))
+        data.pop("hier_arity", None)
+        legacy = scenario_from_json(json.dumps(data))
+        assert legacy.hier_arity == 0
+
+    def test_hier_arity_round_trips(self):
+        for seed in range(40):
+            s = generate(seed)
+            assert scenario_from_json(scenario_to_json(s)) == s
+
+    def test_both_topology_axes_are_exercised(self):
+        scenarios = [generate(seed) for seed in range(60)]
+        arities = {s.hier_arity for s in scenarios}
+        algs = {s.barrier_algorithm for s in scenarios}
+        assert arities - {0}, "no seed ever produced a hierarchy"
+        assert 0 in arities, "no seed ever stayed flat"
+        assert algs & {"twolevel", "kary", "dissemination"}, (
+            "no seed ever picked a topology-aware barrier"
+        )
+
+    def test_topo_axis_is_deterministic(self):
+        for seed in (0, 7, 23):
+            assert generate(seed).hier_arity == generate(seed).hier_arity
+            assert generate(seed) == generate(seed)
+
+    def test_hier_scenarios_replay_clean(self):
+        ran = 0
+        for seed in range(60):
+            s = generate(seed)
+            if s.hier_arity and ran < 3:
+                outcome = run_scenario(s)
+                assert outcome.ok(), f"seed {seed}: {outcome.violations}"
+                ran += 1
+        assert ran == 3

@@ -16,6 +16,7 @@ def test_expected_targets_present():
         "mcs-handoff",
         "reliable",
         "partition-heal",
+        "twolevel-barrier",
     }
 
 
@@ -39,3 +40,5 @@ def test_crash_free_targets_expect_exhaustion():
     assert not get_target("nic-barrier-crash").expect_exhaustive
     assert not get_target("reliable").expect_exhaustive
     assert not get_target("partition-heal").expect_exhaustive
+    # Four ranks over two fabric levels: explicitly budget-bounded.
+    assert not get_target("twolevel-barrier").expect_exhaustive

@@ -434,3 +434,71 @@ class TestMcCommand:
             ["mc", "--scenario", "0", "--budget", "5", "--cap", "20000"]
         ) == 0
         assert "RMCheck seed 0" in capsys.readouterr().out
+
+
+class TestScalebenchCommand:
+    def test_flat_run(self, capsys):
+        assert main(["scalebench", "--procs", "8", "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Barrier scaling" in out and "host-exchange" in out
+
+    def test_topo_run_selects_topology_variants(self, capsys):
+        assert main(["scalebench", "--procs", "8", "--iterations", "1",
+                     "--ppn", "4", "--topo", "switch:2"]) == 0
+        out = capsys.readouterr().out
+        assert "hierarchical topology" in out
+        assert "twolevel" in out and "dissemination" in out
+
+    def test_csv_and_json_export(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "sb.json"
+        assert main(["scalebench", "--procs", "8", "--iterations", "1",
+                     "--ppn", "4", "--topo", "switch:2",
+                     "--csv", str(tmp_path), "--json-out", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "csv written" in out and "json written" in out
+        csv_text = (tmp_path / "scalebench.csv").read_text()
+        assert csv_text.startswith("variant,nprocs,sync_us,events,wall_s")
+        data = json.loads(json_path.read_text())
+        assert data["nprocs"] == [8]
+        assert any(c["variant"] == "twolevel" for c in data["cells"])
+
+    def test_coalesced_run(self, capsys):
+        assert main(["scalebench", "--procs", "32", "--iterations", "1",
+                     "--ppn", "4", "--topo", "switch:4", "--coalesce"]) == 0
+        out = capsys.readouterr().out
+        assert "coalesced" in out
+
+    def test_bad_topo_spec_is_cli_error(self, capsys):
+        assert main(["scalebench", "--topo", "banana"]) == 2
+        err = capsys.readouterr().err
+        assert "bad --topo spec" in err and err.count("\n") == 1
+
+    def test_bad_topo_arity_is_cli_error(self, capsys):
+        assert main(["scalebench", "--topo", "switch:1"]) == 2
+        assert "arity must be >= 2" in capsys.readouterr().err
+
+    def test_coalesce_requires_ppn(self, capsys):
+        assert main(["scalebench", "--coalesce"]) == 2
+        assert "--coalesce requires --ppn > 1" in capsys.readouterr().err
+
+    def test_coalesce_requires_divisible_procs(self, capsys):
+        assert main(["scalebench", "--procs", "10", "--ppn", "4",
+                     "--topo", "switch:2", "--coalesce"]) == 2
+        assert "divisible" in capsys.readouterr().err
+
+    def test_bad_radix_is_cli_error(self, capsys):
+        assert main(["scalebench", "--procs", "8", "--radix", "1"]) == 2
+        assert "--radix must be >= 2" in capsys.readouterr().err
+
+    def test_topo_applies_to_other_experiments(self, capsys):
+        # --topo flows through _network_params, so fig7 accepts it too.
+        assert main(["fig7", "--iterations", "2", "--procs", "4",
+                     "--topo", "switch:2", "--ppn", "2"]) == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_time_budget_skips_cells(self, capsys):
+        assert main(["scalebench", "--procs", "8", "16", "--iterations", "1",
+                     "--time-budget", "0"]) == 0
+        assert "wall budget" in capsys.readouterr().out

@@ -1,0 +1,151 @@
+"""Calibrated cost model over the algorithm × topology grid.
+
+The estimates drive ``algorithm="auto"``: under a hierarchy the winner
+they pick must match the simulation's at representative (N, ppn) points,
+and the flat closed forms must be untouched (auto-selection on a flat
+network is part of the byte-identical surface).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.armci.barrier import (
+    _auto_select,
+    estimate_dissemination_us,
+    estimate_exchange_us,
+    estimate_kary_us,
+    estimate_twolevel_us,
+)
+from repro.experiments.scalebench import ScaleBenchConfig, run_scalebench
+from repro.net.params import myrinet2000
+from repro.topo import two_level
+
+
+def hier_params(arity=8, contention=2.0):
+    return myrinet2000().with_(
+        hierarchy=two_level(
+            arity, uplink_latency_us=26.0, uplink_contention=contention
+        ),
+        tree_radix=8,
+    )
+
+
+class TestFlatFormsUnchanged:
+    def test_exchange_flat_matches_historical_form(self):
+        """ppn<=1 + no hierarchy keeps the exact pre-topology closed form
+        (bit-for-bit, not approximately: auto-selection depends on it)."""
+        import math
+
+        from repro.armci.barrier import _mp_barrier_estimate_us
+
+        params = myrinet2000()
+        for nprocs in (2, 4, 16, 64):
+            phases = math.ceil(math.log2(nprocs))
+            expected = (
+                phases * (2 * params.mp_call_us + params.one_way(8 * nprocs))
+                + params.poll_detect_us
+                + _mp_barrier_estimate_us(params, nprocs)
+            )
+            assert estimate_exchange_us(params, nprocs) == expected
+            assert estimate_exchange_us(params, nprocs, ppn=1) == expected
+
+    def test_ppn_aware_estimate_grows_with_ppn(self):
+        params = hier_params()
+        assert estimate_exchange_us(params, 256, ppn=8) > estimate_exchange_us(
+            params, 256, ppn=1
+        )
+
+
+class TestCrossoverGrid:
+    """Estimates must crown the same winner as the simulation."""
+
+    @pytest.mark.parametrize("nprocs", [64, 256])
+    def test_exchange_vs_twolevel(self, nprocs):
+        ppn = 8
+        params = hier_params()
+        cfg = ScaleBenchConfig(
+            nprocs_list=(nprocs,),
+            iterations=2,
+            procs_per_node=ppn,
+            params=params,
+            variants=("host-exchange", "twolevel"),
+        )
+        result = run_scalebench(cfg)
+        sim_flat = result.get("host-exchange", nprocs).sync_us
+        sim_two = result.get("twolevel", nprocs).sync_us
+        est_flat = estimate_exchange_us(params, nprocs, ppn=ppn)
+        est_two = estimate_twolevel_us(params, nprocs, ppn=ppn)
+        assert (est_two < est_flat) == (sim_two < sim_flat), (
+            f"N={nprocs}: sim ({sim_two:.1f} vs {sim_flat:.1f}) and "
+            f"est ({est_two:.1f} vs {est_flat:.1f}) disagree on the winner"
+        )
+
+    def test_twolevel_wins_at_scale(self):
+        params = hier_params()
+        assert estimate_twolevel_us(params, 1024, ppn=8) < estimate_exchange_us(
+            params, 1024, ppn=8
+        )
+
+    def test_exchange_wins_small_flatish(self):
+        params = hier_params(contention=1.0)
+        assert estimate_exchange_us(params, 8, ppn=1) < estimate_twolevel_us(
+            params, 8, ppn=1
+        )
+
+    def test_estimates_monotone_in_n(self):
+        params = hier_params()
+        for est in (
+            estimate_exchange_us,
+            estimate_dissemination_us,
+            estimate_kary_us,
+            estimate_twolevel_us,
+        ):
+            values = [est(params, n, ppn=8) for n in (64, 256, 1024, 4096)]
+            assert values == sorted(values), (est.__name__, values)
+
+
+class _FakeArmci:
+    """The duck-typed slice of Armci that _auto_select consults."""
+
+    def __init__(self, params, nprocs, ppn, dirty_count):
+        from repro.net.topology import Topology
+
+        self.params = params
+        self.nprocs = nprocs
+        self.topology = Topology(nprocs, procs_per_node=ppn)
+        self.dirty_nodes = set(range(dirty_count))
+
+
+class TestAutoSelect:
+    def test_flat_choice_unchanged(self):
+        """No hierarchy: auto still picks among the original candidates."""
+        params = myrinet2000()
+        alg = _auto_select(_FakeArmci(params, 16, 1, dirty_count=16))
+        assert alg in ("exchange", "linear")
+
+    def test_hier_picks_topology_algorithm_at_scale(self):
+        params = hier_params()
+        alg = _auto_select(_FakeArmci(params, 1024, 8, dirty_count=128))
+        assert alg in ("twolevel", "kary", "dissemination")
+
+    def test_hier_choice_matches_estimate_argmin(self):
+        from repro.armci.barrier import estimate_linear_us
+
+        params = hier_params()
+        for nprocs, ppn, dirty in ((4, 1, 1), (8, 2, 2), (64, 8, 8)):
+            estimates = {
+                "linear": estimate_linear_us(params, nprocs, dirty),
+                "exchange": estimate_exchange_us(params, nprocs, ppn=ppn),
+                "kary": estimate_kary_us(params, nprocs, ppn=ppn),
+                "dissemination": estimate_dissemination_us(
+                    params, nprocs, ppn=ppn
+                ),
+            }
+            if ppn > 1:
+                estimates["twolevel"] = estimate_twolevel_us(
+                    params, nprocs, ppn=ppn
+                )
+            expected = min(sorted(estimates), key=estimates.get)
+            alg = _auto_select(_FakeArmci(params, nprocs, ppn, dirty))
+            assert alg == expected, (nprocs, ppn, dirty, alg, estimates)

@@ -1,0 +1,84 @@
+"""Flat-path preservation: a degenerate hierarchy ≡ no hierarchy.
+
+The tentpole's contract: wiring the hierarchy into the fabric must not
+perturb flat runs.  A single fully-inherited level (latency and per-byte
+both ``None``, contention 1.0) prices every inter-node message with the
+same IEEE arithmetic as the flat code path, so the *entire observable
+run* — every RMCSan protocol event, the final simulated clock, and the
+event count — must match bit-for-bit, and ``params.hierarchy=None``
+runs must be untouched by construction.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import SyncMonitor
+from repro.net.params import myrinet2000
+from repro.runtime.cluster import ClusterRuntime
+from repro.runtime.memory import GlobalAddress
+from repro.topo import Hierarchy, LevelSpec
+
+
+def workload(ctx):
+    """Puts to every peer, both GA_Sync modes, then a fence epoch."""
+    from repro.ga.sync import ga_sync
+
+    base = ctx.region.alloc(ctx.nprocs, initial=0)
+    for mode in ("new", "current"):
+        for peer in range(ctx.nprocs):
+            if peer != ctx.rank:
+                yield from ctx.armci.put(
+                    GlobalAddress(peer, base + ctx.rank), [ctx.rank + 1]
+                )
+        yield from ga_sync(ctx, mode)
+    return ctx.region.read_many(base, ctx.nprocs)
+
+
+def run_once(params, nprocs=6, ppn=2):
+    monitor = SyncMonitor()
+    runtime = ClusterRuntime(
+        nprocs, procs_per_node=ppn, monitor=monitor, params=params
+    )
+    results = runtime.run_spmd(workload)
+    return results, list(monitor.events), runtime.env.now, runtime.env.events_processed
+
+
+def test_degenerate_hierarchy_is_byte_identical():
+    flat = myrinet2000()
+    degenerate = flat.with_(
+        hierarchy=Hierarchy(levels=(LevelSpec(name="all", arity=4096),))
+    )
+    r_flat, ev_flat, now_flat, count_flat = run_once(flat)
+    r_deg, ev_deg, now_deg, count_deg = run_once(degenerate)
+    assert r_flat == r_deg
+    assert now_flat == now_deg
+    assert count_flat == count_deg
+    assert ev_flat == ev_deg
+
+
+def test_flat_rerun_is_deterministic():
+    a = run_once(myrinet2000())
+    b = run_once(myrinet2000())
+    assert a[1] == b[1] and a[2] == b[2] and a[3] == b[3]
+
+
+def test_multi_level_hierarchy_changes_timing_only():
+    """A real (non-degenerate) hierarchy reprices messages — the clock
+    moves and the global interleaving with it — but each actor performs
+    the same protocol steps: the (kind, actor) multiset is unchanged."""
+    from collections import Counter
+    flat = myrinet2000()
+    hier = flat.with_(
+        hierarchy=Hierarchy(
+            levels=(
+                LevelSpec(name="switch", arity=2),
+                LevelSpec(name="spine", arity=64, latency_us=40.0, contention=2.0),
+            )
+        )
+    )
+    r_flat, ev_flat, now_flat, _ = run_once(flat)
+    r_hier, ev_hier, now_hier, _ = run_once(hier)
+    assert r_flat == r_hier  # same memory outcome
+    assert now_hier > now_flat  # uplink crossings cost more
+    assert Counter((e.kind, e.actor) for e in ev_flat) == Counter(
+        (e.kind, e.actor) for e in ev_hier
+    )
